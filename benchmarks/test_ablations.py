@@ -1,0 +1,45 @@
+"""Ablation benches: switch one calibrated mechanism off and check the
+corresponding paper result follows it (DESIGN.md's mechanism claims)."""
+
+from conftest import bench_repeats
+
+from repro.experiments.ablations import (
+    duration_slope_vs_hz,
+    placement_ablation,
+    skid_ablation,
+)
+
+
+def test_ablation_hz_drives_duration_slope(benchmark):
+    """Figure 7/9's slope must scale with the kernel's CONFIG_HZ."""
+    slopes = benchmark.pedantic(
+        duration_slope_vs_hz,
+        kwargs={"repeats": bench_repeats(8)},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nduration slope by HZ: {slopes}")
+    assert slopes[100] < slopes[250] < slopes[1000]
+    # linear-in-HZ within sampling noise
+    assert slopes[1000] / max(slopes[100], 1e-9) > 4
+
+
+def test_ablation_skid_is_sole_user_drift_source(benchmark):
+    """Figure 8's user-mode drift must vanish with the skid disabled."""
+    slopes = benchmark.pedantic(
+        skid_ablation,
+        kwargs={"repeats": bench_repeats(20)},
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nuser-mode slopes: {slopes}")
+    assert abs(slopes["without_skid"]) < 1e-12  # exact zero, modulo lstsq
+    assert abs(slopes["with_skid"]) > 1e-8
+
+
+def test_ablation_placement_model_causes_bimodality(benchmark):
+    """Figure 11's c=2i / c=3i split must vanish without BTB aliasing."""
+    results = benchmark.pedantic(placement_ablation, rounds=1, iterations=1)
+    print(f"\nK8 loop CPIs: {results}")
+    assert results["aliasing"] == (2.0, 3.0)
+    assert results["flat"] == (2.0,)

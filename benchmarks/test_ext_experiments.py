@@ -1,0 +1,86 @@
+"""Benches for the extension experiments (beyond the paper's evaluation)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import (
+    ext_cache_accuracy,
+    ext_compensation,
+    ext_frequency,
+    ext_multiplexing,
+    ext_sampling,
+    ext_standalone_tools,
+)
+
+
+def test_ext_standalone_tools(benchmark, report):
+    result = benchmark(ext_standalone_tools.run)
+    report.emit(result)
+    assert result.summary["some_tool_exceeds_60000pct"]
+    assert result.summary["harness_relative_error_pct"] < 100
+
+
+def test_ext_compensation(benchmark, report):
+    result = benchmark.pedantic(
+        ext_compensation.run,
+        kwargs={"repeats": bench_repeats(4)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    assert result.summary["user_fixed_removed"]
+    assert result.summary["duration_error_survives"]
+
+
+def test_ext_multiplexing(benchmark, report):
+    result = benchmark(ext_multiplexing.run)
+    report.emit(result)
+    assert result.summary["uniform_accurate"]
+    assert result.summary["fine_slicing_helps"]
+
+
+def test_ext_sampling(benchmark, report):
+    result = benchmark(ext_sampling.run)
+    report.emit(result)
+    errors = [
+        result.summary[p]["error"] for p in (0, 1_000_000, 250_000, 50_000)
+    ]
+    assert errors == sorted(errors)
+
+
+def test_ext_cache_accuracy(benchmark, report):
+    result = benchmark.pedantic(
+        ext_cache_accuracy.run,
+        kwargs={"repeats": bench_repeats(3)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    assert result.summary["all_within_1pct"]
+    assert result.summary["instr_more_contaminated_when_memory_bound"]
+
+
+def test_ext_frequency_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        ext_frequency.run,
+        kwargs={"runs": bench_repeats(8)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    assert result.summary["guideline_confirmed"]
+
+
+def test_ext_thread_isolation(benchmark, report):
+    from repro.experiments import ext_thread_isolation
+
+    result = benchmark(ext_thread_isolation.run)
+    report.emit(result)
+    assert result.summary["isolated"]
+
+
+def test_ext_cross_platform(benchmark, report):
+    from repro.experiments import ext_cross_platform
+
+    result = benchmark(ext_cross_platform.run)
+    report.emit(result)
+    assert result.summary["pm_beats_pc_everywhere"]

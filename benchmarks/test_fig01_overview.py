@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 1 (overall error distribution violins)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig01_overview
+
+
+def test_figure1(benchmark, report):
+    result = benchmark.pedantic(
+        fig01_overview.run,
+        kwargs={"repeats": bench_repeats(2)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    user = result.summary["user"]
+    uk = result.summary["user+kernel"]
+    # Paper: minimum error near zero; user tail beyond 2500; user+kernel
+    # configurations far beyond user-mode ones.
+    assert user["min"] < 50
+    assert user["max"] >= 1500
+    assert uk["max"] > user["max"]
+    assert uk["median"] > user["median"]

@@ -1,0 +1,16 @@
+"""Benches: regenerate the paper's structural figures (2 and 3)."""
+
+from repro.experiments import fig02_stack, fig03_benchmark
+
+
+def test_figure2(benchmark, report):
+    result = benchmark(fig02_stack.run)
+    report.emit(result)
+    assert result.summary["paths"] == 6
+    assert result.summary["layering_consistent"]
+
+
+def test_figure3(benchmark, report):
+    result = benchmark(fig03_benchmark.run)
+    report.emit(result)
+    assert result.summary["model_holds"]

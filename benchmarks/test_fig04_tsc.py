@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 4 (TSC on/off, perfctr on CD)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig04_tsc
+
+
+def test_figure4(benchmark, report):
+    result = benchmark.pedantic(
+        fig04_tsc.run,
+        kwargs={"repeats": bench_repeats(5)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    s = result.summary
+    # Paper: read-read median drops from 1698 to 109.5 with the TSC on.
+    assert s["rr_user_median_tsc_off"] > 1200
+    assert s["rr_user_median_tsc_on"] < 200
+    # start-stop unaffected; both read-initial patterns equally affected.
+    assert abs(
+        s[("user+kernel", "ao", False)] - s[("user+kernel", "ao", True)]
+    ) < 30

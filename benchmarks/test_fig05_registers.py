@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5 (error vs number of registers, K8)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig05_registers
+
+
+def test_figure5(benchmark, report):
+    result = benchmark.pedantic(
+        fig05_registers.run,
+        kwargs={"repeats": bench_repeats(4)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    s = result.summary
+    # Paper: pm u+k read-read grows ~112 instructions per register
+    # (573 -> 909); pc read-read grows ~13 (84 -> 125); user-mode pm flat.
+    assert 80 <= s[("pm", "user+kernel", "rr")]["slope_per_register"] <= 130
+    assert 8 <= s[("pc", "user+kernel", "rr")]["slope_per_register"] <= 20
+    assert abs(s[("pm", "user", "rr")]["slope_per_register"]) < 5

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 6 + Table 3 (error by infrastructure)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig06_infrastructure
+
+
+def test_figure6_table3(benchmark, report):
+    result = benchmark.pedantic(
+        fig06_infrastructure.run,
+        kwargs={"repeats": bench_repeats(4)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    checks = result.summary["checks"]
+    # Paper §4.2: lower layers are more accurate; perfmon wins user-mode
+    # counting, perfctr wins user+kernel counting.
+    assert checks["layering_monotone"]
+    assert checks["pm_wins_user"]
+    assert checks["pc_wins_user_kernel"]

@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 7 (user+kernel duration-error slopes)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig07_uk_slope
+
+
+def test_figure7(benchmark, report):
+    result = benchmark.pedantic(
+        fig07_uk_slope.run,
+        kwargs={"repeats": bench_repeats(8)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    slopes = {k: v for k, v in result.summary.items() if isinstance(k, tuple)}
+    # Paper: all slopes positive, order 1e-3; pc on CD ~0.002.
+    assert result.summary["all_positive"]
+    assert all(slope < 0.02 for slope in slopes.values())
+    assert 0.0005 < slopes[("pc", "CD")] < 0.006

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 8 (user-mode duration-error slopes)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig08_user_slope
+
+
+def test_figure8(benchmark, report):
+    result = benchmark.pedantic(
+        fig08_user_slope.run,
+        kwargs={"repeats": bench_repeats(20)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    # Paper: |slope| a few 1e-6 or less, signs mixed.
+    assert result.summary["max_abs_slope"] < 5e-5

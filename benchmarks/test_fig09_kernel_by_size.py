@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 9 (kernel instructions by loop size)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig09_kernel_by_size
+
+
+def test_figure9(benchmark, report):
+    result = benchmark.pedantic(
+        fig09_kernel_by_size.run,
+        kwargs={"repeats": bench_repeats(40)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    # Paper: ~1500 kernel instructions at 500k iterations, ~2500 at 1M,
+    # slope 0.00204 kernel instructions/iteration.
+    assert 0.0008 < result.summary["slope"] < 0.005
+    assert 600 < result.summary["mean_at_500k"] < 3000
+    assert result.summary["mean_at_1m"] > result.summary["mean_at_500k"]

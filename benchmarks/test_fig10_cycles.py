@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 10 (cycles by loop size, 3 CPUs x pm/pc)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig10_cycles
+
+
+def test_figure10(benchmark, report):
+    result = benchmark.pedantic(
+        fig10_cycles.run,
+        kwargs={"repeats": bench_repeats(2)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    # Paper: on PD, 1.5-4 million cycles for the 1M-iteration loop.
+    assert result.summary["pd_spread"] > 1.8
+    pd = result.summary[("PD", "pc")]
+    assert pd["min_at_top"] > 1.2e6
+    assert pd["max_at_top"] < 5.0e6

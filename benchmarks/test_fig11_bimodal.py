@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 11 (bimodal cycles, pm on K8)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig11_bimodal
+
+
+def test_figure11(benchmark, report):
+    result = benchmark.pedantic(
+        fig11_bimodal.run,
+        kwargs={"repeats": bench_repeats(3)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    # Paper: two groups bounded below by c = 2i and c = 3i.
+    assert result.summary["bimodal"]
+    assert result.summary["below_two"] == 0
+    assert result.summary["between"] == 0

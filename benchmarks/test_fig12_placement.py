@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 12 (cycle slope by pattern x opt, K8/pm)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import fig12_placement
+
+
+def test_figure12(benchmark, report):
+    result = benchmark.pedantic(
+        fig12_placement.run,
+        kwargs={"repeats": bench_repeats(2)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    # Paper: each cell is a clean line; neither factor alone fixes the
+    # slope — only the (pattern, opt) combination does.
+    assert result.summary["interaction_present"]
+    assert result.summary["min_slope"] >= 1.9
+    assert result.summary["max_slope"] <= 3.4

@@ -1,0 +1,19 @@
+"""Bench: regenerate Section 4.3 (n-way ANOVA of accuracy factors)."""
+
+from conftest import bench_repeats
+
+from repro.experiments import sec43_anova
+
+
+def test_section43(benchmark, report):
+    result = benchmark.pedantic(
+        sec43_anova.run,
+        kwargs={"repeats": bench_repeats(3)},
+        rounds=1,
+        iterations=1,
+    )
+    report.emit(result)
+    significant = set(result.summary["significant"])
+    # Paper: everything but the optimization level is significant.
+    assert {"processor", "infra", "pattern", "n_counters"} <= significant
+    assert "opt" not in significant

@@ -1,0 +1,58 @@
+"""Benches of the simulator itself.
+
+These are conventional pytest-benchmark timings (many rounds) of the
+hot paths a study run exercises: boot + fixed-cost measurement, the
+closed-form loop engine, and a full-size loop measurement.  They guard
+against performance regressions that would make paper-scale sweeps
+impractical.
+"""
+
+from repro.core import (
+    LoopBenchmark,
+    MeasurementConfig,
+    Mode,
+    NullBenchmark,
+    Pattern,
+    run_measurement,
+)
+
+
+def test_null_measurement_throughput(benchmark):
+    """Boot a machine and run one fixed-cost measurement."""
+    config = MeasurementConfig(
+        processor="CD", infra="pc", pattern=Pattern.START_READ,
+        mode=Mode.USER_KERNEL, seed=1, io_interrupts=False,
+    )
+    result = benchmark(run_measurement, config, NullBenchmark())
+    assert result.error > 0
+
+
+def test_million_iteration_loop_measurement(benchmark):
+    """A 1M-iteration loop must cost O(interrupts), not O(instructions)."""
+    config = MeasurementConfig(
+        processor="CD", infra="pc", pattern=Pattern.START_READ,
+        mode=Mode.USER_KERNEL, seed=2,
+    )
+    loop = LoopBenchmark(1_000_000)
+    result = benchmark(run_measurement, config, loop)
+    assert result.expected == 3_000_001
+
+
+def test_billion_iteration_loop_engine(benchmark):
+    """The closed-form engine at paper cross-check scale (10^9 iters)."""
+    import numpy as np
+
+    from repro.cpu.core import Core
+    from repro.cpu.models import microarch
+    from repro.isa.assembler import assemble_loop
+
+    loop = assemble_loop(max_iters=1_000_000_000).to_loop()
+
+    def run() -> float:
+        core = Core(microarch("K8"), np.random.default_rng(0))
+        core.loop_warmup_cycles = 0.0
+        core.execute_loop(loop, 0x8048000)
+        return core.cycle
+
+    cycles = benchmark(run)
+    assert cycles >= 2_000_000_000

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 1 (processors used in the study)."""
+
+from repro.experiments import tab01_processors
+
+
+def test_table1(benchmark, report):
+    result = benchmark(tab01_processors.run)
+    report.emit(result)
+    assert result.summary["mismatches"] == []

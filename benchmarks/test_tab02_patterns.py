@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 2 (access patterns and their support)."""
+
+from repro.experiments import tab02_patterns
+
+
+def test_table2(benchmark, report):
+    result = benchmark(tab02_patterns.run)
+    report.emit(result)
+    assert result.summary["matches_paper"]

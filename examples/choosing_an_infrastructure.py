@@ -1,0 +1,65 @@
+"""Which counter infrastructure should a performance analyst use?
+
+Reproduces the paper's Section 8 guidance interactively: for each of
+the six infrastructures and both counting modes, find the best access
+pattern and its median error across processors and optimization levels,
+then print a recommendation.
+
+Run:  python examples/choosing_an_infrastructure.py
+"""
+
+from repro import box_summary
+from repro.core import SweepSpec, run_sweep
+from repro.core.config import INFRASTRUCTURES, Mode, Pattern
+from repro.core.compiler import OptLevel
+
+
+def best_pattern(table, infra: str, mode: Mode) -> tuple[str, float]:
+    best = None
+    for pattern in Pattern:
+        sub = table.where(infra=infra, mode=mode.value, pattern=pattern.short)
+        if not len(sub):
+            continue
+        median = box_summary(sub.values("error").astype(float)).median
+        if best is None or median < best[1]:
+            best = (pattern.short, median)
+    assert best is not None
+    return best
+
+
+def main() -> None:
+    spec = SweepSpec(
+        processors=("PD", "CD", "K8"),
+        infras=INFRASTRUCTURES,
+        modes=(Mode.USER, Mode.USER_KERNEL),
+        opt_levels=tuple(OptLevel),
+        repeats=3,
+        io_interrupts=False,
+    )
+    print("sweeping the factor space (a few thousand measurements)...")
+    table = run_sweep(spec)
+
+    print(f"\n{'mode':<12} {'tool':<6} {'best pattern':<13} {'median error':>12}")
+    print("-" * 46)
+    winners: dict[Mode, tuple[str, float]] = {}
+    for mode in (Mode.USER, Mode.USER_KERNEL):
+        for infra in INFRASTRUCTURES:
+            pattern, median = best_pattern(table, infra, mode)
+            print(f"{mode.value:<12} {infra:<6} {pattern:<13} {median:>12.1f}")
+            if mode not in winners or median < winners[mode][1]:
+                winners[mode] = (infra, median)
+
+    print("\nrecommendations (matching the paper's Section 8):")
+    print(
+        f"  user-mode-only counts: use {winners[Mode.USER][0]} "
+        f"(median error {winners[Mode.USER][1]:.0f} instructions)"
+    )
+    print(
+        f"  user+kernel counts:    use {winners[Mode.USER_KERNEL][0]} "
+        f"(median error {winners[Mode.USER_KERNEL][1]:.0f} instructions)"
+    )
+    print("  and always prefer the lowest API layer you can afford to use.")
+
+
+if __name__ == "__main__":
+    main()

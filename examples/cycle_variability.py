@@ -1,0 +1,53 @@
+"""Why you should distrust cycle counts (paper, Section 6).
+
+The same three-instruction loop, measured for CYCLES instead of
+instructions, at every (pattern x optimization level) combination on
+the simulated Athlon 64: each combination is a different binary, the
+loop lands at a different address, and the cycles-per-iteration flips
+between 2 and 3 purely from placement.  No measurement infrastructure
+caused this — which is exactly the paper's warning.
+
+Run:  python examples/cycle_variability.py
+"""
+
+from repro import Event, LoopBenchmark, MeasurementConfig, Mode, Pattern, run_measurement
+from repro.core.compiler import OptLevel
+
+ITERATIONS = 1_000_000
+
+
+def main() -> None:
+    benchmark = LoopBenchmark(ITERATIONS)
+    print(
+        f"cycles for the {ITERATIONS:,}-iteration loop on K8/pm, by "
+        "(pattern x opt level):\n"
+    )
+    print(f"{'pattern':<12} " + " ".join(f"{o.value:>10}" for o in OptLevel))
+    all_cpis = []
+    for pattern in Pattern:
+        row = [f"{pattern.short:<12}"]
+        for opt in OptLevel:
+            config = MeasurementConfig(
+                processor="K8", infra="pm", pattern=pattern, mode=Mode.USER_KERNEL,
+                opt_level=opt, primary_event=Event.CYCLES, seed=7,
+                io_interrupts=False,
+            )
+            cycles = run_measurement(config, benchmark).measured
+            cpi = cycles / ITERATIONS
+            all_cpis.append(cpi)
+            row.append(f"{cycles:>10,}")
+        print(" ".join(row))
+
+    print(
+        f"\ncycles per iteration ranged {min(all_cpis):.2f} .. "
+        f"{max(all_cpis):.2f} for IDENTICAL loop code."
+    )
+    print(
+        "paper's conclusion: code placement effects dwarf any error the "
+        "measurement infrastructure itself could add to cycle counts —"
+        "\nbe suspicious of micro-architectural event counts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""How does measurement error grow with measurement duration?
+
+Reproduces the paper's Section 5 study on one platform: run the loop
+benchmark at increasing iteration counts, count in user and user+kernel
+mode, and fit the error-vs-duration regression line.  The user+kernel
+slope is real (timer interrupts execute kernel instructions inside the
+measured window); the user-mode slope is noise.
+
+Run:  python examples/duration_error.py
+"""
+
+from repro import fit_line
+from repro.core import LoopBenchmark, MeasurementConfig, Mode, Pattern, run_measurement
+
+SIZES = (1, 100_000, 250_000, 500_000, 750_000, 1_000_000)
+REPEATS = 12
+
+
+def error_series(mode: Mode) -> tuple[list[int], list[int]]:
+    xs, ys = [], []
+    for size in SIZES:
+        benchmark = LoopBenchmark(size)
+        for repeat in range(REPEATS):
+            config = MeasurementConfig(
+                processor="CD", infra="pc", pattern=Pattern.START_READ,
+                mode=mode, seed=hash((size, repeat, mode.value)) % 2**31,
+            )
+            result = run_measurement(config, benchmark)
+            xs.append(size)
+            ys.append(result.error)
+    return xs, ys
+
+
+def main() -> None:
+    print("loop benchmark on CD/perfctr, start-read pattern")
+    print(f"{'iterations':>12} {'mean u+k error':>15} {'mean user error':>16}")
+
+    uk_x, uk_y = error_series(Mode.USER_KERNEL)
+    user_x, user_y = error_series(Mode.USER)
+    for size in SIZES:
+        uk_mean = sum(y for x, y in zip(uk_x, uk_y) if x == size) / REPEATS
+        user_mean = sum(y for x, y in zip(user_x, user_y) if x == size) / REPEATS
+        print(f"{size:>12,} {uk_mean:>15.1f} {user_mean:>16.1f}")
+
+    uk_fit = fit_line(uk_x, uk_y)
+    user_fit = fit_line(user_x, user_y)
+    print(
+        f"\nuser+kernel slope: {uk_fit.slope:.6f} instr/iteration "
+        "(paper: ~0.002 for pc on CD)"
+    )
+    print(
+        f"user-mode slope:   {user_fit.slope:.2e} instr/iteration "
+        "(paper: several orders of magnitude smaller)"
+    )
+    print(
+        "\nlesson (paper Section 8): the duration-dependent error only "
+        "manifests when kernel-mode instructions are included."
+    )
+
+
+if __name__ == "__main__":
+    main()

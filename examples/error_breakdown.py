@@ -1,0 +1,45 @@
+"""Where does the measurement error actually live?
+
+The paper quantifies *how much* error each infrastructure injects; with
+the simulated stack we can also show *where*.  Attach a tracer to a
+measurement and every retired chunk is recorded with its code-path
+label, privilege mode, and harness phase — so the TSC-off penalty of
+Figure 4 decomposes into named library and kernel paths.
+
+Run:  python examples/error_breakdown.py
+"""
+
+from repro.core import MeasurementConfig, Mode, NullBenchmark, Pattern, run_measurement
+from repro.trace import Tracer
+
+
+def breakdown(tsc: bool) -> None:
+    config = MeasurementConfig(
+        processor="CD", infra="pc", pattern=Pattern.READ_READ,
+        mode=Mode.USER_KERNEL, tsc=tsc, seed=21, io_interrupts=False,
+    )
+    tracer = Tracer()
+    result = run_measurement(config, NullBenchmark(), tracer=tracer)
+    print(
+        f"\nperfctr read-read on CD, TSC {'on' if tsc else 'off'}: "
+        f"error = {result.error} instructions"
+    )
+    print("retirements during the measurement phase (top paths):")
+    print(tracer.render(phase="measure", top=8))
+
+
+def main() -> None:
+    print("attribution of the paper's Figure 4 effect, path by path")
+    breakdown(tsc=True)
+    breakdown(tsc=False)
+    print(
+        "\nwith the TSC on, the measurement phase is a handful of"
+        " user-mode fast-read instructions;"
+        "\nwith it off, the slow-read fallback's user-mode state"
+        " reconstruction and the kernel dump dominate —"
+        "\nthe 'less work' configuration costs 20x the instructions."
+    )
+
+
+if __name__ == "__main__":
+    main()

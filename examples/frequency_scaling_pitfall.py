@@ -1,0 +1,71 @@
+"""The frequency-scaling pitfall (paper, Section 8, first guideline).
+
+The paper's authors originally forgot to pin the cpufreq governor and
+got significant variability: the power daemon retunes the clock between
+(and during) runs, and since the bus clock does not follow the core
+clock, memory latency *measured in core cycles* changes with it.
+
+This example drives the stack directly through libperfctr (no harness):
+it boots a Pentium D, lets the machine "run" for half a simulated
+second so the ondemand governor wanders, then measures the cycles of a
+memory-touching loop — once under each governor.
+
+Run:  python examples/frequency_scaling_pitfall.py
+"""
+
+import statistics
+
+from repro import Event, Machine, PrivFilter, StridedLoadBenchmark
+from repro.cpu.frequency import Governor
+from repro.isa.work import WorkVector
+from repro.perfctr.libperfctr import LibPerfctr
+
+ELEMENTS = 2_000_000
+RUNS = 12
+WARMUP_SECONDS = 0.5
+
+
+def run_once(governor: Governor, seed: int) -> int:
+    machine = Machine(processor="PD", kernel="perfctr", seed=seed,
+                      governor=governor)
+    # Simulated prior activity: ticks fire, the governor retunes.
+    machine.core.retire(
+        WorkVector.zero(),
+        cycles=WARMUP_SECONDS * machine.core.freq.current_hz,
+    )
+    lib = LibPerfctr(machine)
+    lib.open()
+    lib.control(((Event.CYCLES, PrivFilter.ALL),), tsc_on=True)
+    StridedLoadBenchmark(ELEMENTS).run(machine, address=0x0804_9000)
+    return lib.read().pmcs[0]
+
+
+def describe(name: str, values: list[int]) -> None:
+    mean = statistics.mean(values)
+    spread = (max(values) - min(values)) / mean
+    print(
+        f"{name:<14} mean={mean:>13,.0f} cycles   min={min(values):>13,}   "
+        f"max={max(values):>13,}   spread={spread:.1%}"
+    )
+
+
+def main() -> None:
+    print(
+        f"cycle counts for a {ELEMENTS:,}-element pointer walk on the "
+        "Pentium D\n"
+    )
+    pinned = [run_once(Governor.PERFORMANCE, 100 + i) for i in range(RUNS)]
+    wandering = [run_once(Governor.ONDEMAND, 100 + i) for i in range(RUNS)]
+    describe("performance", pinned)
+    describe("ondemand", wandering)
+    print(
+        "\nunder 'ondemand' the same work costs a different number of "
+        "core cycles run to run, because memory latency in cycles moves "
+        "with the clock."
+        "\npaper's first guideline: pin the governor "
+        "('performance' or 'powersave') before measuring."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no `wheel` package, so PEP
+517 editable installs fail with "invalid command 'bdist_wheel'".  This
+shim enables ``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Statistical toolkit for the accuracy study.
+
+A light column-oriented result table (the sweeps produce hundreds of
+thousands of rows; pandas is deliberately not a dependency), the
+box/violin summaries the paper plots, least-squares regression for the
+duration-error slopes (Section 5), and the n-way fixed-effects ANOVA of
+Section 4.3.
+"""
+
+from repro.analysis.table import ResultTable
+from repro.analysis.stats import BoxSummary, ViolinSummary, box_summary, violin_summary
+from repro.analysis.regression import LinearFit, fit_line
+from repro.analysis.anova import AnovaResult, FactorEffect, anova_n_way
+from repro.analysis.bootstrap import ConfidenceInterval, bootstrap_ci, median_ci
+from repro.analysis.report import (
+    render_box_ladder,
+    render_series,
+    render_violin,
+    summarize_errors,
+)
+
+__all__ = [
+    "AnovaResult",
+    "BoxSummary",
+    "ConfidenceInterval",
+    "FactorEffect",
+    "LinearFit",
+    "bootstrap_ci",
+    "median_ci",
+    "ResultTable",
+    "ViolinSummary",
+    "anova_n_way",
+    "box_summary",
+    "fit_line",
+    "render_box_ladder",
+    "render_series",
+    "render_violin",
+    "summarize_errors",
+    "violin_summary",
+]

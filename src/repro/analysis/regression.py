@@ -1,0 +1,51 @@
+"""Least-squares lines.
+
+Section 5 of the paper reduces each (infrastructure × processor) series
+to the slope of the regression line through the points (loop
+iterations, instruction error) — e.g. 0.002 extra kernel instructions
+per iteration for perfctr on the Core 2 Duo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y ≈ slope · x + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n: int
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def fit_line(x: "np.ndarray | list[float]", y: "np.ndarray | list[float]") -> LinearFit:
+    """Ordinary least squares through (x, y)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ConfigurationError(f"x and y differ in shape: {xa.shape} vs {ya.shape}")
+    if xa.size < 2:
+        raise ConfigurationError(f"need >= 2 points to fit a line, got {xa.size}")
+    if np.allclose(xa, xa[0]):
+        raise ConfigurationError("x values are all identical; slope is undefined")
+    slope, intercept = np.polyfit(xa, ya, deg=1)
+    predicted = slope * xa + intercept
+    ss_res = float(np.sum((ya - predicted) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(
+        slope=float(slope),
+        intercept=float(intercept),
+        r_squared=r_squared,
+        n=int(xa.size),
+    )

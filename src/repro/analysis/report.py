@@ -1,0 +1,101 @@
+"""Text rendering of the paper's plot types.
+
+The experiments' reports are plain text; these helpers render violin
+and box summaries as ASCII so a terminal user sees the *shape* the
+paper's figures show — the long right tail of Figure 1, the box ladder
+of Figure 6 — without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.stats import BoxSummary, ViolinSummary, box_summary
+from repro.errors import ConfigurationError
+
+#: Density glyphs from sparse to dense.
+_GLYPHS = " .:-=+*#%@"
+
+
+def render_violin(
+    violin: ViolinSummary, width: int = 64, label: str = ""
+) -> str:
+    """One-line density strip: darker glyph = more measurements there."""
+    densities = np.asarray(violin.densities, dtype=float)
+    if densities.size == 0:
+        raise ConfigurationError("violin has no bins")
+    # Resample the bins onto the output width.
+    positions = np.linspace(0, densities.size - 1, width)
+    sampled = densities[np.clip(positions.round().astype(int), 0,
+                                densities.size - 1)]
+    top = sampled.max()
+    if top <= 0:
+        strip = " " * width
+    else:
+        levels = (sampled / top * (len(_GLYPHS) - 1)).round().astype(int)
+        strip = "".join(_GLYPHS[level] for level in levels)
+    low = violin.bin_edges[0]
+    high = violin.bin_edges[-1]
+    prefix = f"{label:<14}" if label else ""
+    return f"{prefix}[{strip}] {low:,.0f} .. {high:,.0f}"
+
+
+def render_box_ladder(
+    boxes: dict[str, BoxSummary], width: int = 56
+) -> str:
+    """Stacked one-line box plots on a common scale (Figure 6 style)."""
+    if not boxes:
+        raise ConfigurationError("no boxes to render")
+    scale = max(box.maximum for box in boxes.values())
+    if scale <= 0:
+        scale = 1.0
+    lines = []
+    for label, box in boxes.items():
+        def pos(value: float) -> int:
+            return max(0, min(width - 1, int(value / scale * (width - 1))))
+
+        cells = [" "] * width
+        for index in range(pos(box.whisker_low), pos(box.whisker_high) + 1):
+            cells[index] = "-"
+        for index in range(pos(box.q1), pos(box.q3) + 1):
+            cells[index] = "="
+        cells[pos(box.median)] = "|"
+        lines.append(
+            f"{label:<14}[{''.join(cells)}] med={box.median:,.0f}"
+        )
+    lines.append(f"{'':<14} scale: 0 .. {scale:,.0f}")
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: "list[float]", ys: "list[float]", width: int = 56, height: int = 10,
+    label: str = "",
+) -> str:
+    """A small scatter, for the Figure 10/11 cycle clouds."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size == 0 or x.size != y.size:
+        raise ConfigurationError("need matching non-empty x/y series")
+    grid = [[" "] * width for _ in range(height)]
+    x_span = x.max() - x.min() or 1.0
+    y_span = y.max() - y.min() or 1.0
+    for xi, yi in zip(x, y):
+        col = int((xi - x.min()) / x_span * (width - 1))
+        row = height - 1 - int((yi - y.min()) / y_span * (height - 1))
+        grid[row][col] = "o"
+    lines = [f"{label} (y: {y.min():,.0f} .. {y.max():,.0f})"] if label else []
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f" x: {x.min():,.0f} .. {x.max():,.0f}")
+    return "\n".join(lines)
+
+
+def summarize_errors(values: "list[float]", label: str = "") -> str:
+    """One-line min/median/IQR/max summary used across reports."""
+    box = box_summary(np.asarray(values, dtype=float))
+    prefix = f"{label}: " if label else ""
+    return (
+        f"{prefix}min={box.minimum:,.0f} q1={box.q1:,.0f} "
+        f"med={box.median:,.0f} q3={box.q3:,.0f} max={box.maximum:,.0f} "
+        f"(n={box.count})"
+    )

@@ -1,0 +1,109 @@
+"""Box-plot and violin-plot summaries.
+
+The paper presents nearly all its error data as box plots (Figures
+4–6, 9) and violin plots (Figure 1).  These helpers compute the same
+summaries numerically so the experiments can print them and the tests
+can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BoxSummary:
+    """Tukey box-plot statistics for one sample."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    n_outliers: int
+
+    @property
+    def iqr(self) -> float:
+        """Inter-quartile range (the paper quotes ~1500 user-mode
+        instructions across all of Figure 1's configurations)."""
+        return self.q3 - self.q1
+
+
+def box_summary(values: "np.ndarray | list[float]") -> BoxSummary:
+    """Compute Tukey box statistics (1.5·IQR whiskers)."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample")
+    q1, median, q3 = np.percentile(data, [25, 50, 75])
+    iqr = q3 - q1
+    low_fence = q1 - 1.5 * iqr
+    high_fence = q3 + 1.5 * iqr
+    inside = data[(data >= low_fence) & (data <= high_fence)]
+    whisker_low = float(inside.min()) if inside.size else float(q1)
+    whisker_high = float(inside.max()) if inside.size else float(q3)
+    return BoxSummary(
+        count=int(data.size),
+        minimum=float(data.min()),
+        q1=float(q1),
+        median=float(median),
+        q3=float(q3),
+        maximum=float(data.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        n_outliers=int(((data < low_fence) | (data > high_fence)).sum()),
+    )
+
+
+@dataclass(frozen=True)
+class ViolinSummary:
+    """A binned density estimate plus box statistics (Hintze & Nelson)."""
+
+    box: BoxSummary
+    bin_edges: tuple[float, ...]
+    densities: tuple[float, ...]
+
+    def peak_bin(self) -> tuple[float, float]:
+        """(low_edge, high_edge) of the densest bin."""
+        index = int(np.argmax(self.densities))
+        return self.bin_edges[index], self.bin_edges[index + 1]
+
+
+def violin_summary(
+    values: "np.ndarray | list[float]", bins: int = 40
+) -> ViolinSummary:
+    """Summarize a sample the way the paper's Figure 1 violins do."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarize an empty sample")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be >= 1, got {bins}")
+    densities, edges = np.histogram(data, bins=bins, density=True)
+    return ViolinSummary(
+        box=box_summary(data),
+        bin_edges=tuple(float(e) for e in edges),
+        densities=tuple(float(d) for d in densities),
+    )
+
+
+def render_box_ascii(label: str, box: BoxSummary, scale_max: float, width: int = 50) -> str:
+    """One-line ASCII rendering of a box plot (for experiment reports)."""
+    if scale_max <= 0:
+        scale_max = 1.0
+
+    def pos(value: float) -> int:
+        return max(0, min(width - 1, int(value / scale_max * (width - 1))))
+
+    line = [" "] * width
+    for i in range(pos(box.whisker_low), pos(box.whisker_high) + 1):
+        line[i] = "-"
+    for i in range(pos(box.q1), pos(box.q3) + 1):
+        line[i] = "="
+    line[pos(box.median)] = "|"
+    return f"{label:<28s} [{''.join(line)}] med={box.median:.1f}"

@@ -1,0 +1,190 @@
+"""Command-line entry point: reproduce paper artifacts from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro reproduce figure4
+    python -m repro reproduce all --repeats 2
+    python -m repro measure --processor K8 --infra pm --pattern rr \
+        --mode user --loop 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+from typing import Sequence
+
+from repro.core.benchmarks import LoopBenchmark, NullBenchmark
+from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS, EXTENSIONS
+
+_PATTERNS_BY_SHORT = {p.short: p for p in Pattern}
+_MODES = {m.value: m for m in Mode}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Accuracy of Performance Counter "
+            "Measurements' (ISPASS 2009)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the runnable paper artifacts")
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate one paper artifact (or 'all')"
+    )
+    reproduce.add_argument(
+        "artifact",
+        help="artifact id from 'repro list', or 'all' for everything",
+    )
+    reproduce.add_argument(
+        "--repeats", type=int, default=None,
+        help="per-configuration repetitions (experiments that sample)",
+    )
+    reproduce.add_argument(
+        "--seed", type=int, default=0, help="base seed for the sweep"
+    )
+
+    measure = sub.add_parser(
+        "measure", help="run one measurement configuration"
+    )
+    measure.add_argument(
+        "--processor", default="CD",
+        choices=["PD", "CD", "K8", "P3"],  # P3 is the extension platform
+    )
+    measure.add_argument("--infra", default="pc", choices=list(INFRASTRUCTURES))
+    measure.add_argument(
+        "--pattern", default="ar", choices=sorted(_PATTERNS_BY_SHORT)
+    )
+    measure.add_argument("--mode", default="user+kernel", choices=sorted(_MODES))
+    measure.add_argument(
+        "--loop", type=int, default=0,
+        help="loop benchmark iterations (0 = null benchmark)",
+    )
+    measure.add_argument("--counters", type=int, default=1)
+    measure.add_argument("--no-tsc", action="store_true",
+                         help="disable the TSC (direct perfctr only)")
+    measure.add_argument("--seed", type=int, default=0)
+
+    advise = sub.add_parser(
+        "advise",
+        help="recommend an infrastructure/pattern (paper Section 8)",
+    )
+    advise.add_argument(
+        "--processor", default="CD", choices=["PD", "CD", "K8", "P3"]
+    )
+    advise.add_argument(
+        "--mode", default="user",
+        choices=["user", "user+kernel"],
+    )
+    advise.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser(
+        "selftest",
+        help="fast end-to-end check that the paper's results reproduce",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print("paper artifacts:")
+    for artifact in EXPERIMENTS:
+        print(f"  {artifact}")
+    print("extension experiments:")
+    for artifact in EXTENSIONS:
+        print(f"  {artifact}")
+    return 0
+
+
+def _run_artifact(artifact: str, repeats: int | None, seed: int) -> int:
+    runner = ALL_EXPERIMENTS[artifact]
+    kwargs: dict = {}
+    signature = inspect.signature(runner)
+    if repeats is not None and "repeats" in signature.parameters:
+        kwargs["repeats"] = repeats
+    if "base_seed" in signature.parameters:
+        kwargs["base_seed"] = seed
+    result = runner(**kwargs)
+    print(result.report())
+    for note in result.notes:
+        print(f"note: {note}")
+    print()
+    return 0
+
+
+def _cmd_reproduce(artifact: str, repeats: int | None, seed: int) -> int:
+    if artifact == "all":
+        for name in ALL_EXPERIMENTS:
+            _run_artifact(name, repeats, seed)
+        return 0
+    if artifact not in ALL_EXPERIMENTS:
+        known = ", ".join(ALL_EXPERIMENTS)
+        print(f"unknown artifact {artifact!r}; known: {known}", file=sys.stderr)
+        return 2
+    return _run_artifact(artifact, repeats, seed)
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    config = MeasurementConfig(
+        processor=args.processor,
+        infra=args.infra,
+        pattern=_PATTERNS_BY_SHORT[args.pattern],
+        mode=_MODES[args.mode],
+        n_counters=args.counters,
+        tsc=not args.no_tsc,
+        seed=args.seed,
+    )
+    benchmark = LoopBenchmark(args.loop) if args.loop else NullBenchmark()
+    result = run_measurement(config, benchmark)
+    print(
+        f"{config.infra} on {config.processor}, {config.pattern.value}, "
+        f"{config.mode.value}, {config.n_counters} counter(s)"
+    )
+    print(f"benchmark: {result.benchmark_name} "
+          f"(expected {result.expected} instructions)")
+    print(f"measured:  {result.measured}")
+    print(f"error:     {result.error} instructions")
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.guidelines import advise
+
+    recommendation = advise(
+        processor=args.processor,
+        mode=_MODES[args.mode],
+        base_seed=args.seed,
+    )
+    print(
+        f"for {args.mode} counting on {args.processor} "
+        "(paper Section 8 guidance):"
+    )
+    print(recommendation.render())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "reproduce":
+        return _cmd_reproduce(args.artifact, args.repeats, args.seed)
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "advise":
+        return _cmd_advise(args)
+    if args.command == "selftest":
+        from repro.selftest import render, run_selftest
+
+        results = run_selftest()
+        print(render(results))
+        return 0 if all(r.passed for r in results) else 1
+    raise AssertionError(f"unhandled command {args.command!r}")

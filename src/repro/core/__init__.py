@@ -1,0 +1,88 @@
+"""The paper's primary contribution: the accuracy-study harness.
+
+This package measures the measurers.  It drives the six counter-access
+infrastructures of the paper's Figure 2 (pm, pc, PLpm, PLpc, PHpm,
+PHpc) through the four access patterns of Table 2 around
+micro-benchmarks with statically known event counts, on any of the
+three simulated processors — and reports the difference between what
+the counters said and what actually ran.
+
+Typical use:
+
+    >>> from repro.core import MeasurementConfig, Pattern, Mode, run_measurement
+    >>> from repro.core import NullBenchmark
+    >>> cfg = MeasurementConfig(processor="CD", infra="pc",
+    ...                         pattern=Pattern.START_READ,
+    ...                         mode=Mode.USER_KERNEL)
+    >>> result = run_measurement(cfg, NullBenchmark())
+    >>> result.error > 0   # superfluous instructions, paper Section 4
+    True
+"""
+
+from repro.core.config import (
+    API_LEVELS,
+    INFRASTRUCTURES,
+    MeasurementConfig,
+    Mode,
+    Pattern,
+    api_level,
+    substrate_of,
+)
+from repro.core.compiler import GccModel, OptLevel
+from repro.core.benchmarks import (
+    Benchmark,
+    LoopBenchmark,
+    NullBenchmark,
+    StridedLoadBenchmark,
+)
+from repro.core.compensation import (
+    CompensationModel,
+    calibrate,
+    compensated_error,
+    measure_compensated,
+)
+from repro.core.guidelines import Recommendation, advise
+from repro.core.microsuite import (
+    BranchPatternBenchmark,
+    DependencyChainBenchmark,
+    SyscallBenchmark,
+)
+from repro.core.registry import CounterInterface, make_interface
+from repro.core.patterns import run_pattern
+from repro.core.measurement import MeasurementResult, build_machine, run_measurement
+from repro.core.sweep import SweepSpec, config_seed, iter_configs, run_sweep
+
+__all__ = [
+    "API_LEVELS",
+    "Benchmark",
+    "BranchPatternBenchmark",
+    "CompensationModel",
+    "DependencyChainBenchmark",
+    "SyscallBenchmark",
+    "CounterInterface",
+    "Recommendation",
+    "advise",
+    "calibrate",
+    "compensated_error",
+    "measure_compensated",
+    "GccModel",
+    "INFRASTRUCTURES",
+    "LoopBenchmark",
+    "MeasurementConfig",
+    "MeasurementResult",
+    "Mode",
+    "NullBenchmark",
+    "OptLevel",
+    "Pattern",
+    "StridedLoadBenchmark",
+    "SweepSpec",
+    "api_level",
+    "build_machine",
+    "config_seed",
+    "iter_configs",
+    "make_interface",
+    "run_measurement",
+    "run_pattern",
+    "run_sweep",
+    "substrate_of",
+]

@@ -1,0 +1,183 @@
+"""Measurement configuration: the study's factor space.
+
+A :class:`MeasurementConfig` pins one point in the space the paper
+sweeps: processor × infrastructure × access pattern × counting mode ×
+optimization level × number of counters × TSC setting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.frequency import Governor
+from repro.cpu.models import ALL_PROCESSORS
+from repro.core.compiler import OptLevel
+from repro.errors import ConfigurationError
+
+
+class Mode(enum.Enum):
+    """Which privilege levels the measured counter counts (paper §2.5)."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    USER_KERNEL = "user+kernel"
+
+    @property
+    def priv_filter(self) -> PrivFilter:
+        if self is Mode.USER:
+            return PrivFilter.USR
+        if self is Mode.KERNEL:
+            return PrivFilter.OS
+        return PrivFilter.ALL
+
+
+class Pattern(enum.Enum):
+    """Counter access patterns (paper, Table 2)."""
+
+    START_READ = "start-read"  # ar: c0=0, reset, start ... c1=read
+    START_STOP = "start-stop"  # ao: c0=0, reset, start ... stop, c1=read
+    READ_READ = "read-read"    # rr: start, c0=read ... c1=read
+    READ_STOP = "read-stop"    # ro: start, c0=read ... stop, c1=read
+
+    @property
+    def short(self) -> str:
+        """The paper's two-letter code (ar/ao/rr/ro)."""
+        return _PATTERN_SHORT[self]
+
+    @property
+    def begins_with_read(self) -> bool:
+        """True for the patterns whose baseline comes from a read call —
+        the ones Figure 4 shows are hit hardest by a slow read path."""
+        return self in (Pattern.READ_READ, Pattern.READ_STOP)
+
+
+_PATTERN_SHORT = {
+    Pattern.START_READ: "ar",
+    Pattern.START_STOP: "ao",
+    Pattern.READ_READ: "rr",
+    Pattern.READ_STOP: "ro",
+}
+
+#: The six counter-access interfaces of the paper's Figure 2.
+INFRASTRUCTURES = ("pm", "pc", "PLpm", "PLpc", "PHpm", "PHpc")
+
+#: Infrastructure → API layer.
+API_LEVELS = {
+    "pm": "direct",
+    "pc": "direct",
+    "PLpm": "low",
+    "PLpc": "low",
+    "PHpm": "high",
+    "PHpc": "high",
+}
+
+
+def substrate_of(infra: str) -> str:
+    """Kernel extension under an infrastructure name ('perfmon'/'perfctr')."""
+    _require_known(infra)
+    return "perfmon" if infra.endswith("pm") else "perfctr"
+
+
+def api_level(infra: str) -> str:
+    """API layer of an infrastructure ('direct', 'low', or 'high')."""
+    _require_known(infra)
+    return API_LEVELS[infra]
+
+
+def _require_known(infra: str) -> None:
+    if infra not in INFRASTRUCTURES:
+        known = ", ".join(INFRASTRUCTURES)
+        raise ConfigurationError(
+            f"unknown infrastructure {infra!r}; known: {known}"
+        )
+
+
+#: Events used to fill counters beyond the measured one, in allocation
+#: order (all are encodable on all three processors).
+EXTRA_EVENTS = (
+    Event.CYCLES,
+    Event.BRANCHES_RETIRED,
+    Event.LOADS_RETIRED,
+    Event.STORES_RETIRED,
+    Event.TAKEN_BRANCHES,
+    Event.BRANCH_MISSES,
+    Event.L1I_MISSES,
+    Event.ITLB_MISSES,
+    Event.BUS_CYCLES,
+)
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """One fully pinned measurement configuration.
+
+    Attributes:
+        processor: paper key ("PD", "CD", "K8").
+        infra: one of :data:`INFRASTRUCTURES`.
+        pattern: counter access pattern.
+        mode: privilege levels counted.
+        opt_level: gcc optimization level of the harness binary.
+        n_counters: how many counters are measured concurrently; the
+            first counts ``primary_event``, the rest take
+            :data:`EXTRA_EVENTS` in order.
+        tsc: perfctr's TSC setting (meaningful for ``infra="pc"`` only;
+            PAPI's perfctr substrate always enables the TSC).
+        primary_event: the event whose accuracy is under study.
+        seed: seed of the machine this measurement boots.
+        io_interrupts: deliver stochastic I/O interrupts.
+        governor: cpufreq governor (the paper pins ``performance``).
+    """
+
+    processor: str = "CD"
+    infra: str = "pc"
+    pattern: Pattern = Pattern.START_READ
+    mode: Mode = Mode.USER_KERNEL
+    opt_level: OptLevel = OptLevel.O2
+    n_counters: int = 1
+    tsc: bool = True
+    primary_event: Event = Event.INSTR_RETIRED
+    seed: int = 0
+    io_interrupts: bool = True
+    governor: Governor = field(default=Governor.PERFORMANCE)
+
+    def __post_init__(self) -> None:
+        if self.processor not in ALL_PROCESSORS:
+            known = ", ".join(sorted(ALL_PROCESSORS))
+            raise ConfigurationError(
+                f"unknown processor {self.processor!r}; known: {known}"
+            )
+        _require_known(self.infra)
+        if self.n_counters < 1:
+            raise ConfigurationError(
+                f"n_counters must be >= 1, got {self.n_counters}"
+            )
+        available = ALL_PROCESSORS[self.processor].n_prog_counters
+        if self.n_counters > available:
+            raise ConfigurationError(
+                f"{self.processor} has {available} programmable counters, "
+                f"{self.n_counters} requested"
+            )
+        if self.n_counters > 1 + len(EXTRA_EVENTS):
+            raise ConfigurationError(
+                f"at most {1 + len(EXTRA_EVENTS)} concurrent events supported"
+            )
+        if not self.tsc and self.infra != "pc":
+            raise ConfigurationError(
+                "tsc=False is a direct-perfctr knob (PAPI always enables "
+                "the TSC; perfmon has no TSC fast path)"
+            )
+
+    @property
+    def substrate(self) -> str:
+        return substrate_of(self.infra)
+
+    @property
+    def api(self) -> str:
+        return api_level(self.infra)
+
+    def events(self) -> tuple[Event, ...]:
+        """The events programmed on the n counters, measured one first."""
+        extras = [ev for ev in EXTRA_EVENTS if ev is not self.primary_event]
+        return (self.primary_event, *extras[: self.n_counters - 1])

@@ -1,0 +1,79 @@
+"""The four counter access patterns (paper, Table 2).
+
+======  ===========  ==================================================
+code    name         definition
+======  ===========  ==================================================
+ar      start-read   c0=0, reset, start ... c1=read
+ao      start-stop   c0=0, reset, start ... stop, c1=read
+rr      read-read    start, c0=read ... c1=read
+ro      read-stop    start, c0=read ... stop, c1=read
+======  ===========  ==================================================
+
+``c∆ = c1 − c0`` is the measured event count.  Patterns that *begin
+with a read* cancel the start call's counted tail (it appears in both
+samples) but inherit the read path's own cost twice — which is why the
+best pattern differs between infrastructures (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import Pattern
+from repro.core.registry import CounterInterface
+from repro.errors import UnsupportedPatternError
+
+BenchmarkRunner = Callable[[], None]
+
+
+def run_pattern(
+    pattern: Pattern,
+    interface: CounterInterface,
+    run_benchmark: BenchmarkRunner,
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Execute one measurement; returns the two samples ``(c0, c1)``.
+
+    Raises:
+        UnsupportedPatternError: the infrastructure cannot express the
+            pattern (PAPI high level vs read-read / read-stop).
+    """
+    if not interface.supports(pattern):
+        raise UnsupportedPatternError(
+            f"{interface.name} does not support {pattern.value} "
+            "(its read implicitly resets the counters)"
+        )
+    tracer = interface.machine.core.tracer
+    if tracer is not None:
+        tracer.phase = "measure"
+        inner = run_benchmark
+
+        def run_benchmark() -> None:  # noqa: F811 - deliberate wrap
+            tracer.phase = "benchmark"
+            try:
+                inner()
+            finally:
+                tracer.phase = "measure"
+
+    if pattern is Pattern.START_READ:
+        interface.start_counting()
+        run_benchmark()
+        return _zeros(interface), interface.read_running()
+    if pattern is Pattern.START_STOP:
+        interface.start_counting()
+        run_benchmark()
+        return _zeros(interface), interface.stop_counting()
+    if pattern is Pattern.READ_READ:
+        interface.start_counting()
+        c0 = interface.read_running()
+        run_benchmark()
+        return c0, interface.read_running()
+    if pattern is Pattern.READ_STOP:
+        interface.start_counting()
+        c0 = interface.read_running()
+        run_benchmark()
+        return c0, interface.stop_counting()
+    raise UnsupportedPatternError(f"unknown pattern {pattern!r}")
+
+
+def _zeros(interface: CounterInterface) -> tuple[int, ...]:
+    return (0,) * len(interface.events)

@@ -1,0 +1,184 @@
+"""Uniform adapters over the six counter-access infrastructures.
+
+Each adapter exposes the three verbs the access patterns of Table 2
+need — start counting (zeroed), read while running, stop-and-read —
+implemented with its infrastructure's *native* call sequence, so the
+measurement error emerges from the real code paths rather than being
+modeled here.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import Event, PrivFilter
+from repro.core.config import MeasurementConfig, Pattern
+from repro.errors import ConfigurationError
+from repro.papi.highlevel import PapiHighLevel
+from repro.papi.lowlevel import PapiLowLevel
+from repro.papi.presets import Preset, event_to_preset
+from repro.perfctr.libperfctr import LibPerfctr
+from repro.perfmon.libpfm import LibPfm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+class CounterInterface(abc.ABC):
+    """One infrastructure, reduced to the pattern verbs."""
+
+    name: str
+
+    def __init__(
+        self,
+        machine: "Machine",
+        events: tuple[Event, ...],
+        priv: PrivFilter,
+        tsc: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.events = events
+        self.priv = priv
+        self.tsc = tsc
+
+    @abc.abstractmethod
+    def setup(self) -> None:
+        """One-time preparation, outside any measurement interval."""
+
+    @abc.abstractmethod
+    def start_counting(self) -> None:
+        """Ensure the counters are zeroed and running."""
+
+    @abc.abstractmethod
+    def read_running(self) -> tuple[int, ...]:
+        """Sample the counters without stopping them."""
+
+    @abc.abstractmethod
+    def stop_counting(self) -> tuple[int, ...]:
+        """Stop the counters and return their final values."""
+
+    def supports(self, pattern: Pattern) -> bool:
+        """Whether this infrastructure can express ``pattern``."""
+        del pattern
+        return True
+
+
+class DirectPerfmon(CounterInterface):
+    """pm: libpfm used directly."""
+
+    name = "pm"
+
+    def setup(self) -> None:
+        self.lib = LibPfm(self.machine)
+        self.lib.create_context()
+        self.lib.write_pmcs(tuple((ev, self.priv) for ev in self.events))
+        self.lib.write_pmds()
+        self.lib.load_context()
+
+    def start_counting(self) -> None:
+        self.lib.write_pmds()  # reset (uncounted: counters are off)
+        self.lib.start()
+
+    def read_running(self) -> tuple[int, ...]:
+        return self.lib.read_pmds(len(self.events))
+
+    def stop_counting(self) -> tuple[int, ...]:
+        self.lib.stop()
+        # Counters are off: this read's cost is invisible to them.
+        return self.lib.read_pmds(len(self.events))
+
+
+class DirectPerfctr(CounterInterface):
+    """pc: libperfctr used directly."""
+
+    name = "pc"
+
+    def setup(self) -> None:
+        self.lib = LibPerfctr(self.machine)
+        self.lib.open()
+
+    def start_counting(self) -> None:
+        # vperfctr control = program + clear + resume, in one syscall.
+        self.lib.control(
+            tuple((ev, self.priv) for ev in self.events), tsc_on=self.tsc
+        )
+
+    def read_running(self) -> tuple[int, ...]:
+        return self.lib.read().pmcs
+
+    def stop_counting(self) -> tuple[int, ...]:
+        self.lib.stop()
+        return self.lib.read().pmcs
+
+
+class PapiLow(CounterInterface):
+    """PLpm / PLpc: the PAPI low-level API."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = "PLpm" if self.machine.substrate_name == "perfmon" else "PLpc"
+
+    def setup(self) -> None:
+        self.papi = PapiLowLevel(self.machine)
+        self.papi.library_init()
+        self.esi = self.papi.create_eventset()
+        self.papi.set_domain(self.esi, self.priv)
+        for event in self.events:
+            self.papi.add_event(self.esi, event_to_preset(event))
+
+    def start_counting(self) -> None:
+        self.papi.start(self.esi)  # PAPI_start implies a reset
+
+    def read_running(self) -> tuple[int, ...]:
+        return self.papi.read(self.esi)
+
+    def stop_counting(self) -> tuple[int, ...]:
+        return self.papi.stop(self.esi)
+
+
+class PapiHigh(CounterInterface):
+    """PHpm / PHpc: the PAPI high-level API.
+
+    ``read_counters`` implicitly resets, so the read-read and read-stop
+    patterns cannot be expressed (paper, Table 2).
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.name = "PHpm" if self.machine.substrate_name == "perfmon" else "PHpc"
+
+    def setup(self) -> None:
+        self.papi = PapiHighLevel(self.machine, domain=self.priv)
+        self.papi.library_init()
+        self._presets: list[Preset] = [event_to_preset(ev) for ev in self.events]
+
+    def supports(self, pattern: Pattern) -> bool:
+        return pattern in (Pattern.START_READ, Pattern.START_STOP)
+
+    def start_counting(self) -> None:
+        self.papi.start_counters(self._presets)
+
+    def read_running(self) -> tuple[int, ...]:
+        # Implicitly resets — callers must not treat this as a baseline.
+        return self.papi.read_counters()
+
+    def stop_counting(self) -> tuple[int, ...]:
+        return self.papi.stop_counters()
+
+
+def make_interface(config: MeasurementConfig, machine: "Machine") -> CounterInterface:
+    """Instantiate the adapter for ``config.infra`` on ``machine``."""
+    if machine.substrate_name != config.substrate:
+        raise ConfigurationError(
+            f"{config.infra} needs a {config.substrate} kernel; machine "
+            f"runs {machine.kernel_name}"
+        )
+    events = config.events()
+    priv = config.mode.priv_filter
+    if config.api == "direct":
+        cls = DirectPerfmon if config.substrate == "perfmon" else DirectPerfctr
+        return cls(machine, events, priv, tsc=config.tsc)
+    if config.api == "low":
+        return PapiLow(machine, events, priv, tsc=True)
+    return PapiHigh(machine, events, priv, tsc=True)

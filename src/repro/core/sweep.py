@@ -1,0 +1,117 @@
+"""Factorial sweeps over the study's configuration space.
+
+``run_sweep`` is what regenerates the paper's figures: it enumerates a
+cartesian product of factors, skips the combinations that cannot exist
+(PAPI high level × read patterns; more counters than a processor has;
+TSC-off outside direct perfctr), runs each with ``repeats`` differently
+seeded machines, and collects everything into a
+:class:`~repro.analysis.table.ResultTable`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.analysis.table import ResultTable
+from repro.core.benchmarks import Benchmark, NullBenchmark
+from repro.core.compiler import OptLevel
+from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.cpu.models import ALL_PROCESSORS
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The factor levels of one sweep."""
+
+    processors: tuple[str, ...] = ("PD", "CD", "K8")
+    infras: tuple[str, ...] = INFRASTRUCTURES
+    patterns: tuple[Pattern, ...] = tuple(Pattern)
+    modes: tuple[Mode, ...] = (Mode.USER, Mode.USER_KERNEL)
+    opt_levels: tuple[OptLevel, ...] = tuple(OptLevel)
+    n_counters: tuple[int, ...] = (1,)
+    tsc: tuple[bool, ...] = (True,)
+    repeats: int = 3
+    base_seed: int = 0
+    io_interrupts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+
+
+def config_seed(base_seed: int, *factors: object) -> int:
+    """A stable per-configuration seed: same factors, same randomness."""
+    text = "|".join(str(f) for f in (base_seed, *factors))
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def iter_configs(spec: SweepSpec) -> Iterator[MeasurementConfig]:
+    """All valid configurations of the sweep, in deterministic order."""
+    for processor in spec.processors:
+        available = ALL_PROCESSORS[processor].n_prog_counters
+        for infra in spec.infras:
+            for pattern in spec.patterns:
+                if infra.startswith("PH") and pattern.begins_with_read:
+                    continue  # Table 2: high-level read resets
+                for mode in spec.modes:
+                    for opt in spec.opt_levels:
+                        for n in spec.n_counters:
+                            if n > available:
+                                continue
+                            for tsc in spec.tsc:
+                                if not tsc and infra != "pc":
+                                    continue
+                                for repeat in range(spec.repeats):
+                                    seed = config_seed(
+                                        spec.base_seed, processor, infra,
+                                        pattern.short, mode.value, opt.value,
+                                        n, tsc, repeat,
+                                    )
+                                    yield MeasurementConfig(
+                                        processor=processor,
+                                        infra=infra,
+                                        pattern=pattern,
+                                        mode=mode,
+                                        opt_level=opt,
+                                        n_counters=n,
+                                        tsc=tsc,
+                                        seed=seed,
+                                        io_interrupts=spec.io_interrupts,
+                                    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    benchmark_factory: Callable[[], Benchmark] = NullBenchmark,
+    progress: Callable[[int], None] | None = None,
+) -> ResultTable:
+    """Run every configuration of the sweep; one table row each."""
+    table = ResultTable()
+    benchmark = benchmark_factory()
+    for index, config in enumerate(iter_configs(spec)):
+        result = run_measurement(config, benchmark)
+        table.append(
+            {
+                "processor": config.processor,
+                "infra": config.infra,
+                "pattern": config.pattern.short,
+                "mode": config.mode.value,
+                "opt": config.opt_level.value,
+                "n_counters": config.n_counters,
+                "tsc": config.tsc,
+                "seed": config.seed,
+                "benchmark": result.benchmark_name,
+                "measured": result.measured,
+                "expected": result.expected,
+                "error": result.error,
+                "ticks": result.ticks,
+                "address": result.benchmark_address,
+            }
+        )
+        if progress is not None:
+            progress(index)
+    return table

@@ -1,0 +1,48 @@
+"""Simulated processor substrate.
+
+This package models the micro-architectural layer the paper measures:
+programmable and fixed performance counters with privilege-level
+filtering, the time stamp counter, MSR-based configuration, a timing
+model whose loop performance is sensitive to code placement (the
+mechanism behind the paper's Section 6 cycle-count findings), and the
+three processors of Table 1:
+
+====  ==================  ==========  =====  ============
+key   processor           µarch       fixed  programmable
+====  ==================  ==========  =====  ============
+PD    Pentium D 925       NetBurst    0+TSC  18
+CD    Core 2 Duo E6600    Core2       3+TSC  2
+K8    Athlon 64 X2 4200+  K8          0+TSC  4
+====  ==================  ==========  =====  ============
+"""
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel, events_from_work
+from repro.cpu.pmu import CounterConfig, FixedCounter, Pmu, ProgrammableCounter
+from repro.cpu.msr import MsrFile
+from repro.cpu.timing import TimingModel
+from repro.cpu.branch import BranchPlacementModel
+from repro.cpu.fetch import FetchPlacementModel
+from repro.cpu.frequency import FrequencyPolicy, Governor
+from repro.cpu.core import Core
+from repro.cpu.models import PROCESSORS, MicroArch, microarch
+
+__all__ = [
+    "BranchPlacementModel",
+    "Core",
+    "CounterConfig",
+    "Event",
+    "FetchPlacementModel",
+    "FixedCounter",
+    "FrequencyPolicy",
+    "Governor",
+    "MicroArch",
+    "MsrFile",
+    "PROCESSORS",
+    "Pmu",
+    "PrivFilter",
+    "PrivLevel",
+    "ProgrammableCounter",
+    "TimingModel",
+    "events_from_work",
+    "microarch",
+]

@@ -1,0 +1,65 @@
+"""Branch-target-buffer placement model.
+
+Section 6 of the paper traces the wild variability of cycle counts to
+code placement: moving the (unchanged) loop to a different address
+changes which BTB set its back-edge indexes into, and an unlucky
+address aliases with other hot branches, costing a penalty on every
+iteration.
+
+We model that mechanism without simulating a full predictor: the
+back-edge's BTB set is derived from the branch address, and each set
+belongs to one of a small number of *alias classes* with a fixed
+per-iteration penalty.  The class assignment is a deterministic hash,
+so the same binary always performs identically (as on real hardware),
+while a recompile that shifts the loop by a few bytes can land in a
+different class — exactly the paper's Figure 12 behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Knuth's multiplicative hash constant; gives well-mixed set classes.
+_HASH_MULTIPLIER = 2654435761
+
+
+@dataclass(frozen=True, slots=True)
+class BranchPlacementModel:
+    """Per-iteration branch penalty as a function of loop placement.
+
+    Attributes:
+        btb_sets: number of BTB sets (power of two).
+        index_shift: low address bits ignored by the set index (branch
+            addresses within one fetch block share a set).
+        alias_penalties: per-iteration extra cycles for each alias
+            class.  The first entry should be 0.0 (the friendly class).
+    """
+
+    btb_sets: int = 2048
+    index_shift: int = 4
+    alias_penalties: tuple[float, ...] = (0.0, 1.0)
+
+    def __post_init__(self) -> None:
+        if self.btb_sets < 2 or self.btb_sets & (self.btb_sets - 1):
+            raise ConfigurationError(
+                f"btb_sets must be a power of two >= 2, got {self.btb_sets}"
+            )
+        if not self.alias_penalties:
+            raise ConfigurationError("alias_penalties must not be empty")
+        if any(p < 0 for p in self.alias_penalties):
+            raise ConfigurationError("alias penalties must be >= 0")
+
+    def btb_set(self, branch_address: int) -> int:
+        """BTB set the branch at ``branch_address`` indexes into."""
+        return (branch_address >> self.index_shift) % self.btb_sets
+
+    def alias_class(self, branch_address: int) -> int:
+        """Deterministic alias class of the branch's BTB set."""
+        mixed = (self.btb_set(branch_address) * _HASH_MULTIPLIER) & 0xFFFFFFFF
+        return (mixed >> 20) % len(self.alias_penalties)
+
+    def penalty_per_iteration(self, branch_address: int) -> float:
+        """Extra cycles per loop iteration caused by placement."""
+        return self.alias_penalties[self.alias_class(branch_address)]

@@ -1,0 +1,61 @@
+"""Instruction-fetch placement model.
+
+The second placement mechanism behind the paper's Section 6 results:
+a tight loop whose body straddles a fetch-line boundary needs an extra
+fetch per iteration.  Whether it straddles one depends only on the
+loop's start offset within a fetch line — which a recompile at a
+different optimization level or with a different measurement pattern
+changes, because the harness code in front of the loop changes size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class FetchPlacementModel:
+    """Per-iteration fetch bubbles as a function of loop placement.
+
+    Attributes:
+        line_bytes: fetch-line size (16 bytes on the studied cores).
+        bubble_cycles: extra cycles per iteration for each fetch-line
+            boundary the loop body straddles.
+        page_bytes: i-TLB page size; a body straddling a page boundary
+            pays ``page_bubble_cycles`` more (rare, but present).
+    """
+
+    line_bytes: int = 16
+    bubble_cycles: float = 0.0
+    page_bytes: int = 4096
+    page_bubble_cycles: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 1:
+            raise ConfigurationError(f"line_bytes must be >= 1, got {self.line_bytes}")
+        if self.bubble_cycles < 0 or self.page_bubble_cycles < 0:
+            raise ConfigurationError("bubble cycle costs must be >= 0")
+
+    def line_crossings(self, address: int, body_bytes: int) -> int:
+        """Number of fetch-line boundaries inside ``[address, address+body)``."""
+        if body_bytes <= 0:
+            return 0
+        first = address // self.line_bytes
+        last = (address + body_bytes - 1) // self.line_bytes
+        return last - first
+
+    def page_crossings(self, address: int, body_bytes: int) -> int:
+        if body_bytes <= 0:
+            return 0
+        first = address // self.page_bytes
+        last = (address + body_bytes - 1) // self.page_bytes
+        return last - first
+
+    def penalty_per_iteration(self, address: int, body_bytes: int) -> float:
+        """Extra cycles per loop iteration caused by fetch placement."""
+        return (
+            self.line_crossings(address, body_bytes) * self.bubble_cycles
+            + self.page_crossings(address, body_bytes) * self.page_bubble_cycles
+        )

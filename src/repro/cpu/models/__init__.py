@@ -1,0 +1,51 @@
+"""Processor catalogue (paper Table 1)."""
+
+from __future__ import annotations
+
+from repro.cpu.models.base import MicroArch
+from repro.cpu.models.core2 import CORE2_DUO_E6600
+from repro.cpu.models.k8 import ATHLON64_X2_4200
+from repro.cpu.models.netburst import PENTIUM_D_925
+from repro.cpu.models.p6 import PENTIUM_III
+from repro.errors import ConfigurationError
+
+#: The three processors of the study, keyed as the paper abbreviates
+#: them ("PD", "CD", "K8").  Table 1 reproduces exactly this dict.
+PROCESSORS: dict[str, MicroArch] = {
+    PENTIUM_D_925.key: PENTIUM_D_925,
+    CORE2_DUO_E6600.key: CORE2_DUO_E6600,
+    ATHLON64_X2_4200.key: ATHLON64_X2_4200,
+}
+
+#: Platforms beyond the paper's Table 1 (extension experiments only).
+EXTRA_PROCESSORS: dict[str, MicroArch] = {
+    PENTIUM_III.key: PENTIUM_III,
+}
+
+#: Everything bootable.
+ALL_PROCESSORS: dict[str, MicroArch] = {**PROCESSORS, **EXTRA_PROCESSORS}
+
+
+def microarch(key: str) -> MicroArch:
+    """Look up a processor by key (``PD``, ``CD``, ``K8``; extensions:
+    ``P3``)."""
+    try:
+        return ALL_PROCESSORS[key]
+    except KeyError:
+        known = ", ".join(sorted(ALL_PROCESSORS))
+        raise ConfigurationError(
+            f"unknown processor {key!r}; known processors: {known}"
+        ) from None
+
+
+__all__ = [
+    "ALL_PROCESSORS",
+    "ATHLON64_X2_4200",
+    "CORE2_DUO_E6600",
+    "EXTRA_PROCESSORS",
+    "MicroArch",
+    "PENTIUM_D_925",
+    "PENTIUM_III",
+    "PROCESSORS",
+    "microarch",
+]

@@ -1,0 +1,52 @@
+"""Core 2 Duo E6600 (Core2) — paper Table 1, row "CD".
+
+Core2 pairs just two programmable counters with three fixed-function
+counters (instructions retired, core cycles, bus cycles) plus the TSC.
+It is the most efficient of the three at running the paper's dependent
+add loop, and moderately placement-sensitive (Figure 10 shows roughly
+1-2 cycles per iteration).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.events import Event
+from repro.cpu.models.base import MicroArch
+
+_EVENT_CODES = {
+    Event.INSTR_RETIRED: 0xC0,
+    Event.CYCLES: 0x3C,
+    Event.BRANCHES_RETIRED: 0xC4,
+    Event.TAKEN_BRANCHES: 0xC9,
+    Event.BRANCH_MISSES: 0xC5,
+    Event.LOADS_RETIRED: 0xCB,
+    Event.STORES_RETIRED: 0xCC,
+    Event.DCACHE_MISSES: 0xCB2,
+    Event.L1I_MISSES: 0x81,
+    Event.ITLB_MISSES: 0x85,
+    Event.BUS_CYCLES: 0x62,
+}
+
+CORE2_DUO_E6600 = MicroArch(
+    key="CD",
+    marketing_name="Core 2 Duo E6600",
+    uarch_name="Core2",
+    vendor="Intel",
+    freq_ghz=2.4,
+    n_prog_counters=2,
+    fixed_events=(Event.INSTR_RETIRED, Event.CYCLES, Event.BUS_CYCLES),
+    counter_width=40,
+    event_codes=_EVENT_CODES,
+    issue_width=3.0,
+    taken_branch_cost=0.5,
+    load_cost=0.34,
+    store_cost=0.34,
+    serialize_cost=25.0,
+    loop_base_cpi=1.0,
+    alias_penalties=(0.0, 0.5, 1.0),
+    btb_sets=2048,
+    fetch_line_bytes=16,
+    fetch_bubble_cycles=0.34,
+    pmc_msr_writes_per_counter=2,
+    driver_cost_scale=1.0,
+    p_states_ghz=(1.6, 2.4),
+)

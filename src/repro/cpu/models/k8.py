@@ -1,0 +1,53 @@
+"""Athlon 64 X2 4200+ (K8) — paper Table 1, row "K8".
+
+AMD's K8 provides four symmetric programmable counters plus the TSC.
+The paper's Figure 11 shows its loop timing is bimodal — measurements
+hug either the ``c = 2i`` or the ``c = 3i`` line depending purely on
+where the loop landed in memory — which is why its placement model has
+exactly two alias classes one cycle apart.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.events import Event
+from repro.cpu.models.base import MicroArch
+
+_EVENT_CODES = {
+    Event.INSTR_RETIRED: 0xC0,
+    Event.CYCLES: 0x76,
+    Event.BRANCHES_RETIRED: 0xC2,
+    Event.TAKEN_BRANCHES: 0xC4,
+    Event.BRANCH_MISSES: 0xC3,
+    Event.LOADS_RETIRED: 0xD0,
+    Event.STORES_RETIRED: 0xD1,
+    Event.DCACHE_MISSES: 0x41,
+    Event.L1I_MISSES: 0x81,
+    Event.ITLB_MISSES: 0x84,
+    Event.BUS_CYCLES: 0x6C,
+}
+
+ATHLON64_X2_4200 = MicroArch(
+    key="K8",
+    marketing_name="Athlon 64 X2 4200+",
+    uarch_name="K8",
+    vendor="AMD",
+    freq_ghz=2.2,
+    n_prog_counters=4,
+    fixed_events=(),
+    counter_width=48,
+    event_codes=_EVENT_CODES,
+    issue_width=3.0,
+    taken_branch_cost=1.0,
+    load_cost=0.5,
+    store_cost=0.5,
+    serialize_cost=30.0,
+    loop_base_cpi=2.0,
+    # Bimodal placement: c = 2i or c = 3i (paper, Figure 11).
+    alias_penalties=(0.0, 1.0),
+    btb_sets=2048,
+    fetch_line_bytes=16,
+    fetch_bubble_cycles=0.0,
+    pmc_msr_writes_per_counter=2,
+    driver_cost_scale=0.85,
+    p_states_ghz=(1.0, 1.8, 2.2),
+)

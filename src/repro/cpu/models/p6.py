@@ -1,0 +1,53 @@
+"""Pentium III (P6) — an *extension* platform, not part of Table 1.
+
+Maxwell et al. (LACSI'02, discussed in the paper's Section 9) broadened
+Korn et al.'s counter-validation work to more platforms including
+Linux/Pentium III.  This model lets the cross-platform extension
+experiment rerun the study on a fourth micro-architecture: a shorter
+pipeline than NetBurst, two programmable counters, modest clocks, and
+the classic PERFEVTSEL programming scheme.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.events import Event
+from repro.cpu.models.base import MicroArch
+
+_EVENT_CODES = {
+    Event.INSTR_RETIRED: 0xC0,
+    Event.CYCLES: 0x79,
+    Event.BRANCHES_RETIRED: 0xC4,
+    Event.TAKEN_BRANCHES: 0xC9,
+    Event.BRANCH_MISSES: 0xC5,
+    Event.LOADS_RETIRED: 0x43,
+    Event.STORES_RETIRED: 0x44,
+    Event.DCACHE_MISSES: 0x45,
+    Event.L1I_MISSES: 0x81,
+    Event.ITLB_MISSES: 0x85,
+    Event.BUS_CYCLES: 0x62,
+}
+
+PENTIUM_III = MicroArch(
+    key="P3",
+    marketing_name="Pentium III 1.0",
+    uarch_name="P6",
+    vendor="Intel",
+    freq_ghz=1.0,
+    n_prog_counters=2,
+    fixed_events=(),
+    counter_width=40,
+    event_codes=_EVENT_CODES,
+    issue_width=2.5,
+    taken_branch_cost=1.0,
+    load_cost=0.5,
+    store_cost=0.5,
+    serialize_cost=20.0,
+    loop_base_cpi=1.5,
+    alias_penalties=(0.0, 0.5, 1.0),
+    btb_sets=512,
+    fetch_line_bytes=16,
+    fetch_bubble_cycles=0.5,
+    pmc_msr_writes_per_counter=2,
+    driver_cost_scale=0.95,
+    p_states_ghz=(1.0,),
+)

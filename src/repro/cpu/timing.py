@@ -1,0 +1,110 @@
+"""The per-µarch timing model: work in, cycles out.
+
+Two regimes matter for the paper:
+
+* *Straight-line infrastructure code* (library calls, kernel handlers):
+  cycles follow a simple issue-width model with penalties for taken
+  branches, memory traffic, and serializing instructions.  Absolute
+  precision here only affects how cycle-denominated overheads compare
+  across processors — the study's instruction counts are independent of
+  it.
+
+* *The measured loop*: the paper shows its per-iteration cost is set by
+  a base CPI plus *placement* effects (Section 6).  We compose the base
+  CPI with :class:`~repro.cpu.branch.BranchPlacementModel` and
+  :class:`~repro.cpu.fetch.FetchPlacementModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.branch import BranchPlacementModel
+from repro.cpu.fetch import FetchPlacementModel
+from repro.errors import ConfigurationError
+from repro.isa.block import Chunk
+from repro.isa.work import WorkVector
+
+
+@dataclass(frozen=True, slots=True)
+class TimingModel:
+    """Maps retired work to consumed core cycles.
+
+    Attributes:
+        issue_width: sustained instructions per cycle for easy code.
+        taken_branch_cost: extra cycles per taken branch (fetch redirect).
+        load_cost: extra cycles per load (cache-hit latency exposed).
+        store_cost: extra cycles per store.
+        serialize_cost: pipeline-flush cost per serializing instruction
+            (WRMSR, CPUID, IRET...); tens of cycles on NetBurst.
+        loop_base_cpi: best-case cycles per iteration of the paper's
+            3-instruction loop (dependent add chain + compare + branch).
+        branch_model: placement-dependent branch penalties.
+        fetch_model: placement-dependent fetch penalties.
+        dcache_miss_cost: cycles per first-level data-cache miss at the
+            nominal clock (scales with ``memory_cycle_scale``).
+    """
+
+    issue_width: float
+    taken_branch_cost: float
+    load_cost: float
+    store_cost: float
+    serialize_cost: float
+    loop_base_cpi: float
+    branch_model: BranchPlacementModel
+    fetch_model: FetchPlacementModel
+    dcache_miss_cost: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.issue_width <= 0:
+            raise ConfigurationError(
+                f"issue_width must be > 0, got {self.issue_width}"
+            )
+        if self.loop_base_cpi <= 0:
+            raise ConfigurationError(
+                f"loop_base_cpi must be > 0, got {self.loop_base_cpi}"
+            )
+
+    def cycles_for_work(
+        self, work: WorkVector, memory_cycle_scale: float = 1.0
+    ) -> float:
+        """Cycles for one pass over straight-line code.
+
+        ``memory_cycle_scale`` is the ratio of the current core clock to
+        the nominal clock: memory takes constant *time*, so its latency
+        measured in core cycles shrinks when the clock slows — the
+        paper's Section 8 explanation of why frequency scaling perturbs
+        cycle counts ("the frequency setting of the processor does not
+        affect the bus frequency").
+        """
+        return (
+            work.instructions / self.issue_width
+            + work.taken_branches * self.taken_branch_cost
+            + (
+                work.loads * self.load_cost
+                + work.stores * self.store_cost
+                + work.dcache_misses * self.dcache_miss_cost
+            )
+            * memory_cycle_scale
+            + work.serializing * self.serialize_cost
+        )
+
+    def loop_cycles_per_iteration(
+        self, body: Chunk, address: int, memory_cycle_scale: float = 1.0
+    ) -> float:
+        """Per-iteration cycles for a tight loop placed at ``address``.
+
+        The back-edge branch sits at the end of the body; its address
+        drives the BTB alias class.  Memory traffic in the body pays
+        clock-relative latency (see :meth:`cycles_for_work`).
+        """
+        branch_address = address + max(body.size_bytes - 2, 0)
+        placement = self.branch_model.penalty_per_iteration(
+            branch_address
+        ) + self.fetch_model.penalty_per_iteration(address, body.size_bytes)
+        memory = (
+            body.work.loads * self.load_cost
+            + body.work.stores * self.store_cost
+            + body.work.dcache_misses * self.dcache_miss_cost
+        ) * memory_cycle_scale
+        return self.loop_base_cpi + placement + memory

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulated stack derives from
+:class:`ReproError` so callers can catch simulation problems without
+masking programming errors (``TypeError``, ``ValueError`` from misuse
+still propagate normally).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulation stack."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or unsupported options."""
+
+
+class PrivilegeError(ReproError):
+    """A privileged operation was attempted from user mode.
+
+    This models the general-protection fault (#GP) the hardware raises
+    when, e.g., ``WRMSR`` executes at CPL 3, or ``RDPMC`` executes with
+    ``CR4.PCE`` clear.
+    """
+
+
+class CounterError(ReproError):
+    """A performance-counter operation failed (bad index, not programmed...)."""
+
+
+class CounterAllocationError(CounterError):
+    """More counters were requested than the micro-architecture provides."""
+
+
+class UnsupportedEventError(CounterError):
+    """The requested event has no native encoding on this micro-architecture."""
+
+
+class UnsupportedPatternError(ReproError):
+    """The infrastructure cannot express the requested access pattern.
+
+    The PAPI high-level API cannot run read-read or read-stop because its
+    read call implicitly resets the counters (paper, Table 2).
+    """
+
+
+class SyscallError(ReproError):
+    """A simulated system call failed (unknown number, bad arguments)."""
+
+
+class AssemblerError(ReproError):
+    """The micro-benchmark assembler could not parse its input."""
+
+
+class MachineStateError(ReproError):
+    """The machine is in a state that forbids the requested operation."""

@@ -1,0 +1,71 @@
+"""Reproductions of every table and figure in the paper's evaluation.
+
+Each module exposes ``run(...) -> ExperimentResult`` with sensible
+defaults sized for interactive use; the benchmark harness under
+``benchmarks/`` calls the same entry points with paper-scale
+parameters.  ``EXPERIMENTS`` maps the paper artifact ids to their
+runners.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments import (
+    ext_cache_accuracy,
+    ext_compensation,
+    ext_cross_platform,
+    ext_frequency,
+    ext_multiplexing,
+    ext_sampling,
+    ext_standalone_tools,
+    ext_thread_isolation,
+    fig01_overview,
+    fig02_stack,
+    fig03_benchmark,
+    fig04_tsc,
+    fig05_registers,
+    fig06_infrastructure,
+    fig07_uk_slope,
+    fig08_user_slope,
+    fig09_kernel_by_size,
+    fig10_cycles,
+    fig11_bimodal,
+    fig12_placement,
+    sec43_anova,
+    tab01_processors,
+    tab02_patterns,
+)
+
+#: paper artifact id → runner
+EXPERIMENTS = {
+    "table1": tab01_processors.run,
+    "table2": tab02_patterns.run,
+    "figure1": fig01_overview.run,
+    "figure2": fig02_stack.run,
+    "figure3": fig03_benchmark.run,
+    "figure4": fig04_tsc.run,
+    "figure5": fig05_registers.run,
+    "figure6+table3": fig06_infrastructure.run,
+    "section4.3": sec43_anova.run,
+    "figure7": fig07_uk_slope.run,
+    "figure8": fig08_user_slope.run,
+    "figure9": fig09_kernel_by_size.run,
+    "figure10": fig10_cycles.run,
+    "figure11": fig11_bimodal.run,
+    "figure12": fig12_placement.run,
+}
+
+#: extension experiment id → runner (beyond the paper's evaluation)
+EXTENSIONS = {
+    "ext:standalone-tools": ext_standalone_tools.run,
+    "ext:compensation": ext_compensation.run,
+    "ext:multiplexing": ext_multiplexing.run,
+    "ext:sampling": ext_sampling.run,
+    "ext:frequency-scaling": ext_frequency.run,
+    "ext:cache-accuracy": ext_cache_accuracy.run,
+    "ext:thread-isolation": ext_thread_isolation.run,
+    "ext:cross-platform": ext_cross_platform.run,
+}
+
+#: every runnable artifact
+ALL_EXPERIMENTS = {**EXPERIMENTS, **EXTENSIONS}
+
+__all__ = ["ALL_EXPERIMENTS", "EXPERIMENTS", "EXTENSIONS", "ExperimentResult"]

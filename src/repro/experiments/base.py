@@ -1,0 +1,37 @@
+"""Common result type for experiment reproductions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.table import ResultTable
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of reproducing one paper artifact.
+
+    Attributes:
+        experiment_id: the paper artifact ("figure4", "table3", ...).
+        title: human-readable experiment title.
+        data: the raw per-measurement rows (when applicable).
+        summary: the headline numbers a reader compares to the paper.
+        paper: the paper's corresponding numbers, for side-by-side
+            comparison (empty when the artifact is qualitative).
+        notes: deviations and caveats worth surfacing.
+        report_lines: a rendered text report (one string per line).
+    """
+
+    experiment_id: str
+    title: str
+    data: ResultTable | None
+    summary: dict[str, Any] = field(default_factory=dict)
+    paper: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    report_lines: list[str] = field(default_factory=list)
+
+    def report(self) -> str:
+        """The text report (what the bench harness prints)."""
+        header = [f"== {self.experiment_id}: {self.title} =="]
+        return "\n".join(header + self.report_lines)

@@ -1,0 +1,85 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.table import ResultTable
+from repro.core.benchmarks import LoopBenchmark
+from repro.core.compiler import OptLevel
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.core.sweep import config_seed
+from repro.cpu.events import Event
+
+#: Loop sizes the paper's Section 5/6 figures sweep (up to one million).
+LOOP_SIZES = (1, 25_000, 50_000, 75_000, 100_000, 250_000, 500_000, 750_000, 1_000_000)
+
+
+def loop_error_rows(
+    processors: Sequence[str],
+    infras: Sequence[str],
+    mode: Mode,
+    sizes: Iterable[int] = LOOP_SIZES,
+    repeats: int = 10,
+    pattern: Pattern = Pattern.START_READ,
+    opt_levels: Sequence[OptLevel] = (OptLevel.O2,),
+    primary_event: Event = Event.INSTR_RETIRED,
+    base_seed: int = 0,
+) -> ResultTable:
+    """Measure the loop benchmark across sizes; one row per run.
+
+    This is the common engine behind Figures 7–12: the same loop, a
+    range of iteration counts, and differently seeded machines per
+    repeat so interrupt phases vary as they would across real runs.
+    """
+    table = ResultTable()
+    benchmarks = {size: LoopBenchmark(size) for size in sizes}
+    for processor in processors:
+        for infra in infras:
+            for opt in opt_levels:
+                for size, benchmark in benchmarks.items():
+                    for repeat in range(repeats):
+                        seed = config_seed(
+                            base_seed, processor, infra, mode.value,
+                            opt.value, size, repeat, primary_event.value,
+                        )
+                        config = MeasurementConfig(
+                            processor=processor,
+                            infra=infra,
+                            pattern=pattern,
+                            mode=mode,
+                            opt_level=opt,
+                            primary_event=primary_event,
+                            seed=seed,
+                        )
+                        result = run_measurement(config, benchmark)
+                        table.append(
+                            {
+                                "processor": processor,
+                                "infra": infra,
+                                "pattern": pattern.short,
+                                "mode": mode.value,
+                                "opt": opt.value,
+                                "size": size,
+                                "repeat": repeat,
+                                "measured": result.measured,
+                                "expected": result.expected,
+                                "error": (
+                                    result.error
+                                    if result.expected is not None
+                                    else None
+                                ),
+                                "address": result.benchmark_address,
+                            }
+                        )
+    return table
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    """Compact number formatting for reports."""
+    if value is None:
+        return "-"
+    if abs(value) >= 1000 and float(value).is_integer():
+        return f"{int(value):,}"
+    return f"{value:.{digits}f}"

@@ -1,0 +1,115 @@
+"""Extension: accuracy of cache-miss counts (Korn et al., IPCCC'01).
+
+Korn et al. validated the MIPS R12000's counters with an array-walking
+micro-benchmark whose expected cache-miss count is analytical.  We run
+the equivalent study on the simulated stack: walk a 1M-element array at
+several strides, measure first-level data-cache misses alongside
+retired instructions, and compare the errors against the analytical
+models (instructions: ``2 + 4·n``; misses: one per cache line touched).
+
+Two instructive results, both mechanism-driven:
+
+* every count validates within ~1% relative error — Korn et al.'s
+  overall conclusion for counting mode holds on a sane infrastructure;
+* the *composition* of the contamination matters: timer/IO handlers are
+  instruction-dense but miss-sparse, so for memory-bound strides (64+,
+  where the walk spends most of its cycles waiting on misses and
+  accumulates the most interrupts) the *instruction* count picks up
+  relatively more contamination than the *miss* count does.  Which
+  event is measured more accurately depends on what the perturbing
+  code is made of, not just on the measured workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.table import ResultTable
+from repro.core.benchmarks import StridedLoadBenchmark
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.core.sweep import config_seed
+from repro.cpu.events import Event
+from repro.experiments.base import ExperimentResult
+
+STRIDES = (4, 16, 64, 128)
+ELEMENTS = 1_000_000
+
+
+def run(repeats: int = 5, base_seed: int = 0) -> ExperimentResult:
+    """Instruction-count vs miss-count accuracy across strides."""
+    table = ResultTable()
+    for stride in STRIDES:
+        benchmark = StridedLoadBenchmark(ELEMENTS, stride_bytes=stride)
+        for event in (Event.INSTR_RETIRED, Event.DCACHE_MISSES):
+            for repeat in range(repeats):
+                config = MeasurementConfig(
+                    processor="K8",
+                    infra="pc",
+                    pattern=Pattern.START_READ,
+                    mode=Mode.USER_KERNEL,
+                    primary_event=event,
+                    seed=config_seed(base_seed, stride, event.value, repeat),
+                )
+                result = run_measurement(config, benchmark)
+                assert result.expected is not None
+                table.append(
+                    {
+                        "stride": stride,
+                        "event": event.value,
+                        "expected": result.expected,
+                        "measured": result.measured,
+                        "error": result.error,
+                        "relative_error": (
+                            result.error / result.expected
+                            if result.expected
+                            else float("inf")
+                        ),
+                    }
+                )
+
+    lines = [
+        f"{'stride':>6} {'event':<16} {'expected':>10} "
+        f"{'mean |err|':>10} {'rel. error':>10}"
+    ]
+    summary: dict = {}
+    for stride in STRIDES:
+        for event in (Event.INSTR_RETIRED, Event.DCACHE_MISSES):
+            sub = table.where(stride=stride, event=event.value)
+            rel = float(
+                np.mean(np.abs(sub.values("relative_error").astype(float)))
+            )
+            abs_err = float(np.mean(np.abs(sub.values("error").astype(float))))
+            expected = sub.column("expected")[0]
+            summary[(stride, event.value)] = rel
+            lines.append(
+                f"{stride:>6} {event.value:<16} {expected:>10,} "
+                f"{abs_err:>10,.0f} {rel:>9.3%}"
+            )
+
+    miss = Event.DCACHE_MISSES.value
+    instr = Event.INSTR_RETIRED.value
+    summary["all_within_1pct"] = all(
+        value < 0.01
+        for key, value in summary.items()
+        if isinstance(key, tuple)
+    )
+    summary["instr_more_contaminated_when_memory_bound"] = (
+        summary[(128, instr)] > 5 * summary[(128, miss)]
+    )
+    summary["duration_error_grows_with_stride"] = (
+        summary[(128, instr)] > 2 * summary[(4, instr)]
+    )
+    lines.append(
+        "all counts validate within ~1%; handlers are instruction-dense "
+        "and miss-sparse, so memory-bound walks see their instruction "
+        "counts contaminated relatively more than their miss counts"
+    )
+    return ExperimentResult(
+        experiment_id="ext:cache-accuracy",
+        title="Accuracy of data-cache miss counts (Korn et al. style)",
+        data=table,
+        summary=summary,
+        paper={"note": "Korn et al. validate counters with array walks"},
+        report_lines=lines,
+    )

@@ -1,0 +1,59 @@
+"""Figure 11: the K8/perfmon cycle measurements are bimodal.
+
+Zooming into Figure 10's K8-pm panel, the measurements split into two
+groups bounded below by the model lines c = 2i and c = 3i: the loop
+runs at either two or three cycles per iteration, depending on where
+its back-edge landed relative to the branch predictor's sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig10_cycles import CYCLE_SIZES, gather_cycles
+
+
+def run(
+    repeats: int = 3,
+    base_seed: int = 0,
+    sizes: tuple[int, ...] = CYCLE_SIZES,
+) -> ExperimentResult:
+    """Classify K8 pm cycle measurements against c=2i and c=3i."""
+    table = gather_cycles(("K8",), ("pm",), sizes, repeats, base_seed)
+
+    cpis = (
+        table.values("measured").astype(float)
+        / table.values("size").astype(float)
+    )
+    near_two = int(np.sum((cpis >= 2.0) & (cpis < 2.5)))
+    near_three = int(np.sum((cpis >= 3.0) & (cpis < 3.5)))
+    between = int(np.sum((cpis >= 2.5) & (cpis < 3.0)))
+    below_two = int(np.sum(cpis < 2.0))
+
+    lines = [
+        f"{len(table)} measurements; cycles-per-iteration distribution:",
+        f"  < 2.0 (below model floor): {below_two}",
+        f"  [2.0, 2.5) — the c=2i group: {near_two}",
+        f"  [2.5, 3.0): {between}",
+        f"  [3.0, 3.5) — the c=3i group: {near_three}",
+        "paper: two groups bounded below by c=2i and c=3i",
+    ]
+    summary = {
+        "near_two": near_two,
+        "near_three": near_three,
+        "between": between,
+        "below_two": below_two,
+        "bimodal": near_two > 0 and near_three > 0 and below_two == 0,
+        "min_cpi": float(cpis.min()),
+        "max_cpi": float(cpis.max()),
+    }
+    return ExperimentResult(
+        experiment_id="figure11",
+        title="Cycles by loop size with pm on K8 (bimodality)",
+        data=table,
+        summary=summary,
+        paper=dict(paper_data.FIGURE11),
+        report_lines=lines,
+    )

@@ -1,0 +1,97 @@
+"""Figure 12: the cycle slope is set by pattern × optimization level.
+
+Breaking Figure 11's data down by measurement pattern and optimization
+level, each of the 16 cells forms a clean line — but neither factor
+alone determines its slope: only their *combination* does, because each
+combination produces a different executable whose loop lands at a
+different address.  Changing either factor can move the loop between
+BTB alias classes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.regression import fit_line
+from repro.core.config import Mode, Pattern
+from repro.core.compiler import OptLevel
+from repro.cpu.events import Event
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult
+from repro.experiments.common import loop_error_rows
+from repro.experiments.fig10_cycles import CYCLE_SIZES
+
+
+def run(
+    repeats: int = 2,
+    base_seed: int = 0,
+    sizes: tuple[int, ...] = CYCLE_SIZES,
+) -> ExperimentResult:
+    """Fit a cycles-vs-iterations slope per (pattern, opt) cell on K8/pm."""
+    cells: dict[tuple[str, str], float] = {}
+    tables = []
+    for pattern in Pattern:
+        table = loop_error_rows(
+            processors=("K8",),
+            infras=("pm",),
+            mode=Mode.USER_KERNEL,
+            sizes=sizes,
+            repeats=repeats,
+            pattern=pattern,
+            opt_levels=tuple(OptLevel),
+            primary_event=Event.CYCLES,
+            base_seed=base_seed,
+        )
+        tables.append(table)
+        for opt in OptLevel:
+            sub = table.where(opt=opt.value)
+            fit = fit_line(
+                sub.values("size").astype(float),
+                sub.values("measured").astype(float),
+            )
+            cells[(pattern.short, opt.value)] = fit.slope
+
+    lines = [
+        f"{'pattern':<8} " + " ".join(f"{opt.value:>8}" for opt in OptLevel)
+    ]
+    for pattern in Pattern:
+        lines.append(
+            f"{pattern.short:<8} "
+            + " ".join(
+                f"{cells[(pattern.short, opt.value)]:>8.2f}"
+                for opt in OptLevel
+            )
+        )
+
+    # Neither factor alone determines the slope: some pattern must show
+    # different slopes across opts, and some opt across patterns.
+    def spread(values: list[float]) -> float:
+        return max(values) - min(values)
+
+    by_pattern = max(
+        spread([cells[(p.short, o.value)] for o in OptLevel]) for p in Pattern
+    )
+    by_opt = max(
+        spread([cells[(p.short, o.value)] for p in Pattern]) for o in OptLevel
+    )
+    summary = {
+        "slopes": cells,
+        "max_spread_within_pattern": by_pattern,
+        "max_spread_within_opt": by_opt,
+        "interaction_present": by_pattern > 0.4 and by_opt > 0.4,
+        "min_slope": min(cells.values()),
+        "max_slope": max(cells.values()),
+    }
+    lines.append(
+        "slope varies within rows and within columns -> only the "
+        "combination of pattern and opt level fixes the placement "
+        f"(interaction present: {summary['interaction_present']})"
+    )
+    from repro.analysis.table import ResultTable
+
+    return ExperimentResult(
+        experiment_id="figure12",
+        title="Cycles by loop size, by pattern x optimization (K8, pm)",
+        data=ResultTable.concat(tables),
+        summary=summary,
+        paper=dict(paper_data.FIGURE11),
+        report_lines=lines,
+    )

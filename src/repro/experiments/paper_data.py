@@ -1,0 +1,130 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Every value here comes from the paper's text, tables, or figures
+(figure values read off the plots are marked approximate in comments).
+EXPERIMENTS.md records how our measurements compare.
+"""
+
+from __future__ import annotations
+
+#: Table 1: processors used in the study.
+TABLE1 = {
+    "PD": {
+        "processor": "Pentium D 925",
+        "ghz": 3.0,
+        "uarch": "NetBurst",
+        "fixed_counters": 0,
+        "tsc": 1,
+        "programmable_counters": 18,
+    },
+    "CD": {
+        "processor": "Core2 Duo E6600",
+        "ghz": 2.4,
+        "uarch": "Core2",
+        "fixed_counters": 3,
+        "tsc": 1,
+        "programmable_counters": 2,
+    },
+    "K8": {
+        "processor": "Athlon 64 X2 4200+",
+        "ghz": 2.2,
+        "uarch": "K8",
+        "fixed_counters": 0,
+        "tsc": 1,
+        "programmable_counters": 4,
+    },
+}
+
+#: Table 2: the four counter access patterns.
+TABLE2 = {
+    "ar": "start-read: c0=0, reset, start ... c1=read",
+    "ao": "start-stop: c0=0, reset, start ... stop, c1=read",
+    "rr": "read-read: start, c0=read ... c1=read",
+    "ro": "read-stop: start, c0=read ... stop, c1=read",
+}
+
+#: Patterns the PAPI high-level API cannot express (its read resets).
+TABLE2_PAPI_HIGH_UNSUPPORTED = ("rr", "ro")
+
+#: Table 3: best pattern and median/min error per infrastructure.
+TABLE3 = {
+    ("user+kernel", "pm"): {"pattern": "rr", "median": 726, "min": 572},
+    ("user+kernel", "PLpm"): {"pattern": "ar", "median": 742, "min": 653},
+    ("user+kernel", "PHpm"): {"pattern": "ar", "median": 844, "min": 755},
+    ("user+kernel", "pc"): {"pattern": "ar", "median": 163, "min": 74},
+    ("user+kernel", "PLpc"): {"pattern": "ar", "median": 251, "min": 249},
+    ("user+kernel", "PHpc"): {"pattern": "ar", "median": 339, "min": 333},
+    ("user", "pm"): {"pattern": "rr", "median": 37, "min": 36},
+    ("user", "PLpm"): {"pattern": "ar", "median": 134, "min": 134},
+    ("user", "PHpm"): {"pattern": "ar", "median": 236, "min": 236},
+    ("user", "pc"): {"pattern": "ar", "median": 67, "min": 56},
+    ("user", "PLpc"): {"pattern": "ar", "median": 152, "min": 144},
+    ("user", "PHpc"): {"pattern": "ar", "median": 236, "min": 230},
+}
+
+#: Figure 1: overall error distribution facts quoted in the text.
+FIGURE1 = {
+    "n_measurements": 170_000,       # "over 170000 measurements"
+    "user_iqr_approx": 1_500,        # "inter-quartile range ~1500" (§4)
+    "user_tail_at_least": 2_500,     # "errors of 2500 user-mode instructions or more"
+    "user_kernel_tail_at_least": 10_000,  # "errors of over 10000"
+}
+
+#: Figure 4 (pc on CD): the quoted read-read medians.
+FIGURE4 = {
+    "rr_median_tsc_off": 1698.0,
+    "rr_median_tsc_on": 109.5,
+}
+
+#: Figure 5 (K8): quoted register-scaling endpoints.
+FIGURE5 = {
+    ("pm", "user+kernel", "rr", 1): 573,
+    ("pm", "user+kernel", "rr", 4): 909,
+    ("pc", "rr", 1): 84,
+    ("pc", "rr", 4): 125,
+}
+
+#: Section 4.3: ANOVA findings.
+SECTION43 = {
+    "significant": ("processor", "infra", "pattern", "n_counters"),
+    "not_significant": ("opt",),
+    "p_threshold": 2e-16,
+}
+
+#: Figure 7/9: user+kernel duration-error slopes (instr/iteration).
+FIGURE7 = {
+    ("pc", "CD"): 0.00204,   # quoted exactly in §5
+    ("pm", "K8"): 0.001,     # quoted in §5
+    "max_slope_approx": 0.005,
+}
+
+#: Figure 8: user-mode slopes are a few 1e-6 or less, either sign.
+FIGURE8 = {
+    "abs_slope_max": 4e-6,
+    ("pm", "K8"): 4e-7,      # "only 0.0000004 additional instructions"
+}
+
+#: Figure 9 (pc on CD, kernel-only counts).
+FIGURE9 = {
+    "mean_at_500k": 1500.0,
+    "mean_at_1m": 2500.0,
+    "slope": 0.00204,
+}
+
+#: Figure 10/11 (cycles by loop size).
+FIGURE10 = {
+    ("PD", "cycles_at_1m_low"): 1.5e6,
+    ("PD", "cycles_at_1m_high"): 4.0e6,
+}
+
+FIGURE11 = {
+    "modes_cycles_per_iteration": (2.0, 3.0),  # c = 2i and c = 3i
+}
+
+#: Figure 6 reduction claims (Section 4.2).
+FIGURE6 = {
+    "low_vs_high_reduction_range": (0.12, 0.43),
+    "direct_vs_low_reduction_range": (0.02, 0.72),
+    "pm_user_reduction_vs_pc": 0.45,
+    "pc_uk_reduction_vs_pm": 0.77,
+}

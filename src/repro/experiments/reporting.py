@@ -1,0 +1,77 @@
+"""Batch report generation.
+
+``generate_report`` runs a set of artifacts and assembles one combined
+markdown document — the machinery behind keeping EXPERIMENTS.md
+reproducible, and a convenient way to archive a run's evidence.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.base import ExperimentResult
+from repro.errors import ConfigurationError
+
+
+def run_artifacts(
+    artifacts: "tuple[str, ...] | None" = None,
+    repeats: int | None = None,
+    base_seed: int = 0,
+    registry: Mapping[str, Callable] | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run the named artifacts (all by default) and collect results."""
+    registry = dict(registry if registry is not None else ALL_EXPERIMENTS)
+    names = artifacts if artifacts is not None else tuple(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        raise ConfigurationError(f"unknown artifacts: {unknown}")
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        runner = registry[name]
+        kwargs: dict = {}
+        signature = inspect.signature(runner)
+        if repeats is not None and "repeats" in signature.parameters:
+            kwargs["repeats"] = repeats
+        if "base_seed" in signature.parameters:
+            kwargs["base_seed"] = base_seed
+        results[name] = runner(**kwargs)
+    return results
+
+
+def generate_report(
+    results: Mapping[str, ExperimentResult],
+    title: str = "Reproduction report",
+) -> str:
+    """Render a combined markdown document from experiment results."""
+    if not results:
+        raise ConfigurationError("no results to report")
+    lines = [f"# {title}", ""]
+    lines.append(f"{len(results)} artifacts reproduced.")
+    lines.append("")
+    for name, result in results.items():
+        lines.append(f"## {name} — {result.title}")
+        lines.append("")
+        lines.append("```")
+        lines.extend(result.report_lines)
+        lines.append("```")
+        if result.notes:
+            lines.append("")
+            for note in result.notes:
+                lines.append(f"*Note: {note}*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    path: "str | Path",
+    artifacts: "tuple[str, ...] | None" = None,
+    repeats: int | None = None,
+    base_seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run, render, and write; returns the results for further use."""
+    results = run_artifacts(artifacts, repeats=repeats, base_seed=base_seed)
+    Path(path).write_text(generate_report(results) + "\n")
+    return results

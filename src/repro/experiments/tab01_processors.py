@@ -1,0 +1,51 @@
+"""Table 1: the processors used in the study."""
+
+from __future__ import annotations
+
+from repro.analysis.table import ResultTable
+from repro.cpu.models import PROCESSORS
+from repro.experiments.base import ExperimentResult
+from repro.experiments import paper_data
+
+
+def run() -> ExperimentResult:
+    """Render our processor catalogue against the paper's Table 1."""
+    table = ResultTable()
+    mismatches: list[str] = []
+    for key, uarch in PROCESSORS.items():
+        expected = paper_data.TABLE1[key]
+        row = {
+            "key": key,
+            "processor": uarch.marketing_name,
+            "ghz": uarch.freq_ghz,
+            "uarch": uarch.uarch_name,
+            "fixed_counters": uarch.n_fixed_counters,
+            "tsc": 1,
+            "programmable_counters": uarch.n_prog_counters,
+        }
+        table.append(row)
+        for field in ("ghz", "fixed_counters", "programmable_counters"):
+            if row[field] != expected[field]:
+                mismatches.append(
+                    f"{key}.{field}: ours={row[field]} paper={expected[field]}"
+                )
+
+    lines = [
+        f"{'key':<4} {'processor':<20} {'GHz':>4} {'uArch':<9} "
+        f"{'fixed':>5} {'prg':>4}"
+    ]
+    for row in table.rows():
+        lines.append(
+            f"{row['key']:<4} {row['processor']:<20} {row['ghz']:>4} "
+            f"{row['uarch']:<9} {row['fixed_counters']}+{row['tsc']:>1}  "
+            f"{row['programmable_counters']:>4}"
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Processors used in this study",
+        data=table,
+        summary={"mismatches": mismatches},
+        paper=paper_data.TABLE1,
+        notes=mismatches,
+        report_lines=lines,
+    )

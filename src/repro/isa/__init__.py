@@ -1,0 +1,42 @@
+"""Instruction-set substrate.
+
+This package models the *architectural* layer of the simulation: what
+instructions exist, how much retired work a piece of code represents,
+and how code is laid out in memory.  It deliberately knows nothing about
+time (cycles) or privilege — those belong to :mod:`repro.cpu`.
+
+The central abstraction is the :class:`~repro.isa.work.WorkVector`, a
+closed-form account of retired events for a straight-line run of code.
+Infrastructure code paths (library calls, kernel handlers) are expressed
+as :class:`~repro.isa.block.Chunk` objects — named work bundles — so the
+simulation can retire thousands of instructions in O(1) while still
+counting them exactly.
+
+The paper's loop micro-benchmark (Figure 3) is parsed from its actual
+gcc inline-assembly text by :mod:`repro.isa.assembler`, preserving the
+ground-truth model ``instructions = 1 + 3 * MAX``.
+"""
+
+from repro.isa.work import WorkVector
+from repro.isa.instructions import Instr, InstrClass
+from repro.isa.block import Block, Chunk, Loop, Program
+from repro.isa.builder import CodeBuilder, user_code_chunk
+from repro.isa.assembler import AssembledLoop, assemble_loop, parse_att_listing
+from repro.isa.layout import CodeLayout, CodeObject
+
+__all__ = [
+    "AssembledLoop",
+    "Block",
+    "Chunk",
+    "CodeBuilder",
+    "CodeLayout",
+    "CodeObject",
+    "Instr",
+    "InstrClass",
+    "Loop",
+    "Program",
+    "WorkVector",
+    "assemble_loop",
+    "parse_att_listing",
+    "user_code_chunk",
+]

@@ -1,0 +1,135 @@
+"""Code containers: chunks, blocks, loops, and programs.
+
+The execution engine consumes these containers.  A :class:`Chunk` is a
+straight-line run of code whose retired work is known in closed form;
+a :class:`Loop` repeats a body chunk; a :class:`Block` concatenates
+items; a :class:`Program` is a named, located block.
+
+Keeping loops symbolic (body x trips) rather than unrolled is what lets
+the simulator run the paper's one-billion-iteration cross-checks in
+constant memory and near-constant time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Union
+
+from repro.isa.instructions import Instr
+from repro.isa.work import WorkVector
+
+
+@dataclass(frozen=True, slots=True)
+class Chunk:
+    """A straight-line bundle of retired work with a diagnostic label.
+
+    Chunks are how infrastructure code paths (library prologues, kernel
+    handlers) are expressed: the simulation retires the whole bundle at
+    once but still counts every instruction exactly.
+    """
+
+    work: WorkVector
+    label: str = ""
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes == 0:
+            # Representative IA32 density: ~3.5 bytes per instruction.
+            object.__setattr__(
+                self, "size_bytes", int(self.work.instructions * 3.5)
+            )
+
+    @staticmethod
+    def of_instructions(instrs: Iterable[Instr], label: str = "") -> "Chunk":
+        """Build a chunk by summing individual instructions."""
+        work = WorkVector.zero()
+        size = 0
+        for instr in instrs:
+            work = work + instr.work()
+            size += instr.size
+        return Chunk(work=work, label=label, size_bytes=size)
+
+
+@dataclass(frozen=True, slots=True)
+class Loop:
+    """A counted loop: ``body`` retired ``trips`` times.
+
+    The body work must already include the loop's own control overhead
+    (increment, compare, back-edge branch), exactly as the paper's
+    Figure 3 micro-benchmark does.  ``header`` is retired once before
+    the first trip (the ``movl $0, %eax`` initialisation).
+    """
+
+    body: Chunk
+    trips: int
+    header: Chunk = field(default_factory=lambda: Chunk(WorkVector.zero(), "empty"))
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.trips < 0:
+            raise ValueError(f"loop trips must be >= 0, got {self.trips}")
+
+    def total_work(self) -> WorkVector:
+        """Closed-form retired work for the whole loop."""
+        return self.header.work + self.body.work * self.trips
+
+    @property
+    def size_bytes(self) -> int:
+        """Static code size (the body is not unrolled in memory)."""
+        return self.header.size_bytes + self.body.size_bytes
+
+
+Item = Union[Chunk, Loop]
+
+
+@dataclass(frozen=True, slots=True)
+class Block:
+    """An ordered sequence of chunks and loops."""
+
+    items: tuple[Item, ...] = ()
+    label: str = ""
+
+    def __iter__(self) -> Iterator[Item]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __add__(self, other: "Block") -> "Block":
+        if not isinstance(other, Block):
+            return NotImplemented
+        return Block(items=self.items + other.items, label=self.label)
+
+    def append(self, item: Item) -> "Block":
+        """Return a new block with ``item`` appended."""
+        return Block(items=self.items + (item,), label=self.label)
+
+    def total_work(self) -> WorkVector:
+        """Closed-form retired work for the whole block."""
+        work = WorkVector.zero()
+        for item in self.items:
+            if isinstance(item, Loop):
+                work = work + item.total_work()
+            else:
+                work = work + item.work
+        return work
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(item.size_bytes for item in self.items)
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A named block located at a base address in the text segment."""
+
+    name: str
+    block: Block
+    base_address: int = 0x0804_8000
+
+    def total_work(self) -> WorkVector:
+        return self.block.total_work()
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.size_bytes

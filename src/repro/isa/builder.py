@@ -1,0 +1,153 @@
+"""Fluent construction of straight-line code chunks.
+
+Infrastructure code paths (library wrappers, kernel handlers) are
+described in the sources of :mod:`repro.perfctr`, :mod:`repro.perfmon`,
+:mod:`repro.papi` and :mod:`repro.kernel.kcode` with a
+:class:`CodeBuilder`, which reads like a stylised assembly listing:
+
+    path = (CodeBuilder("pfm_read:user_stub")
+            .alu(6).load(2).call().build())
+
+The builder produces a :class:`~repro.isa.block.Chunk` whose work
+vector sums the pieces, so changing a path's cost is a one-line edit
+and every downstream count follows automatically.
+"""
+
+from __future__ import annotations
+
+from repro.isa.block import Chunk
+from repro.isa.work import WorkVector
+
+
+class CodeBuilder:
+    """Accumulates retired work for one straight-line code path."""
+
+    def __init__(self, label: str = "") -> None:
+        self._label = label
+        self._work = WorkVector.zero()
+        self._size_bytes = 0
+
+    # -- simple instruction groups ------------------------------------
+
+    def alu(self, count: int = 1) -> "CodeBuilder":
+        """Register-to-register arithmetic/logic instructions."""
+        return self._add(WorkVector(instructions=count), count * 3)
+
+    def mov(self, count: int = 1) -> "CodeBuilder":
+        """Register moves / immediate loads (no memory traffic)."""
+        return self._add(WorkVector(instructions=count), count * 5)
+
+    def load(self, count: int = 1) -> "CodeBuilder":
+        """Instructions that read memory."""
+        return self._add(WorkVector(instructions=count, loads=count), count * 3)
+
+    def store(self, count: int = 1) -> "CodeBuilder":
+        """Instructions that write memory."""
+        return self._add(WorkVector(instructions=count, stores=count), count * 3)
+
+    def branch(self, count: int = 1, taken: int | None = None) -> "CodeBuilder":
+        """Conditional branches; ``taken`` defaults to half of them."""
+        if taken is None:
+            taken = count // 2
+        if taken > count:
+            raise ValueError(f"taken ({taken}) cannot exceed count ({count})")
+        return self._add(
+            WorkVector(instructions=count, branches=count, taken_branches=taken),
+            count * 2,
+        )
+
+    def call(self, count: int = 1) -> "CodeBuilder":
+        """Call instructions (push return address + taken transfer)."""
+        return self._add(
+            WorkVector(
+                instructions=count,
+                branches=count,
+                taken_branches=count,
+                stores=count,
+            ),
+            count * 5,
+        )
+
+    def ret(self, count: int = 1) -> "CodeBuilder":
+        """Return instructions (pop return address + taken transfer)."""
+        return self._add(
+            WorkVector(
+                instructions=count,
+                branches=count,
+                taken_branches=count,
+                loads=count,
+            ),
+            count * 1,
+        )
+
+    def serializing(self, count: int = 1) -> "CodeBuilder":
+        """Serializing instructions other than counter accesses (CPUID...)."""
+        return self._add(
+            WorkVector(instructions=count, serializing=count), count * 2
+        )
+
+    # -- composite conveniences ----------------------------------------
+
+    def fn_prologue(self) -> "CodeBuilder":
+        """Typical compiled prologue: push ebp; mov; sub esp."""
+        return self.store(1).mov(1).alu(1)
+
+    def fn_epilogue(self) -> "CodeBuilder":
+        """Typical compiled epilogue: leave; ret."""
+        return self.load(1).ret(1)
+
+    def save_args(self, count: int) -> "CodeBuilder":
+        """Spill ``count`` arguments to the stack (cdecl call setup)."""
+        return self.store(count)
+
+    # -- terminal -------------------------------------------------------
+
+    def build(self) -> Chunk:
+        """Produce the accumulated chunk."""
+        return Chunk(work=self._work, label=self._label, size_bytes=self._size_bytes)
+
+    @property
+    def work(self) -> WorkVector:
+        """Work accumulated so far (mainly for tests)."""
+        return self._work
+
+    def _add(self, work: WorkVector, size_bytes: int) -> "CodeBuilder":
+        if work.instructions < 0:
+            raise ValueError("negative instruction count")
+        self._work = self._work + work
+        self._size_bytes += size_bytes
+        return self
+
+
+def user_code_chunk(instructions: int, label: str) -> Chunk:
+    """A user-space library code path of exactly ``instructions``.
+
+    Applies a representative compiled-C mix (1/8 loads, 1/8 stores,
+    remainder ALU); the mix feeds only the timing model, while the
+    instruction total — which the accuracy study counts — is exact.
+    """
+    loads = instructions // 8
+    stores = instructions // 8
+    chunk = (
+        CodeBuilder(label)
+        .alu(instructions - loads - stores)
+        .load(loads)
+        .store(stores)
+        .build()
+    )
+    # Library code touches its own state structures: a small fraction
+    # of loads miss the data cache (pollution, Dongarra et al.'s
+    # "indirect effects" of instrumentation).
+    return Chunk(
+        work=WorkVector(
+            instructions=chunk.work.instructions,
+            branches=chunk.work.branches,
+            taken_branches=chunk.work.taken_branches,
+            loads=chunk.work.loads,
+            stores=chunk.work.stores,
+            serializing=chunk.work.serializing,
+            dcache_misses=loads // 32,
+        ),
+        label=label,
+        size_bytes=chunk.size_bytes,
+    )

@@ -1,0 +1,150 @@
+"""Individual-instruction taxonomy.
+
+Most of the simulator accounts work in bulk (:class:`~repro.isa.work.
+WorkVector`), but the micro-benchmark assembler and a few semantic paths
+deal with *individual* instructions.  :class:`Instr` captures exactly as
+much as the accuracy study needs: the mnemonic, a coarse class, and the
+encoded size in bytes (which feeds the code-placement model of the
+cycle-accuracy experiments, paper Section 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.work import WorkVector
+
+
+class InstrClass(enum.Enum):
+    """Coarse instruction classes, sufficient for work accounting."""
+
+    ALU = "alu"
+    MOV = "mov"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+    RDPMC = "rdpmc"
+    RDTSC = "rdtsc"
+    RDMSR = "rdmsr"
+    WRMSR = "wrmsr"
+    CPUID = "cpuid"
+    SYSCALL = "syscall"
+    SYSRET = "sysret"
+    INT = "int"
+    IRET = "iret"
+    CLI = "cli"
+    STI = "sti"
+    HLT = "hlt"
+
+
+#: Instruction classes that may only execute at CPL 0 (kernel mode).
+PRIVILEGED_CLASSES = frozenset(
+    {
+        InstrClass.RDMSR,
+        InstrClass.WRMSR,
+        InstrClass.IRET,
+        InstrClass.CLI,
+        InstrClass.STI,
+        InstrClass.HLT,
+    }
+)
+
+#: Instruction classes that serialize the pipeline.
+SERIALIZING_CLASSES = frozenset(
+    {
+        InstrClass.RDMSR,
+        InstrClass.WRMSR,
+        InstrClass.CPUID,
+        InstrClass.IRET,
+        InstrClass.INT,
+    }
+)
+
+#: Typical IA32 encoded sizes in bytes, by class.  Used only for code
+#: layout, where being representative matters more than being exact.
+_DEFAULT_SIZES = {
+    InstrClass.ALU: 3,
+    InstrClass.MOV: 5,
+    InstrClass.LOAD: 3,
+    InstrClass.STORE: 3,
+    InstrClass.BRANCH: 2,
+    InstrClass.CALL: 5,
+    InstrClass.RET: 1,
+    InstrClass.NOP: 1,
+    InstrClass.RDPMC: 2,
+    InstrClass.RDTSC: 2,
+    InstrClass.RDMSR: 2,
+    InstrClass.WRMSR: 2,
+    InstrClass.CPUID: 2,
+    InstrClass.SYSCALL: 2,
+    InstrClass.SYSRET: 2,
+    InstrClass.INT: 2,
+    InstrClass.IRET: 1,
+    InstrClass.CLI: 1,
+    InstrClass.STI: 1,
+    InstrClass.HLT: 1,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Instr:
+    """One decoded instruction.
+
+    Attributes:
+        mnemonic: assembly mnemonic as written (e.g. ``addl``).
+        iclass: coarse class used for accounting and privilege checks.
+        operands: operand strings, kept verbatim for diagnostics.
+        size: encoded length in bytes (defaults to a representative
+            value for the class).
+        taken: for branches, whether the branch is (usually) taken.
+            The assembler marks loop back-edges taken.
+    """
+
+    mnemonic: str
+    iclass: InstrClass
+    operands: tuple[str, ...] = ()
+    size: int = 0
+    taken: bool = False
+    label: str | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            object.__setattr__(self, "size", _DEFAULT_SIZES[self.iclass])
+
+    @property
+    def privileged(self) -> bool:
+        """True when the instruction faults outside kernel mode."""
+        return self.iclass in PRIVILEGED_CLASSES
+
+    @property
+    def serializing(self) -> bool:
+        """True when the instruction serializes the pipeline."""
+        return self.iclass in SERIALIZING_CLASSES
+
+    def work(self) -> WorkVector:
+        """Retired work for one execution of this instruction."""
+        if self.iclass is InstrClass.BRANCH:
+            if self.taken:
+                return WorkVector.single("taken_branch")
+            return WorkVector.single("branch")
+        if self.iclass in (InstrClass.CALL, InstrClass.RET):
+            # Calls/returns are taken control transfers that also touch
+            # the stack.
+            return WorkVector(
+                instructions=1,
+                branches=1,
+                taken_branches=1,
+                loads=1 if self.iclass is InstrClass.RET else 0,
+                stores=1 if self.iclass is InstrClass.CALL else 0,
+            )
+        if self.iclass is InstrClass.LOAD:
+            return WorkVector.single("load")
+        if self.iclass is InstrClass.STORE:
+            return WorkVector.single("store")
+        if self.serializing:
+            return WorkVector.single("serializing")
+        return WorkVector.single("alu")

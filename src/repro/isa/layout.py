@@ -1,0 +1,83 @@
+"""Code layout: where compiled objects land in the text segment.
+
+Section 6 of the paper shows that cycle counts depend dramatically on
+*where* the measured loop sits in memory: changing the measurement
+pattern or the compiler optimization level changes the size of the
+harness code linked *before* the loop, which shifts the loop's address
+and therefore its branch-predictor/i-cache behaviour.
+
+:class:`CodeLayout` reproduces that mechanism: objects are placed
+sequentially from a base address with a configurable alignment, so any
+change in an earlier object's size moves every later symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Where Linux maps the text segment of IA32 executables.
+DEFAULT_TEXT_BASE = 0x0804_8000
+
+#: gcc's default function alignment at -O2 on IA32.
+DEFAULT_FUNCTION_ALIGN = 16
+
+
+@dataclass(frozen=True, slots=True)
+class CodeObject:
+    """One compiled function/blob: a name and its size in bytes."""
+
+    name: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ConfigurationError(
+                f"code object {self.name!r} has negative size {self.size_bytes}"
+            )
+
+
+@dataclass
+class CodeLayout:
+    """Sequential placement of code objects in the text segment."""
+
+    base_address: int = DEFAULT_TEXT_BASE
+    function_align: int = DEFAULT_FUNCTION_ALIGN
+    _objects: list[CodeObject] = field(default_factory=list)
+    _addresses: dict[str, int] = field(default_factory=dict)
+    _cursor: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.function_align < 1:
+            raise ConfigurationError(
+                f"function alignment must be >= 1, got {self.function_align}"
+            )
+        self._cursor = self.base_address
+
+    def place(self, obj: CodeObject) -> int:
+        """Place ``obj`` at the next aligned address; return that address."""
+        if obj.name in self._addresses:
+            raise ConfigurationError(f"duplicate code object {obj.name!r}")
+        align = self.function_align
+        address = (self._cursor + align - 1) // align * align
+        self._addresses[obj.name] = address
+        self._objects.append(obj)
+        self._cursor = address + obj.size_bytes
+        return address
+
+    def address_of(self, name: str) -> int:
+        """Address of a previously placed object."""
+        try:
+            return self._addresses[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown code object {name!r}") from None
+
+    @property
+    def objects(self) -> tuple[CodeObject, ...]:
+        return tuple(self._objects)
+
+    @property
+    def end_address(self) -> int:
+        """First address past the last placed object."""
+        return self._cursor

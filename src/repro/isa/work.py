@@ -1,0 +1,128 @@
+"""Retired-work accounting.
+
+A :class:`WorkVector` is the architectural "receipt" for executing a
+piece of code: how many instructions retired, how many of them were
+branches, loads, stores, or serializing instructions.  The CPU layer
+maps these fields onto micro-architectural PMU events and charges them
+to whichever counters are live.
+
+Work vectors are immutable value objects; composing code paths is plain
+addition, and repeating a loop body is scalar multiplication.  This is
+what lets the simulator execute a one-million-iteration benchmark in
+O(number of interrupts) instead of O(instructions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True, slots=True)
+class WorkVector:
+    """Counts of retired architectural events for a code sequence.
+
+    Attributes:
+        instructions: total retired instructions (includes all below).
+        branches: retired branch instructions (taken or not).
+        taken_branches: retired branches that were taken.
+        loads: retired instructions with a memory read.
+        stores: retired instructions with a memory write.
+        serializing: serializing instructions (CPUID, WRMSR, IRET...).
+            These flush the pipeline and are charged extra cycles by the
+            timing model.
+        dcache_misses: loads that miss the first-level data cache.
+            For analytically constructed benchmarks (Korn et al.-style
+            array walks) this is part of the ground-truth model; for
+            infrastructure code it models cache pollution.
+    """
+
+    instructions: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    serializing: int = 0
+    dcache_misses: int = 0
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value < 0:
+                raise ValueError(f"WorkVector.{f.name} must be >= 0, got {value}")
+        if self.taken_branches > self.branches:
+            raise ValueError(
+                f"taken_branches ({self.taken_branches}) cannot exceed "
+                f"branches ({self.branches})"
+            )
+        if self.dcache_misses > self.loads:
+            raise ValueError(
+                f"dcache_misses ({self.dcache_misses}) cannot exceed "
+                f"loads ({self.loads})"
+            )
+        non_branch = self.branches + self.serializing
+        if non_branch > self.instructions:
+            raise ValueError(
+                "instructions must cover branches and serializing instructions: "
+                f"{self.instructions} < {non_branch}"
+            )
+
+    def __add__(self, other: "WorkVector") -> "WorkVector":
+        if not isinstance(other, WorkVector):
+            return NotImplemented
+        return WorkVector(
+            instructions=self.instructions + other.instructions,
+            branches=self.branches + other.branches,
+            taken_branches=self.taken_branches + other.taken_branches,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            serializing=self.serializing + other.serializing,
+            dcache_misses=self.dcache_misses + other.dcache_misses,
+        )
+
+    def __mul__(self, times: int) -> "WorkVector":
+        if not isinstance(times, int):
+            return NotImplemented
+        if times < 0:
+            raise ValueError(f"cannot repeat work a negative number of times: {times}")
+        return WorkVector(
+            instructions=self.instructions * times,
+            branches=self.branches * times,
+            taken_branches=self.taken_branches * times,
+            loads=self.loads * times,
+            stores=self.stores * times,
+            serializing=self.serializing * times,
+            dcache_misses=self.dcache_misses * times,
+        )
+
+    __rmul__ = __mul__
+
+    @property
+    def is_zero(self) -> bool:
+        """True when this vector accounts for no retired work at all."""
+        return self.instructions == 0
+
+    @staticmethod
+    def zero() -> "WorkVector":
+        """The empty work vector (identity for addition)."""
+        return WorkVector()
+
+    @staticmethod
+    def single(kind: str = "alu") -> "WorkVector":
+        """Work vector for one retired instruction of the given kind.
+
+        ``kind`` is one of ``alu``, ``branch``, ``taken_branch``,
+        ``load``, ``store``, ``serializing``.
+        """
+        if kind == "alu":
+            return WorkVector(instructions=1)
+        if kind == "branch":
+            return WorkVector(instructions=1, branches=1)
+        if kind == "taken_branch":
+            return WorkVector(instructions=1, branches=1, taken_branches=1)
+        if kind == "load":
+            return WorkVector(instructions=1, loads=1)
+        if kind == "store":
+            return WorkVector(instructions=1, stores=1)
+        if kind == "serializing":
+            return WorkVector(instructions=1, serializing=1)
+        raise ValueError(f"unknown instruction kind: {kind!r}")

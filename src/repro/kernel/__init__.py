@@ -1,0 +1,34 @@
+"""Simulated operating-system substrate.
+
+A small Linux-shaped kernel: system calls with privileged entry/exit
+paths, a periodic timer interrupt driving a round-robin scheduler and
+the cpufreq governor, stochastic I/O interrupts, and per-thread context
+switches that save/restore virtualized performance counters.
+
+Two "patched kernel builds" are available, mirroring the paper's setup
+(Section 3.3): one with the perfctr extension, one with perfmon2.  The
+builds differ in their timer configuration and per-tick hooks, which is
+what produces the per-infrastructure duration-error slopes of the
+paper's Figure 7.
+"""
+
+from repro.kernel.kcode import KernelCosts, kernel_chunk
+from repro.kernel.calibration import KERNEL_BUILDS, KernelBuildConfig, SkidConfig
+from repro.kernel.interrupts import InterruptController
+from repro.kernel.thread import Thread
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.syscalls import SyscallTable
+from repro.kernel.system import Machine
+
+__all__ = [
+    "InterruptController",
+    "KERNEL_BUILDS",
+    "KernelBuildConfig",
+    "KernelCosts",
+    "Machine",
+    "Scheduler",
+    "SkidConfig",
+    "SyscallTable",
+    "Thread",
+    "kernel_chunk",
+]

@@ -1,0 +1,92 @@
+"""Kernel code paths as accountable instruction chunks.
+
+Kernel work in this simulation is real retired work: every handler is a
+:class:`~repro.isa.block.Chunk` that the core retires in kernel mode,
+so privileged instructions show up in exactly the counters whose
+privilege filter includes OS — which is the entire mechanism behind the
+paper's user-vs-user+kernel error gap.
+
+``kernel_chunk`` builds a chunk with a representative kernel
+instruction mix (branchy, memory-heavy); the exact mix only shapes the
+cycle cost of kernel paths, never the instruction counts the study's
+ground truth depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.isa.block import Chunk
+from repro.isa.work import WorkVector
+
+
+def kernel_chunk(instructions: int, label: str) -> Chunk:
+    """A kernel code path of ``instructions`` with a typical mix.
+
+    The mix (≈12% branches, ≈22% loads, ≈14% stores) approximates
+    compiled kernel C; it feeds the timing model only.
+    """
+    if instructions < 0:
+        raise ConfigurationError(
+            f"kernel path {label!r} cannot have {instructions} instructions"
+        )
+    branches = (instructions * 12) // 100
+    loads = (instructions * 22) // 100
+    work = WorkVector(
+        instructions=instructions,
+        branches=branches,
+        taken_branches=(branches * 60) // 100,
+        loads=loads,
+        stores=(instructions * 14) // 100,
+        # Kernel paths walk cold structures: a few percent of their
+        # loads miss, polluting any concurrent cache-miss measurement.
+        dcache_misses=loads // 24,
+    )
+    return Chunk(work=work, label=label)
+
+
+@dataclass(frozen=True)
+class KernelCosts:
+    """Instruction counts of the generic (extension-independent) paths.
+
+    Values are representative of a 2.6-series IA32 kernel; they are the
+    fixed parts, to which each kernel build adds its extension hooks
+    (see :mod:`repro.kernel.calibration`).
+    """
+
+    #: int80/sysenter entry: save registers, find handler.
+    syscall_entry: int = 90
+    #: return to user: restore registers, check signals/resched.
+    syscall_exit: int = 96
+    #: interrupt entry: vector through IDT, save state.
+    irq_entry: int = 105
+    #: interrupt exit: restore, iret.
+    irq_exit: int = 70
+    #: generic timer-tick body: timekeeping, scheduler tick, vm stats.
+    timer_tick_body: int = 3000
+    #: full context switch excluding counter virtualization hooks.
+    context_switch: int = 650
+    #: cpufreq governor sample (only when the governor is ondemand).
+    governor_sample: int = 220
+
+    def syscall_entry_chunk(self) -> Chunk:
+        return kernel_chunk(self.syscall_entry, "kernel:syscall-entry")
+
+    def syscall_exit_chunk(self) -> Chunk:
+        return kernel_chunk(self.syscall_exit, "kernel:syscall-exit")
+
+    def irq_entry_chunk(self) -> Chunk:
+        return kernel_chunk(self.irq_entry, "kernel:irq-entry")
+
+    def irq_exit_chunk(self) -> Chunk:
+        return kernel_chunk(self.irq_exit, "kernel:irq-exit")
+
+    def timer_tick_chunk(self) -> Chunk:
+        return kernel_chunk(self.timer_tick_body, "kernel:timer-tick")
+
+    def context_switch_chunk(self) -> Chunk:
+        return kernel_chunk(self.context_switch, "kernel:context-switch")
+
+    def governor_chunk(self) -> Chunk:
+        return kernel_chunk(self.governor_sample, "kernel:governor")

@@ -1,0 +1,54 @@
+"""System-call dispatch.
+
+Counter extensions register handlers here under well-known numbers; the
+machine's :meth:`~repro.kernel.system.Machine.syscall` runs the full
+privileged round trip (user-mode trap instruction, kernel entry path,
+handler, kernel exit path, return to user).  The entry/exit paths are
+real retired kernel work — they are a large share of the fixed
+measurement error the paper quantifies in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SyscallError
+
+SyscallHandler = Callable[..., Any]
+
+
+class SyscallTable:
+    """Number → handler mapping, one per booted machine."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[int, SyscallHandler] = {}
+        self._names: dict[int, str] = {}
+        self.invocations: dict[int, int] = {}
+
+    def register(self, number: int, name: str, handler: SyscallHandler) -> None:
+        """Install a handler; numbers are single-owner."""
+        if number in self._handlers:
+            raise SyscallError(
+                f"syscall {number} already registered as {self._names[number]!r}"
+            )
+        self._handlers[number] = handler
+        self._names[number] = name
+
+    def dispatch(self, number: int, *args: Any) -> Any:
+        """Invoke the handler for ``number`` (kernel side)."""
+        try:
+            handler = self._handlers[number]
+        except KeyError:
+            raise SyscallError(f"unknown syscall number {number}") from None
+        self.invocations[number] = self.invocations.get(number, 0) + 1
+        return handler(*args)
+
+    def name_of(self, number: int) -> str:
+        try:
+            return self._names[number]
+        except KeyError:
+            raise SyscallError(f"unknown syscall number {number}") from None
+
+    def registered(self) -> dict[int, str]:
+        """Snapshot of the registered numbers (for diagnostics)."""
+        return dict(self._names)

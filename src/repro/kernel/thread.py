@@ -1,0 +1,27 @@
+"""Software threads.
+
+Hardware counters cannot tell threads apart (paper, Section 2.3); the
+kernel extensions hang their per-thread virtualized counter state off
+:attr:`Thread.ext_state` and swap it on context switches via the
+scheduler's switch listeners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(eq=False)
+class Thread:
+    """One schedulable software thread."""
+
+    tid: int
+    name: str
+    #: Per-extension state, keyed by extension name ("perfctr",
+    #: "perfmon"). The extensions own these objects entirely.
+    ext_state: dict[str, Any] = field(default_factory=dict)
+    alive: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Thread(tid={self.tid}, name={self.name!r})"

@@ -1,0 +1,27 @@
+"""PAPI: the portable performance API, over either kernel extension.
+
+PAPI trades accuracy for portability (paper, Section 2.4): the
+*low-level* API manages event sets and maps preset events onto native
+encodings; the *high-level* API wraps the low-level one with an even
+simpler counters-as-an-array model whose ``read_counters`` implicitly
+resets the counters — which is why the high-level API cannot express
+the read-read and read-stop access patterns (paper, Table 2).
+
+Each layer adds pure user-mode wrapper instructions on both sides of
+every call, so layering shows up identically in user and user+kernel
+errors (Figure 6: PH > PL > direct, on both substrates).
+"""
+
+from repro.papi.presets import PRESETS, Preset, preset_to_event
+from repro.papi.eventset import EventSet
+from repro.papi.lowlevel import PapiLowLevel
+from repro.papi.highlevel import PapiHighLevel
+
+__all__ = [
+    "EventSet",
+    "PRESETS",
+    "PapiHighLevel",
+    "PapiLowLevel",
+    "Preset",
+    "preset_to_event",
+]

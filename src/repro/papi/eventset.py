@@ -1,0 +1,44 @@
+"""PAPI event sets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.events import PrivFilter
+from repro.errors import ConfigurationError
+from repro.papi.presets import Preset
+
+
+@dataclass
+class EventSet:
+    """One PAPI event set: an ordered collection of preset events plus
+    a counting domain (privilege filter)."""
+
+    esi: int
+    events: list[Preset] = field(default_factory=list)
+    domain: PrivFilter = PrivFilter.USR
+    running: bool = False
+
+    def add(self, preset: Preset) -> None:
+        if self.running:
+            raise ConfigurationError(
+                f"event set {self.esi}: cannot add events while running"
+            )
+        if preset in self.events:
+            raise ConfigurationError(
+                f"event set {self.esi}: {preset.value} already added"
+            )
+        self.events.append(preset)
+
+    def set_domain(self, domain: PrivFilter) -> None:
+        if self.running:
+            raise ConfigurationError(
+                f"event set {self.esi}: cannot change domain while running"
+            )
+        if domain is PrivFilter.NONE:
+            raise ConfigurationError("counting domain cannot be empty")
+        self.domain = domain
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)

@@ -1,0 +1,105 @@
+"""The PAPI high-level API.
+
+The simplest programming model PAPI offers — and the most expensive:
+each call wraps the corresponding low-level operations in another layer
+of user-mode bookkeeping, and ``read_counters`` *implicitly resets* the
+counters after reading.  That reset is why the high-level API cannot
+express the read-read and read-stop patterns (paper, Table 2): a second
+read never sees the first read's baseline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import PrivFilter
+from repro.errors import CounterError
+from repro.isa.builder import user_code_chunk
+from repro.papi.lowlevel import PapiLowLevel
+from repro.papi.presets import Preset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+class PapiHighLevel:
+    """PAPI high-level API (PHpm / PHpc in the paper's Figure 2)."""
+
+    #: Wrapper instructions retired before/after the low-level work
+    #: (the high-level state lookup, array marshaling, rate caches).
+    WRAP_PRE = 46
+    WRAP_POST = 42
+
+    def __init__(self, machine: "Machine", domain: PrivFilter = PrivFilter.USR) -> None:
+        self.machine = machine
+        self.low = PapiLowLevel(machine)
+        self._domain = domain
+        self._esi: int | None = None
+
+    def library_init(self) -> None:
+        """Initialize the underlying library (implicit in real PAPI's
+        first high-level call; explicit here so measurements never
+        include it)."""
+        self.low.library_init()
+
+    # -- the high-level API ---------------------------------------------------
+
+    def num_counters(self) -> int:
+        """PAPI_num_counters."""
+        return self.machine.uarch.n_prog_counters
+
+    def start_counters(self, presets: list[Preset]) -> None:
+        """PAPI_start_counters: set up the hidden event set and start."""
+        if self._esi is not None:
+            raise CounterError("counters already started")
+        self._wrap_pre()
+        esi = self.low.create_eventset()
+        self.low.set_domain(esi, self._domain)
+        for preset in presets:
+            self.low.add_event(esi, preset)
+        self._esi = esi
+        self.low.start(esi)
+        self._wrap_post()
+
+    def read_counters(self) -> tuple[int, ...]:
+        """PAPI_read_counters: read *and reset* the counters."""
+        esi = self._require_started()
+        self._wrap_pre()
+        values = self.low.read(esi)
+        self.low.reset(esi)
+        self._wrap_post()
+        return values
+
+    def accum_counters(self, totals: list[int]) -> None:
+        """PAPI_accum_counters: add into ``totals`` and reset."""
+        esi = self._require_started()
+        self._wrap_pre()
+        self.low.accum(esi, totals)
+        self._wrap_post()
+
+    def stop_counters(self) -> tuple[int, ...]:
+        """PAPI_stop_counters: stop and return the final values."""
+        esi = self._require_started()
+        self._wrap_pre()
+        values = self.low.stop(esi)
+        self.low.destroy_eventset(esi)
+        self._esi = None
+        self._wrap_post()
+        return values
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _require_started(self) -> int:
+        if self._esi is None:
+            raise CounterError("counters not started (call start_counters())")
+        return self._esi
+
+    def _wrap_pre(self) -> None:
+        self.machine.core.execute_chunk(
+            user_code_chunk(self.WRAP_PRE, "papi:high-pre")
+        )
+
+    def _wrap_post(self) -> None:
+        self.machine.core.execute_chunk(
+            user_code_chunk(self.WRAP_POST, "papi:high-post")
+        )

@@ -1,0 +1,214 @@
+"""The PAPI low-level API.
+
+Richer than the high-level API (event sets, domains, reset/accum) and
+cheaper: one wrapper layer over the substrate library instead of two.
+Every call retires its wrapper halves in user mode around the substrate
+operation, so using PAPI costs the same extra instructions whether the
+counters are filtered to user or user+kernel — matching Figure 6's
+parallel orderings in both modes.
+
+The substrate is chosen by the booted kernel, exactly like a PAPI
+build: ``machine.kernel_name == "perfmon"`` → libpfm, ``"perfctr"`` →
+libperfctr (paper, Section 3.3's PLpm / PLpc).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import PrivFilter
+from repro.errors import ConfigurationError, CounterError
+from repro.isa.builder import user_code_chunk
+from repro.papi.eventset import EventSet
+from repro.papi.presets import Preset, preset_to_event
+from repro.perfctr.libperfctr import LibPerfctr
+from repro.perfmon.libpfm import LibPfm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+class PapiLowLevel:
+    """PAPI low-level API bound to one machine's kernel extension."""
+
+    #: Wrapper instructions retired before/after each API call's
+    #: substrate work (event-set lookup, state checks, value marshaling).
+    WRAP_PRE = 48
+    WRAP_POST = 40
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._initialized = False
+        self._eventsets: dict[int, EventSet] = {}
+        self._next_esi = 1
+        if machine.substrate_name == "perfmon":
+            self._substrate: LibPfm | LibPerfctr = LibPfm(machine)
+        elif machine.substrate_name == "perfctr":
+            self._substrate = LibPerfctr(machine)
+        else:
+            raise ConfigurationError(
+                f"PAPI needs a counter extension; kernel is {machine.kernel_name!r}"
+            )
+
+    @property
+    def substrate_name(self) -> str:
+        assert self.machine.substrate_name is not None
+        return self.machine.substrate_name
+
+    # -- initialization (outside any measurement interval) -----------------
+
+    def library_init(self) -> None:
+        """PAPI_library_init: probe the substrate, open the context."""
+        if isinstance(self._substrate, LibPfm):
+            self._substrate.create_context()
+        else:
+            self._substrate.open()
+        self._initialized = True
+
+    # -- event-set management ------------------------------------------------
+
+    def create_eventset(self) -> int:
+        """PAPI_create_eventset: returns the event-set index."""
+        self._require_init()
+        self._wrap_pre()
+        esi = self._next_esi
+        self._next_esi += 1
+        self._eventsets[esi] = EventSet(esi=esi)
+        self._wrap_post()
+        return esi
+
+    def add_event(self, esi: int, preset: Preset) -> None:
+        """PAPI_add_event: resolve the preset and append it."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        preset_to_event(preset, self.machine.uarch)  # availability check
+        eventset.add(preset)
+        self._wrap_post()
+
+    def set_domain(self, esi: int, domain: PrivFilter) -> None:
+        """PAPI_set_domain (per event set)."""
+        self._wrap_pre()
+        self._eventset(esi).set_domain(domain)
+        self._wrap_post()
+
+    def cleanup_eventset(self, esi: int) -> None:
+        """PAPI_cleanup_eventset: drop the events, keep the set."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        if eventset.running:
+            raise ConfigurationError(f"event set {esi} is running")
+        eventset.events.clear()
+        self._wrap_post()
+
+    def destroy_eventset(self, esi: int) -> None:
+        """PAPI_destroy_eventset."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        if eventset.running:
+            raise ConfigurationError(f"event set {esi} is running")
+        del self._eventsets[esi]
+        self._wrap_post()
+
+    # -- counting ---------------------------------------------------------------
+
+    def start(self, esi: int) -> None:
+        """PAPI_start: zero the counters and start counting."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        if eventset.running:
+            raise ConfigurationError(f"event set {esi} already running")
+        if not eventset.events:
+            raise ConfigurationError(f"event set {esi} has no events")
+        self._substrate_start(eventset)
+        eventset.running = True
+        self._wrap_post()
+
+    def read(self, esi: int) -> tuple[int, ...]:
+        """PAPI_read: sample the counters (they keep running)."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        values = self._substrate_read(eventset)
+        self._wrap_post()
+        return values
+
+    def stop(self, esi: int) -> tuple[int, ...]:
+        """PAPI_stop: stop counting and return the final values."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        if not eventset.running:
+            raise ConfigurationError(f"event set {esi} is not running")
+        self._substrate.stop()
+        values = self._substrate_read(eventset)
+        eventset.running = False
+        self._wrap_post()
+        return values
+
+    def reset(self, esi: int) -> None:
+        """PAPI_reset: zero the counters (running or not)."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        self._substrate_reset(eventset)
+        self._wrap_post()
+
+    def accum(self, esi: int, totals: list[int]) -> None:
+        """PAPI_accum: add current values into ``totals`` and reset."""
+        self._wrap_pre()
+        eventset = self._eventset(esi)
+        values = self._substrate_read(eventset)
+        for index, value in enumerate(values):
+            totals[index] += value
+        self._substrate_reset(eventset)
+        self._wrap_post()
+
+    # -- substrate dispatch ------------------------------------------------------
+
+    def _substrate_start(self, eventset: EventSet) -> None:
+        events = self._native_events(eventset)
+        if isinstance(self._substrate, LibPfm):
+            self._substrate.write_pmcs(events)
+            self._substrate.write_pmds(None)
+            self._substrate.load_context()
+            self._substrate.start()
+        else:
+            # PAPI's perfctr substrate always includes the TSC: the
+            # fast user-mode read path depends on it.
+            self._substrate.control(events, tsc_on=True)
+
+    def _substrate_read(self, eventset: EventSet) -> tuple[int, ...]:
+        if isinstance(self._substrate, LibPfm):
+            return self._substrate.read_pmds(eventset.n_events)
+        return self._substrate.read().pmcs
+
+    def _substrate_reset(self, eventset: EventSet) -> None:
+        if isinstance(self._substrate, LibPfm):
+            self._substrate.write_pmds(None)
+        else:
+            self._substrate.control(self._native_events(eventset), tsc_on=True)
+
+    def _native_events(self, eventset: EventSet):
+        return tuple(
+            (preset_to_event(preset, self.machine.uarch), eventset.domain)
+            for preset in eventset.events
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _eventset(self, esi: int) -> EventSet:
+        try:
+            return self._eventsets[esi]
+        except KeyError:
+            raise CounterError(f"unknown event set {esi}") from None
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise CounterError("PAPI not initialized (call library_init())")
+
+    def _wrap_pre(self) -> None:
+        self.machine.core.execute_chunk(
+            user_code_chunk(self.WRAP_PRE, "papi:low-pre")
+        )
+
+    def _wrap_post(self) -> None:
+        self.machine.core.execute_chunk(
+            user_code_chunk(self.WRAP_POST, "papi:low-post")
+        )

@@ -1,0 +1,70 @@
+"""PAPI preset events.
+
+PAPI's processor-independence comes from *preset* events that each
+platform substrate maps onto native encodings (paper, Section 2.4).
+We model the presets the study and its extensions need; availability
+on a given processor is decided by the µarch's native event table,
+exactly like ``PAPI_query_event``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.cpu.events import Event
+from repro.cpu.models.base import MicroArch
+from repro.errors import UnsupportedEventError
+
+
+class Preset(enum.Enum):
+    """The PAPI preset events this reproduction supports."""
+
+    PAPI_TOT_INS = "PAPI_TOT_INS"
+    PAPI_TOT_CYC = "PAPI_TOT_CYC"
+    PAPI_BR_INS = "PAPI_BR_INS"
+    PAPI_BR_TKN = "PAPI_BR_TKN"
+    PAPI_BR_MSP = "PAPI_BR_MSP"
+    PAPI_LD_INS = "PAPI_LD_INS"
+    PAPI_SR_INS = "PAPI_SR_INS"
+    PAPI_L1_DCM = "PAPI_L1_DCM"
+    PAPI_L1_ICM = "PAPI_L1_ICM"
+    PAPI_TLB_IM = "PAPI_TLB_IM"
+    PAPI_BUS_CYC = "PAPI_BUS_CYC"
+
+
+#: Preset → architectural event.
+PRESETS: dict[Preset, Event] = {
+    Preset.PAPI_TOT_INS: Event.INSTR_RETIRED,
+    Preset.PAPI_TOT_CYC: Event.CYCLES,
+    Preset.PAPI_BR_INS: Event.BRANCHES_RETIRED,
+    Preset.PAPI_BR_TKN: Event.TAKEN_BRANCHES,
+    Preset.PAPI_BR_MSP: Event.BRANCH_MISSES,
+    Preset.PAPI_LD_INS: Event.LOADS_RETIRED,
+    Preset.PAPI_SR_INS: Event.STORES_RETIRED,
+    Preset.PAPI_L1_DCM: Event.DCACHE_MISSES,
+    Preset.PAPI_L1_ICM: Event.L1I_MISSES,
+    Preset.PAPI_TLB_IM: Event.ITLB_MISSES,
+    Preset.PAPI_BUS_CYC: Event.BUS_CYCLES,
+}
+
+
+def preset_to_event(preset: Preset, uarch: MicroArch) -> Event:
+    """Resolve a preset on a processor (``PAPI_query_event`` semantics).
+
+    Raises:
+        UnsupportedEventError: the processor has no native encoding.
+    """
+    event = PRESETS[preset]
+    if not uarch.supports_event(event):
+        raise UnsupportedEventError(
+            f"{preset.value} has no native event on {uarch.key}"
+        )
+    return event
+
+
+def event_to_preset(event: Event) -> Preset:
+    """Inverse mapping (used by diagnostics and tests)."""
+    for preset, mapped in PRESETS.items():
+        if mapped is event:
+            return preset
+    raise UnsupportedEventError(f"no preset maps to {event.value}")

@@ -1,0 +1,35 @@
+"""The perfctr kernel extension and its user-space library.
+
+perfctr (Mikael Pettersson) virtualizes per-thread counters and — its
+signature feature — maps the per-thread counter state into user space
+so that reads can run entirely in user mode: RDTSC to detect that no
+context switch invalidated the mapped snapshot, RDPMC per active
+counter, plus a handful of arithmetic instructions.  That fast path
+*requires the TSC to be enabled in the counter control*; without it the
+library must fall back to a system call, which is why disabling the TSC
+— seemingly less work — *increases* the measurement error (paper,
+Section 4.1, Figure 4).
+"""
+
+from repro.perfctr.kext import (
+    PerfctrKext,
+    VPerfctrControl,
+    SYS_VPERFCTR_OPEN,
+    SYS_VPERFCTR_CONTROL,
+    SYS_VPERFCTR_READ,
+    SYS_VPERFCTR_STOP,
+    SYS_VPERFCTR_UNLINK,
+)
+from repro.perfctr.libperfctr import LibPerfctr, PerfctrSample
+
+__all__ = [
+    "LibPerfctr",
+    "PerfctrKext",
+    "PerfctrSample",
+    "SYS_VPERFCTR_CONTROL",
+    "SYS_VPERFCTR_OPEN",
+    "SYS_VPERFCTR_READ",
+    "SYS_VPERFCTR_STOP",
+    "SYS_VPERFCTR_UNLINK",
+    "VPerfctrControl",
+]

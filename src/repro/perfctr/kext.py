@@ -1,0 +1,284 @@
+"""The perfctr kernel extension.
+
+Kernel-side implementation of per-thread ("virtualized") counters in
+the style of the perfctr 2.6.29 patch the paper uses: a per-thread
+state object holding the counter control, accumulated sums, and the
+hardware start values of the currently-scheduled interval; syscalls to
+program/start, read, and stop; and a context-switch hook that suspends
+and resumes the hardware counters around thread switches.
+
+Instruction accounting is the whole point: every handler retires real
+kernel work through the core, ordered so that the *measured* counter is
+enabled last (on start) and disabled first (on stop).  The instructions
+that retire between those two points are exactly the measurement error
+the paper's Section 4 quantifies — nothing here computes an "error"
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.msr import MSR_PERFCTR_BASE, MSR_PERFEVTSEL_BASE, encode_evtsel
+from repro.cpu.pmu import CounterConfig
+from repro.errors import CounterAllocationError, CounterError, SyscallError
+from repro.kernel.kcode import kernel_chunk
+from repro.kernel.thread import Thread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+SYS_VPERFCTR_OPEN = 333
+SYS_VPERFCTR_CONTROL = 334
+SYS_VPERFCTR_READ = 335
+SYS_VPERFCTR_STOP = 336
+SYS_VPERFCTR_UNLINK = 337
+
+
+@dataclass(frozen=True)
+class VPerfctrControl:
+    """User-supplied counter control: which events, which privilege
+    levels, and whether the TSC is included (the fast-read enabler)."""
+
+    events: tuple[tuple[Event, PrivFilter], ...]
+    tsc_on: bool = True
+
+    @property
+    def nractrs(self) -> int:
+        return len(self.events)
+
+
+@dataclass
+class VPerfctrState:
+    """Per-thread virtualized counter state (the mapped state page)."""
+
+    control: VPerfctrControl | None = None
+    active: bool = False
+    start_values: list[int] = field(default_factory=list)
+    start_tsc: int = 0
+    sums: list[int] = field(default_factory=list)
+    sum_tsc: int = 0
+    #: Incremented on every suspend; the user-mode fast read checks it
+    #: (sequence-lock style) to detect context switches.
+    resume_count: int = 0
+
+
+class PerfctrKext:
+    """perfctr, installed into one machine's kernel."""
+
+    name = "perfctr"
+
+    # Instruction counts of the driver's code paths (Core2 baseline;
+    # scaled by the µarch's driver_cost_scale).  See DESIGN.md §5 for
+    # the calibration targets these serve.
+    OPEN_BODY = 240
+    CONTROL_SETUP_BASE = 40        # validate + locate state
+    CONTROL_SETUP_PER_CTR = 12     # compute evtsel value etc.
+    CONTROL_TAIL = 4               # after the measured counter enables
+    READ_SLOW_PRE = 130            # entry + validation, before sampling
+    READ_SLOW_PER_CTR = 14
+    READ_SLOW_POST = 1050          # state dump + copy_to_user
+    #: The dump covers the *hardware's* full counter file (perfctr's
+    #: per-thread state is sized by the µarch) — 18 counters on
+    #: NetBurst, which is how the slowest configurations in the paper's
+    #: Figure 1 exceed 10 000 user+kernel instructions.
+    READ_SLOW_POST_PER_HW_CTR = 260
+    STOP_HEAD = 12                 # before the measured counter disables
+    STOP_TAIL = 160                # sample remaining + bookkeeping
+    UNLINK_BODY = 180
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._scale = machine.uarch.driver_cost_scale
+        syscalls = machine.syscalls
+        syscalls.register(SYS_VPERFCTR_OPEN, "vperfctr_open", self._sys_open)
+        syscalls.register(SYS_VPERFCTR_CONTROL, "vperfctr_control", self._sys_control)
+        syscalls.register(SYS_VPERFCTR_READ, "vperfctr_read", self._sys_read)
+        syscalls.register(SYS_VPERFCTR_STOP, "vperfctr_stop", self._sys_stop)
+        syscalls.register(SYS_VPERFCTR_UNLINK, "vperfctr_unlink", self._sys_unlink)
+        machine.scheduler.add_switch_listener(self._on_context_switch)
+        self._switch_chunk = kernel_chunk(
+            machine.build.ext_switch_hook, "perfctr:switch-hook"
+        )
+
+    # -- user-visible state (the mapped page) ------------------------------
+
+    def state_of(self, thread: Thread) -> VPerfctrState:
+        """The thread's state page; user space reads it without a syscall."""
+        try:
+            return thread.ext_state[self.name]
+        except KeyError:
+            raise CounterError(
+                f"thread {thread.name!r} has no vperfctr (call vperfctr_open)"
+            ) from None
+
+    # -- syscall handlers ----------------------------------------------------
+
+    def _sys_open(self) -> int:
+        thread = self.machine.current_thread
+        self._retire(self.OPEN_BODY, "perfctr:open")
+        thread.ext_state[self.name] = VPerfctrState()
+        # perfctr sets CR4.PCE so its mapped-page fast reads can RDPMC
+        # from user mode.
+        self.machine.core.user_rdpmc_enabled = True
+        return 0
+
+    def _sys_control(self, control: VPerfctrControl) -> int:
+        """Program and (re)start the thread's counters.
+
+        The measured counter — by convention the caller's first event —
+        is enabled by the *last* MSR write, so the programming work for
+        additional counters stays invisible to it, while the handler
+        tail and syscall exit path are counted: the paper's start-read
+        fixed cost.
+        """
+        core = self.machine.core
+        state = self.state_of(self.machine.current_thread)
+        pmu = core.pmu
+        if control.nractrs > pmu.n_programmable:
+            raise CounterAllocationError(
+                f"{control.nractrs} counters requested, "
+                f"{pmu.n_programmable} available"
+            )
+        self._retire(
+            self.CONTROL_SETUP_BASE
+            + self.CONTROL_SETUP_PER_CTR * control.nractrs,
+            "perfctr:control-setup",
+        )
+        # Program disabled, clear values: extra counters first, the
+        # measured counter (index 0) last.
+        msr_writes = self.machine.uarch.pmc_msr_writes_per_counter
+        for index in reversed(range(control.nractrs)):
+            event, priv = control.events[index]
+            config = CounterConfig(event=event, priv=priv, enabled=False)
+            code = self.machine.uarch.event_code(event)
+            core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+            core.wrmsr(MSR_PERFCTR_BASE + index, 0)
+            # NetBurst's ESCR/CCCR scheme needs a third write per counter.
+            for _ in range(msr_writes - 2):
+                core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+        state.control = control
+        state.sums = [0] * control.nractrs
+        state.sum_tsc = 0
+        state.start_values = [0] * control.nractrs
+        state.start_tsc = core.pmu.read_tsc()
+        state.active = True
+        state.resume_count += 1
+        # Enable: extras first, measured counter last.
+        for index in reversed(range(control.nractrs)):
+            event, priv = control.events[index]
+            config = CounterConfig(event=event, priv=priv, enabled=True)
+            code = self.machine.uarch.event_code(event)
+            core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+        self._retire(self.CONTROL_TAIL, "perfctr:control-tail")
+        return 0
+
+    def _sys_read(self) -> "list[int]":
+        """Slow (syscall) read: used when the TSC is disabled.
+
+        Samples early, then performs the expensive state resync — which
+        is why a measurement *beginning* with a slow read (read-read,
+        read-stop) inherits a large counted tail (Figure 4).
+        """
+        core = self.machine.core
+        state = self.state_of(self.machine.current_thread)
+        self._require_control(state)
+        self._retire(self.READ_SLOW_PRE, "perfctr:read-pre")
+        values: list[int] = []
+        assert state.control is not None
+        for index in range(state.control.nractrs):
+            hw = core.rdpmc(index)
+            self._retire(self.READ_SLOW_PER_CTR, "perfctr:read-ctr")
+            values.append(state.sums[index] + (hw - state.start_values[index]))
+        self._retire(
+            self.READ_SLOW_POST
+            + self.READ_SLOW_POST_PER_HW_CTR * core.pmu.n_programmable,
+            "perfctr:read-post",
+        )
+        return values
+
+    def _sys_stop(self) -> int:
+        """Stop counting: the measured counter disables first."""
+        core = self.machine.core
+        state = self.state_of(self.machine.current_thread)
+        self._require_control(state)
+        assert state.control is not None
+        self._retire(self.STOP_HEAD, "perfctr:stop-head")
+        for index in range(state.control.nractrs):
+            event, priv = state.control.events[index]
+            config = CounterConfig(event=event, priv=priv, enabled=False)
+            code = self.machine.uarch.event_code(event)
+            core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+        # Fold the hardware values into the sums (now uncounted).
+        for index in range(state.control.nractrs):
+            hw = core.rdpmc(index)
+            state.sums[index] += hw - state.start_values[index]
+            state.start_values[index] = hw
+        state.sum_tsc += core.pmu.read_tsc() - state.start_tsc
+        state.start_tsc = core.pmu.read_tsc()
+        state.active = False
+        self._retire(self.STOP_TAIL, "perfctr:stop-tail")
+        return 0
+
+    def _sys_unlink(self) -> int:
+        thread = self.machine.current_thread
+        self._retire(self.UNLINK_BODY, "perfctr:unlink")
+        thread.ext_state.pop(self.name, None)
+        return 0
+
+    # -- context-switch virtualization ---------------------------------------
+
+    def _on_context_switch(self, previous: Thread, incoming: Thread) -> None:
+        """Suspend the outgoing thread's counters, resume the incoming's."""
+        core = self.machine.core
+        prev_state = previous.ext_state.get(self.name)
+        next_state = incoming.ext_state.get(self.name)
+        if prev_state is None and next_state is None:
+            return
+        core.execute_chunk(self._switch_chunk)
+        if prev_state is not None and prev_state.active:
+            self._suspend(prev_state)
+        if next_state is not None and next_state.active:
+            self._resume(next_state)
+        else:
+            core.pmu.disable_all()
+
+    def _suspend(self, state: VPerfctrState) -> None:
+        core = self.machine.core
+        assert state.control is not None
+        for index in range(state.control.nractrs):
+            core.pmu.disable(index)
+            hw = core.pmu.read(index)
+            state.sums[index] += hw - state.start_values[index]
+            # Re-base the start value: an in-flight mapped-page read
+            # computing sums + (hw - start) must not double-count.
+            state.start_values[index] = hw
+        state.sum_tsc += core.pmu.read_tsc() - state.start_tsc
+        state.start_tsc = core.pmu.read_tsc()
+        # The sequence count moves on suspend too, so a fast read that
+        # straddles the switch retries against consistent state.
+        state.resume_count += 1
+
+    def _resume(self, state: VPerfctrState) -> None:
+        core = self.machine.core
+        assert state.control is not None
+        for index in range(state.control.nractrs):
+            event, priv = state.control.events[index]
+            core.pmu.program(
+                index, CounterConfig(event=event, priv=priv, enabled=True)
+            )
+            state.start_values[index] = core.pmu.read(index)
+        state.start_tsc = core.pmu.read_tsc()
+        state.resume_count += 1
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _require_control(self, state: VPerfctrState) -> None:
+        if state.control is None:
+            raise SyscallError("vperfctr not programmed (call vperfctr_control)")
+
+    def _retire(self, instructions: int, label: str) -> None:
+        scaled = int(round(instructions * self._scale))
+        self.machine.core.execute_chunk(kernel_chunk(scaled, label))

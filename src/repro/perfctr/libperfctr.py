@@ -1,0 +1,210 @@
+"""libperfctr: the user-space library over the perfctr extension.
+
+The library's signature feature is the *fast user-mode read*
+(``read()``): because the kernel maps the per-thread counter state into
+user space and sets CR4.PCE, reading the virtualized counters is pure
+user-mode code — RDTSC (to detect an intervening context switch via the
+state page's resume count), one RDPMC per active counter, and a little
+arithmetic.  No kernel entry at all.
+
+That path exists only when the counter control includes the TSC; with
+``tsc_on=False`` the library cannot validate its snapshot and falls
+back to the read system call — the mechanism behind the paper's
+Figure 4 (disabling the TSC *increases* the error).
+
+The read samples the caller's first event *last*, so that per-counter
+read work for additional counters lands ahead of the measured sample —
+matching the ~13-instructions-per-extra-register growth the paper
+reports for perfctr's read-read pattern (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import CounterError
+from repro.isa.builder import user_code_chunk
+from repro.perfctr.kext import (
+    PerfctrKext,
+    SYS_VPERFCTR_CONTROL,
+    SYS_VPERFCTR_OPEN,
+    SYS_VPERFCTR_READ,
+    SYS_VPERFCTR_STOP,
+    SYS_VPERFCTR_UNLINK,
+    VPerfctrControl,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+@dataclass(frozen=True)
+class PerfctrSample:
+    """One snapshot of the virtualized counters."""
+
+    pmcs: tuple[int, ...]
+    tsc: int | None
+
+
+@dataclass(frozen=True)
+class _ReadPathCosts:
+    """User-instruction counts of the cpu-specific fast read routine."""
+
+    prologue: int
+    per_counter_arith: int
+    epilogue: int
+
+
+#: Per-µarch fast-read routines.  NetBurst's is much heavier: reading a
+#: P4 counter means navigating the ESCR/CCCR pairing in the mapped
+#: control, which costs several times the PERFEVTSEL-style cores.
+_READ_PATHS: dict[str, _ReadPathCosts] = {
+    "PD": _ReadPathCosts(prologue=88, per_counter_arith=36, epilogue=52),
+    "CD": _ReadPathCosts(prologue=40, per_counter_arith=12, epilogue=30),
+    "K8": _ReadPathCosts(prologue=40, per_counter_arith=12, epilogue=30),
+}
+_DEFAULT_READ_PATH = _ReadPathCosts(prologue=40, per_counter_arith=12, epilogue=30)
+
+
+class LibPerfctr:
+    """User-space handle on the current thread's virtual counters."""
+
+    OPEN_PRE = 20
+    OPEN_POST = 18
+    CONTROL_PRE_BASE = 22
+    CONTROL_PRE_PER_CTR = 4
+    CONTROL_POST = 25
+    #: Slow-path (TSC off) user-mode costs.  Without the TSC the mapped
+    #: snapshot cannot be validated, so the library asks the kernel for
+    #: a raw state dump and reconstructs the per-counter sums in user
+    #: space — a large user-mode tail, which is why Figure 4 shows the
+    #: TSC-off penalty in *user-mode* counts too (median 1698 for
+    #: read-read on CD).  NetBurst's state dump is bigger still.
+    READ_SLOW_PRE = 35
+    READ_SLOW_POST = 1640
+    READ_SLOW_POST_NETBURST = 2430
+    STOP_PRE = 40
+    STOP_POST = 8
+    UNLINK_PRE = 10
+    UNLINK_POST = 6
+
+    def __init__(self, machine: "Machine") -> None:
+        if not isinstance(machine.extension, PerfctrKext):
+            raise CounterError(
+                "libperfctr needs a perfctr-patched kernel "
+                f"(machine runs {machine.kernel_name!r})"
+            )
+        self.machine = machine
+        self.kext: PerfctrKext = machine.extension
+        self._read_path = _READ_PATHS.get(machine.uarch.key, _DEFAULT_READ_PATH)
+        self._opened = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def open(self) -> None:
+        """vperfctr_open(): create and map this thread's state page."""
+        self._user_code(self.OPEN_PRE, "libperfctr:open-pre")
+        self.machine.syscall(SYS_VPERFCTR_OPEN)
+        self._user_code(self.OPEN_POST, "libperfctr:open-post")
+        self._opened = True
+
+    def unlink(self) -> None:
+        """vperfctr_unlink(): detach and free the state."""
+        self._user_code(self.UNLINK_PRE, "libperfctr:unlink-pre")
+        self.machine.syscall(SYS_VPERFCTR_UNLINK)
+        self._user_code(self.UNLINK_POST, "libperfctr:unlink-post")
+        self._opened = False
+
+    # -- control -----------------------------------------------------------
+
+    def control(
+        self,
+        events: tuple[tuple[Event, PrivFilter], ...],
+        tsc_on: bool = True,
+    ) -> None:
+        """Program and start counting (clears sums; resumes counters)."""
+        self._require_open()
+        control = VPerfctrControl(events=events, tsc_on=tsc_on)
+        self._user_code(
+            self.CONTROL_PRE_BASE + self.CONTROL_PRE_PER_CTR * control.nractrs,
+            "libperfctr:control-pre",
+        )
+        self.machine.syscall(SYS_VPERFCTR_CONTROL, control)
+        self._user_code(self.CONTROL_POST, "libperfctr:control-post")
+
+    def stop(self) -> None:
+        """Suspend counting (sums retain their values)."""
+        self._require_open()
+        self._user_code(self.STOP_PRE, "libperfctr:stop-pre")
+        self.machine.syscall(SYS_VPERFCTR_STOP)
+        self._user_code(self.STOP_POST, "libperfctr:stop-post")
+
+    # -- reading -----------------------------------------------------------
+
+    def read(self) -> PerfctrSample:
+        """Read the virtualized counters.
+
+        Fast user-mode path when the TSC is enabled in the control;
+        system-call fallback otherwise.
+        """
+        self._require_open()
+        state = self.kext.state_of(self.machine.current_thread)
+        if state.control is None:
+            raise CounterError("counters not programmed (call control())")
+        if state.control.tsc_on:
+            return self._read_fast()
+        return self._read_slow()
+
+    def _read_fast(self) -> PerfctrSample:
+        core = self.machine.core
+        state = self.kext.state_of(self.machine.current_thread)
+        assert state.control is not None
+        costs = self._read_path
+        for _attempt in range(64):
+            self._user_code(costs.prologue, "libperfctr:fast-read-prologue")
+            resume_before = state.resume_count
+            tsc_hw = core.rdtsc()
+            values = [0] * state.control.nractrs
+            # Extra counters first; the measured counter (index 0)
+            # samples last.
+            for index in reversed(range(state.control.nractrs)):
+                if state.active:
+                    hw = core.rdpmc(index)
+                    values[index] = state.sums[index] + (
+                        hw - state.start_values[index]
+                    )
+                else:
+                    values[index] = state.sums[index]
+                self._user_code(
+                    costs.per_counter_arith, "libperfctr:fast-read-ctr"
+                )
+            tsc = state.sum_tsc + (
+                (tsc_hw - state.start_tsc) if state.active else 0
+            )
+            self._user_code(costs.epilogue, "libperfctr:fast-read-epilogue")
+            if state.resume_count == resume_before:
+                return PerfctrSample(pmcs=tuple(values), tsc=tsc)
+            # A context switch invalidated the snapshot: retry.
+        raise CounterError("fast read failed to obtain a stable snapshot")
+
+    def _read_slow(self) -> PerfctrSample:
+        self._user_code(self.READ_SLOW_PRE, "libperfctr:slow-read-pre")
+        values = self.machine.syscall(SYS_VPERFCTR_READ)
+        post = (
+            self.READ_SLOW_POST_NETBURST
+            if self.machine.uarch.key == "PD"
+            else self.READ_SLOW_POST
+        )
+        self._user_code(post, "libperfctr:slow-read-post")
+        return PerfctrSample(pmcs=tuple(values), tsc=None)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._opened:
+            raise CounterError("vperfctr not open (call open())")
+
+    def _user_code(self, instructions: int, label: str) -> None:
+        self.machine.core.execute_chunk(user_code_chunk(instructions, label))

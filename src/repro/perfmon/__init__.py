@@ -1,0 +1,44 @@
+"""The perfmon2 kernel extension and libpfm.
+
+perfmon2 (Stephane Eranian) exposes per-thread counter contexts through
+a family of system calls: contexts are created, programmed (PMCs),
+primed (PMDs), loaded onto a thread, started, stopped, and read — all
+via the kernel.  There is no user-mode read path: every access pays the
+privileged round trip, but the user-mode *footprint* of each call is a
+tiny stub.
+
+That asymmetry is the paper's central perfmon result: the best perfmon
+pattern has an error of only ~37 user-mode instructions (the two stub
+halves around the kernel samples), while the same pattern's user+kernel
+error is ~726 instructions of kernel path (Section 4.2, Table 3), and
+each additional measured register adds ~112 instructions of kernel
+read-loop to read-based patterns (Figure 5).
+"""
+
+from repro.perfmon.kext import (
+    PerfmonKext,
+    PfmContext,
+    SYS_PFM_CREATE_CONTEXT,
+    SYS_PFM_LOAD_CONTEXT,
+    SYS_PFM_READ_PMDS,
+    SYS_PFM_START,
+    SYS_PFM_STOP,
+    SYS_PFM_UNLOAD_CONTEXT,
+    SYS_PFM_WRITE_PMCS,
+    SYS_PFM_WRITE_PMDS,
+)
+from repro.perfmon.libpfm import LibPfm
+
+__all__ = [
+    "LibPfm",
+    "PerfmonKext",
+    "PfmContext",
+    "SYS_PFM_CREATE_CONTEXT",
+    "SYS_PFM_LOAD_CONTEXT",
+    "SYS_PFM_READ_PMDS",
+    "SYS_PFM_START",
+    "SYS_PFM_STOP",
+    "SYS_PFM_UNLOAD_CONTEXT",
+    "SYS_PFM_WRITE_PMCS",
+    "SYS_PFM_WRITE_PMDS",
+]

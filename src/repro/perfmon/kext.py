@@ -1,0 +1,271 @@
+"""The perfmon2 kernel extension.
+
+All counter access is syscall-based.  The accounting-relevant structure
+of each handler (what retires before vs. after the measured counter's
+enable/disable/sample point) is:
+
+* ``pfm_start``: context validation and per-counter PMU loading happen
+  *before* the counters enable (invisible to them); a sizeable
+  bookkeeping tail retires *after* — the counted fixed cost of every
+  start-based pattern.
+* ``pfm_stop``: a sizeable head retires while counters still run; the
+  measured counter is disabled first, then the remaining state saves
+  invisibly.
+* ``pfm_read_pmds``: argument copy-in retires before the sample (and
+  grows ~8 instructions per requested counter); the measured counter
+  samples at the top of the read loop, so the rest of the loop (~104
+  instructions per counter), the copy-out, and the exit path are all
+  counted — the paper's ~112-instructions-per-extra-register growth of
+  read-based patterns in user+kernel mode (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.msr import MSR_PERFCTR_BASE, MSR_PERFEVTSEL_BASE, encode_evtsel
+from repro.cpu.pmu import CounterConfig
+from repro.errors import CounterAllocationError, SyscallError
+from repro.kernel.kcode import kernel_chunk
+from repro.kernel.thread import Thread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+SYS_PFM_CREATE_CONTEXT = 340
+SYS_PFM_WRITE_PMCS = 341
+SYS_PFM_WRITE_PMDS = 342
+SYS_PFM_LOAD_CONTEXT = 343
+SYS_PFM_START = 344
+SYS_PFM_STOP = 345
+SYS_PFM_READ_PMDS = 346
+SYS_PFM_UNLOAD_CONTEXT = 347
+
+
+@dataclass
+class PfmContext:
+    """One perfmon2 per-thread monitoring context."""
+
+    events: tuple[tuple[Event, PrivFilter], ...] = ()
+    loaded: bool = False
+    started: bool = False
+    #: Virtualized 64-bit counter values.
+    pmds: list[int] = field(default_factory=list)
+    #: Hardware values at the moment counting last (re)started.
+    hw_start: list[int] = field(default_factory=list)
+
+
+class PerfmonKext:
+    """perfmon2, installed into one machine's kernel."""
+
+    name = "perfmon"
+
+    # Instruction counts of the driver's code paths (Core2 baseline;
+    # scaled by the µarch's driver_cost_scale).  Calibration targets in
+    # DESIGN.md §5.
+    CREATE_BODY = 420
+    WRITE_PMCS_BASE = 90
+    WRITE_PMCS_PER_CTR = 30
+    WRITE_PMDS_BASE = 70
+    WRITE_PMDS_PER_CTR = 18
+    LOAD_BODY = 260
+    START_PRE_BASE = 80          # before counters enable (uncounted)
+    START_PRE_PER_CTR = 25
+    START_TAIL = 310             # after the measured counter enables
+    STOP_HEAD = 300              # before the measured counter disables
+    STOP_TAIL_PER_CTR = 22       # state save after disable (uncounted)
+    READ_PRE_BASE = 230          # copy-in + validation, before sampling
+    READ_PRE_PER_CTR = 8
+    READ_LOOP_AFTER_SAMPLE = 103  # per-counter loop work after RDPMC
+    READ_POST = 160              # copy-out + bookkeeping
+    UNLOAD_BODY = 300
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self._scale = machine.uarch.driver_cost_scale
+        syscalls = machine.syscalls
+        syscalls.register(SYS_PFM_CREATE_CONTEXT, "pfm_create_context", self._sys_create)
+        syscalls.register(SYS_PFM_WRITE_PMCS, "pfm_write_pmcs", self._sys_write_pmcs)
+        syscalls.register(SYS_PFM_WRITE_PMDS, "pfm_write_pmds", self._sys_write_pmds)
+        syscalls.register(SYS_PFM_LOAD_CONTEXT, "pfm_load_context", self._sys_load)
+        syscalls.register(SYS_PFM_START, "pfm_start", self._sys_start)
+        syscalls.register(SYS_PFM_STOP, "pfm_stop", self._sys_stop)
+        syscalls.register(SYS_PFM_READ_PMDS, "pfm_read_pmds", self._sys_read_pmds)
+        syscalls.register(SYS_PFM_UNLOAD_CONTEXT, "pfm_unload_context", self._sys_unload)
+        machine.scheduler.add_switch_listener(self._on_context_switch)
+        self._switch_chunk = kernel_chunk(
+            machine.build.ext_switch_hook, "perfmon:switch-hook"
+        )
+
+    # -- context lookup ------------------------------------------------------
+
+    def context_of(self, thread: Thread) -> PfmContext:
+        try:
+            return thread.ext_state[self.name]
+        except KeyError:
+            raise SyscallError(
+                f"thread {thread.name!r} has no perfmon context"
+            ) from None
+
+    # -- syscall handlers -------------------------------------------------------
+
+    def _sys_create(self) -> int:
+        thread = self.machine.current_thread
+        self._retire(self.CREATE_BODY, "perfmon:create")
+        thread.ext_state[self.name] = PfmContext()
+        return 0
+
+    def _sys_write_pmcs(
+        self, events: tuple[tuple[Event, PrivFilter], ...]
+    ) -> int:
+        ctx = self.context_of(self.machine.current_thread)
+        pmu = self.machine.core.pmu
+        if len(events) > pmu.n_programmable:
+            raise CounterAllocationError(
+                f"{len(events)} counters requested, "
+                f"{pmu.n_programmable} available"
+            )
+        self._retire(
+            self.WRITE_PMCS_BASE + self.WRITE_PMCS_PER_CTR * len(events),
+            "perfmon:write-pmcs",
+        )
+        ctx.events = tuple(events)
+        ctx.pmds = [0] * len(events)
+        ctx.hw_start = [0] * len(events)
+        return 0
+
+    def _sys_write_pmds(self, values: tuple[int, ...]) -> int:
+        """Prime the virtual counters (the patterns' "reset")."""
+        ctx = self.context_of(self.machine.current_thread)
+        if len(values) != len(ctx.events):
+            raise SyscallError(
+                f"write_pmds: {len(values)} values for {len(ctx.events)} counters"
+            )
+        self._retire(
+            self.WRITE_PMDS_BASE + self.WRITE_PMDS_PER_CTR * len(values),
+            "perfmon:write-pmds",
+        )
+        ctx.pmds = list(values)
+        core = self.machine.core
+        for index in range(len(ctx.events)):
+            core.wrmsr(MSR_PERFCTR_BASE + index, 0)
+            ctx.hw_start[index] = 0
+        return 0
+
+    def _sys_load(self) -> int:
+        ctx = self.context_of(self.machine.current_thread)
+        if not ctx.events:
+            raise SyscallError("pfm_load_context before pfm_write_pmcs")
+        self._retire(self.LOAD_BODY, "perfmon:load")
+        ctx.loaded = True
+        return 0
+
+    def _sys_start(self) -> int:
+        core = self.machine.core
+        ctx = self.context_of(self.machine.current_thread)
+        if not ctx.loaded:
+            raise SyscallError("pfm_start before pfm_load_context")
+        # Pre-enable work: invisible to the counters being started.
+        self._retire(
+            self.START_PRE_BASE + self.START_PRE_PER_CTR * len(ctx.events),
+            "perfmon:start-pre",
+        )
+        # Enable: extras first, the measured counter (index 0) last.
+        for index in reversed(range(len(ctx.events))):
+            event, priv = ctx.events[index]
+            config = CounterConfig(event=event, priv=priv, enabled=True)
+            code = self.machine.uarch.event_code(event)
+            core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+            ctx.hw_start[index] = core.pmu.read(index)
+        ctx.started = True
+        self._retire(self.START_TAIL, "perfmon:start-tail")
+        return 0
+
+    def _sys_stop(self) -> int:
+        core = self.machine.core
+        ctx = self.context_of(self.machine.current_thread)
+        if not ctx.loaded:
+            raise SyscallError("pfm_stop before pfm_load_context")
+        self._retire(self.STOP_HEAD, "perfmon:stop-head")
+        # Disable: the measured counter (index 0) first.
+        for index in range(len(ctx.events)):
+            event, priv = ctx.events[index]
+            config = CounterConfig(event=event, priv=priv, enabled=False)
+            code = self.machine.uarch.event_code(event)
+            core.wrmsr(MSR_PERFEVTSEL_BASE + index, encode_evtsel(config, code))
+        # Fold hardware deltas into the virtual counters (uncounted).
+        for index in range(len(ctx.events)):
+            hw = core.pmu.read(index)
+            ctx.pmds[index] += hw - ctx.hw_start[index]
+            ctx.hw_start[index] = hw
+            self._retire(self.STOP_TAIL_PER_CTR, "perfmon:stop-save")
+        ctx.started = False
+        return 0
+
+    def _sys_read_pmds(self, count: int) -> list[int]:
+        core = self.machine.core
+        ctx = self.context_of(self.machine.current_thread)
+        if not ctx.loaded:
+            raise SyscallError("pfm_read_pmds before pfm_load_context")
+        if not 0 < count <= len(ctx.events):
+            raise SyscallError(
+                f"read_pmds: {count} requested of {len(ctx.events)} counters"
+            )
+        self._retire(
+            self.READ_PRE_BASE + self.READ_PRE_PER_CTR * count,
+            "perfmon:read-pre",
+        )
+        values: list[int] = []
+        # The measured counter (index 0) samples at the top of the loop.
+        for index in range(count):
+            if ctx.started:
+                hw = core.rdpmc(index)
+                values.append(ctx.pmds[index] + (hw - ctx.hw_start[index]))
+            else:
+                values.append(ctx.pmds[index])
+            self._retire(self.READ_LOOP_AFTER_SAMPLE, "perfmon:read-loop")
+        self._retire(self.READ_POST, "perfmon:read-post")
+        return values
+
+    def _sys_unload(self) -> int:
+        thread = self.machine.current_thread
+        ctx = self.context_of(thread)
+        self._retire(self.UNLOAD_BODY, "perfmon:unload")
+        ctx.loaded = False
+        ctx.started = False
+        return 0
+
+    # -- context-switch virtualization ---------------------------------------
+
+    def _on_context_switch(self, previous: Thread, incoming: Thread) -> None:
+        core = self.machine.core
+        prev_ctx = previous.ext_state.get(self.name)
+        next_ctx = incoming.ext_state.get(self.name)
+        if prev_ctx is None and next_ctx is None:
+            return
+        core.execute_chunk(self._switch_chunk)
+        if prev_ctx is not None and prev_ctx.started:
+            for index in range(len(prev_ctx.events)):
+                core.pmu.disable(index)
+                hw = core.pmu.read(index)
+                prev_ctx.pmds[index] += hw - prev_ctx.hw_start[index]
+                # Re-base so an in-flight kernel read loop stays
+                # consistent if the switch lands mid-read.
+                prev_ctx.hw_start[index] = hw
+        if next_ctx is not None and next_ctx.started:
+            for index in range(len(next_ctx.events)):
+                event, priv = next_ctx.events[index]
+                core.pmu.program(
+                    index, CounterConfig(event=event, priv=priv, enabled=True)
+                )
+                next_ctx.hw_start[index] = core.pmu.read(index)
+        elif prev_ctx is not None and prev_ctx.started:
+            core.pmu.disable_all()
+
+    # -- helpers --------------------------------------------------------------
+
+    def _retire(self, instructions: int, label: str) -> None:
+        scaled = int(round(instructions * self._scale))
+        self.machine.core.execute_chunk(kernel_chunk(scaled, label))

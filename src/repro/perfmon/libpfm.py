@@ -1,0 +1,142 @@
+"""libpfm: the user-space library over the perfmon2 extension.
+
+Every operation is a thin user-mode stub around a system call.  The
+stub halves are what a user-mode-filtered counter sees of a perfmon
+measurement: the post half of the call that starts/samples first, plus
+the pre half of the call that samples last — ~37 instructions for the
+read-read pattern, independent of how many counters are measured
+(paper, Section 4.1/4.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import CounterError
+from repro.isa.builder import user_code_chunk
+from repro.perfmon.kext import (
+    PerfmonKext,
+    SYS_PFM_CREATE_CONTEXT,
+    SYS_PFM_LOAD_CONTEXT,
+    SYS_PFM_READ_PMDS,
+    SYS_PFM_START,
+    SYS_PFM_STOP,
+    SYS_PFM_UNLOAD_CONTEXT,
+    SYS_PFM_WRITE_PMCS,
+    SYS_PFM_WRITE_PMDS,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+class LibPfm:
+    """User-space handle on the current thread's perfmon context."""
+
+    CREATE_PRE = 34
+    CREATE_POST = 20
+    WRITE_PMCS_PRE_BASE = 18
+    WRITE_PMCS_PRE_PER_CTR = 4
+    WRITE_PMCS_POST = 10
+    WRITE_PMDS_PRE_BASE = 16
+    WRITE_PMDS_PRE_PER_CTR = 3
+    WRITE_PMDS_POST = 10
+    LOAD_PRE = 22
+    LOAD_POST = 12
+    START_PRE = 14
+    START_POST = 13
+    STOP_PRE = 26
+    STOP_POST = 13
+    READ_PRE = 24
+    READ_POST = 13
+    UNLOAD_PRE = 14
+    UNLOAD_POST = 10
+
+    def __init__(self, machine: "Machine") -> None:
+        if not isinstance(machine.extension, PerfmonKext):
+            raise CounterError(
+                "libpfm needs a perfmon-patched kernel "
+                f"(machine runs {machine.kernel_name!r})"
+            )
+        self.machine = machine
+        self.kext: PerfmonKext = machine.extension
+        self._n_events = 0
+        self._created = False
+
+    # -- context lifecycle ----------------------------------------------------
+
+    def create_context(self) -> None:
+        self._user_code(self.CREATE_PRE, "libpfm:create-pre")
+        self.machine.syscall(SYS_PFM_CREATE_CONTEXT)
+        self._user_code(self.CREATE_POST, "libpfm:create-post")
+        self._created = True
+
+    def write_pmcs(self, events: tuple[tuple[Event, PrivFilter], ...]) -> None:
+        """Program the control registers (which events, which rings)."""
+        self._require_context()
+        self._user_code(
+            self.WRITE_PMCS_PRE_BASE + self.WRITE_PMCS_PRE_PER_CTR * len(events),
+            "libpfm:write-pmcs-pre",
+        )
+        self.machine.syscall(SYS_PFM_WRITE_PMCS, tuple(events))
+        self._user_code(self.WRITE_PMCS_POST, "libpfm:write-pmcs-post")
+        self._n_events = len(events)
+
+    def write_pmds(self, values: tuple[int, ...] | None = None) -> None:
+        """Prime the data registers; ``None`` zeroes them (reset)."""
+        self._require_context()
+        if values is None:
+            values = (0,) * self._n_events
+        self._user_code(
+            self.WRITE_PMDS_PRE_BASE + self.WRITE_PMDS_PRE_PER_CTR * len(values),
+            "libpfm:write-pmds-pre",
+        )
+        self.machine.syscall(SYS_PFM_WRITE_PMDS, tuple(values))
+        self._user_code(self.WRITE_PMDS_POST, "libpfm:write-pmds-post")
+
+    def load_context(self) -> None:
+        """Attach the context to the calling thread."""
+        self._require_context()
+        self._user_code(self.LOAD_PRE, "libpfm:load-pre")
+        self.machine.syscall(SYS_PFM_LOAD_CONTEXT)
+        self._user_code(self.LOAD_POST, "libpfm:load-post")
+
+    def unload_context(self) -> None:
+        self._require_context()
+        self._user_code(self.UNLOAD_PRE, "libpfm:unload-pre")
+        self.machine.syscall(SYS_PFM_UNLOAD_CONTEXT)
+        self._user_code(self.UNLOAD_POST, "libpfm:unload-post")
+
+    # -- counting -----------------------------------------------------------
+
+    def start(self) -> None:
+        self._require_context()
+        self._user_code(self.START_PRE, "libpfm:start-pre")
+        self.machine.syscall(SYS_PFM_START)
+        self._user_code(self.START_POST, "libpfm:start-post")
+
+    def stop(self) -> None:
+        self._require_context()
+        self._user_code(self.STOP_PRE, "libpfm:stop-pre")
+        self.machine.syscall(SYS_PFM_STOP)
+        self._user_code(self.STOP_POST, "libpfm:stop-post")
+
+    def read_pmds(self, count: int | None = None) -> tuple[int, ...]:
+        """Read the first ``count`` virtual counters (all by default)."""
+        self._require_context()
+        if count is None:
+            count = self._n_events
+        self._user_code(self.READ_PRE, "libpfm:read-pre")
+        values = self.machine.syscall(SYS_PFM_READ_PMDS, count)
+        self._user_code(self.READ_POST, "libpfm:read-post")
+        return tuple(values)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _require_context(self) -> None:
+        if not self._created:
+            raise CounterError("no perfmon context (call create_context())")
+
+    def _user_code(self, instructions: int, label: str) -> None:
+        self.machine.core.execute_chunk(user_code_chunk(instructions, label))

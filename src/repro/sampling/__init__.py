@@ -1,0 +1,17 @@
+"""Overflow-driven statistical sampling (extension).
+
+The paper's related work (Moore, ICCS'02) distinguishes two usage
+models for performance counters: *counting* — the paper's subject — and
+*sampling*, where a counter is primed near overflow and every overflow
+interrupt records where the program was.  Sampling's accuracy trade-off
+is the mirror image of counting's: the measurement cost scales with the
+sampling rate instead of the number of counter accesses.
+
+:class:`~repro.sampling.profiler.SamplingProfiler` implements the
+scheme on the simulated PMU's overflow lines, and the accompanying
+experiment quantifies how sampling perturbs a concurrent count.
+"""
+
+from repro.sampling.profiler import Sample, SamplingProfiler
+
+__all__ = ["Sample", "SamplingProfiler"]

@@ -1,0 +1,131 @@
+"""The sampling profiler.
+
+Primes a programmable counter ``period`` events before overflow with
+the overflow interrupt enabled; every overflow runs a PMU-interrupt
+handler in kernel mode (real, counted work), records a sample, and
+re-arms the counter.  The handler cost is the mechanism by which
+sampling perturbs any *other* measurement running at the same time —
+which the extension experiment quantifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.pmu import CounterConfig
+from repro.errors import ConfigurationError, CounterError
+from repro.kernel.kcode import kernel_chunk
+from repro.kernel.system import Machine
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One recorded sample."""
+
+    index: int
+    cycle: float
+    wall_s: float
+
+
+class SamplingProfiler:
+    """Samples one event at a fixed period on a dedicated counter."""
+
+    #: Kernel instructions per sample: PMU interrupt entry, record the
+    #: interrupted PC into the sample buffer, re-arm, return.
+    HANDLER_INSTRUCTIONS = 320
+
+    def __init__(
+        self,
+        machine: Machine,
+        event: Event = Event.CYCLES,
+        period: int = 1_000_000,
+        priv: PrivFilter = PrivFilter.ALL,
+        counter_index: int | None = None,
+    ) -> None:
+        if period < 1000:
+            raise ConfigurationError(
+                f"sampling period below 1000 events is pathological "
+                f"({period}); the handler would dominate execution"
+            )
+        self.machine = machine
+        self.event = event
+        self.period = period
+        self.priv = priv
+        pmu = machine.core.pmu
+        self.index = (
+            pmu.n_programmable - 1 if counter_index is None else counter_index
+        )
+        if not 0 <= self.index < pmu.n_programmable:
+            raise CounterError(f"no programmable counter {self.index}")
+        self.samples: list[Sample] = []
+        self._running = False
+        self._in_handler = False
+        self._handler_chunk = kernel_chunk(
+            self.HANDLER_INSTRUCTIONS, "sampling:pmu-interrupt"
+        )
+
+    # -- control -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Arm the sampling counter and hook the overflow line."""
+        if self._running:
+            raise CounterError("profiler already running")
+        pmu = self.machine.core.pmu
+        if pmu.on_overflow is not None:
+            raise CounterError("the PMU overflow line is already claimed")
+        pmu.on_overflow = self._on_overflow
+        pmu.program(
+            self.index,
+            CounterConfig(
+                event=self.event,
+                priv=self.priv,
+                enabled=True,
+                interrupt_on_overflow=True,
+            ),
+        )
+        self._arm()
+        self._running = True
+
+    def stop(self) -> None:
+        """Disarm and release the overflow line."""
+        if not self._running:
+            return
+        pmu = self.machine.core.pmu
+        pmu.disable(self.index)
+        pmu.on_overflow = None
+        self._running = False
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples)
+
+    def overhead_instructions(self) -> int:
+        """Kernel instructions the profiler has injected so far."""
+        return self.n_samples * self.HANDLER_INSTRUCTIONS
+
+    # -- internals ---------------------------------------------------------
+
+    def _arm(self) -> None:
+        pmu = self.machine.core.pmu
+        counter = pmu.counters[self.index]
+        pmu.write(self.index, counter.limit - self.period)
+
+    def _on_overflow(self, index: int) -> None:
+        if index != self.index or self._in_handler:
+            return
+        self._in_handler = True
+        try:
+            self._arm()
+            core = self.machine.core
+            with core.masked_interrupts(), core.kernel_mode():
+                core.execute_chunk(self._handler_chunk)
+            self.samples.append(
+                Sample(
+                    index=len(self.samples),
+                    cycle=core.cycle,
+                    wall_s=core.wall_s,
+                )
+            )
+        finally:
+            self._in_handler = False

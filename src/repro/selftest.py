@@ -1,0 +1,159 @@
+"""Fast end-to-end self-test: does this build still reproduce the paper?
+
+``python -m repro selftest`` runs one cheap, decisive check per paper
+conclusion — a few seconds total — and reports pass/fail.  It is the
+smoke test a user runs after installing, and what CI would gate on
+before the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.benchmarks import LoopBenchmark, NullBenchmark
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.cpu.events import Event
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+
+def _error(infra: str, pattern: Pattern, mode: Mode, **kwargs) -> int:
+    defaults = dict(processor="CD", seed=17, io_interrupts=False)
+    defaults.update(kwargs)
+    config = MeasurementConfig(
+        infra=infra, pattern=pattern, mode=mode, **defaults
+    )
+    return run_measurement(config, NullBenchmark()).error
+
+
+def check_ground_truth() -> CheckResult:
+    """The loop model 1 + 3*MAX holds through a real measurement."""
+    config = MeasurementConfig(
+        processor="K8", infra="pm", pattern=Pattern.READ_READ,
+        mode=Mode.USER, seed=5, io_interrupts=False,
+    )
+    loop = run_measurement(config, LoopBenchmark(123_456))
+    null = run_measurement(config, NullBenchmark())
+    recovered = loop.measured - null.measured
+    expected = 1 + 3 * 123_456
+    return CheckResult(
+        "ground truth (1 + 3*MAX recovered)",
+        recovered == expected,
+        f"recovered {recovered}, expected {expected}",
+    )
+
+
+def check_tsc_effect() -> CheckResult:
+    """Figure 4: TSC off inflates perfctr's read-read error."""
+    off = _error("pc", Pattern.READ_READ, Mode.USER, tsc=False)
+    on = _error("pc", Pattern.READ_READ, Mode.USER, tsc=True)
+    return CheckResult(
+        "figure 4 (TSC off inflates reads)",
+        off > 10 * on,
+        f"TSC off {off} vs on {on}",
+    )
+
+
+def check_substrate_choice() -> CheckResult:
+    """Table 3: pm wins user mode, pc wins user+kernel."""
+    pm_user = _error("pm", Pattern.READ_READ, Mode.USER)
+    pc_user = _error("pc", Pattern.START_READ, Mode.USER)
+    pm_uk = _error("pm", Pattern.READ_READ, Mode.USER_KERNEL)
+    pc_uk = _error("pc", Pattern.START_READ, Mode.USER_KERNEL)
+    return CheckResult(
+        "table 3 (mode decides the substrate)",
+        pm_user < pc_user and pc_uk < pm_uk,
+        f"user pm={pm_user} pc={pc_user}; u+k pm={pm_uk} pc={pc_uk}",
+    )
+
+
+def check_layering_cost() -> CheckResult:
+    """Figure 6: each PAPI layer adds error."""
+    direct = _error("pm", Pattern.START_READ, Mode.USER)
+    low = _error("PLpm", Pattern.START_READ, Mode.USER)
+    high = _error("PHpm", Pattern.START_READ, Mode.USER)
+    return CheckResult(
+        "figure 6 (PH > PL > direct)",
+        direct < low < high,
+        f"direct={direct} low={low} high={high}",
+    )
+
+
+def check_duration_error() -> CheckResult:
+    """Figures 7/9: kernel instructions accumulate with duration."""
+    config = MeasurementConfig(
+        processor="CD", infra="pc", pattern=Pattern.START_READ,
+        mode=Mode.KERNEL, seed=3,
+    )
+    short = run_measurement(config, LoopBenchmark(1000)).measured
+    total = 0
+    for seed in range(8):
+        long_config = MeasurementConfig(
+            processor="CD", infra="pc", pattern=Pattern.START_READ,
+            mode=Mode.KERNEL, seed=seed,
+        )
+        total += run_measurement(long_config, LoopBenchmark(3_000_000)).measured
+    mean_long = total / 8
+    return CheckResult(
+        "figures 7/9 (duration error in kernel counts)",
+        mean_long > short + 1000,
+        f"1k iters: {short}; mean over 3M iters: {mean_long:.0f}",
+    )
+
+
+def check_placement_bimodality() -> CheckResult:
+    """Figure 11: K8 cycles land on c=2i or c=3i."""
+    cpis = set()
+    for pattern in Pattern:
+        config = MeasurementConfig(
+            processor="K8", infra="pm", pattern=pattern,
+            mode=Mode.USER_KERNEL, primary_event=Event.CYCLES,
+            seed=2, io_interrupts=False,
+        )
+        measured = run_measurement(config, LoopBenchmark(1_000_000)).measured
+        cpis.add(round(measured / 1_000_000, 1))
+    return CheckResult(
+        "figure 11 (cycle bimodality on K8)",
+        cpis <= {2.0, 3.0} and len(cpis) >= 1,
+        f"observed cycles/iteration: {sorted(cpis)}",
+    )
+
+
+CHECKS: tuple[Callable[[], CheckResult], ...] = (
+    check_ground_truth,
+    check_tsc_effect,
+    check_substrate_choice,
+    check_layering_cost,
+    check_duration_error,
+    check_placement_bimodality,
+)
+
+
+def run_selftest() -> list[CheckResult]:
+    """Run every check; never raises (failures are results)."""
+    results = []
+    for check in CHECKS:
+        try:
+            results.append(check())
+        except Exception as exc:  # noqa: BLE001 - selftest must report
+            results.append(
+                CheckResult(check.__name__, False, f"crashed: {exc!r}")
+            )
+    return results
+
+
+def render(results: list[CheckResult]) -> str:
+    lines = []
+    for result in results:
+        status = "PASS" if result.passed else "FAIL"
+        lines.append(f"[{status}] {result.name}: {result.detail}")
+    passed = sum(r.passed for r in results)
+    lines.append(f"{passed}/{len(results)} checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Standalone command-line measurement tools (paper, Section 9).
+
+Each infrastructure ships a standalone tool — ``perfex`` (perfctr),
+``pfmon`` (perfmon2), ``papiex`` (PAPI) — that measures an *entire
+process* from the outside.  Korn et al. found (and the paper's authors
+confirmed for these tools) that this approach produces errors of over
+60 000 % on short benchmarks, because the measurement includes process
+startup (loading, dynamic linking) and shutdown.
+
+This package reproduces those tools and that experiment on the
+simulated stack.
+"""
+
+from repro.tools.process import ProcessCosts, ProcessModel
+from repro.tools.standalone import (
+    Papiex,
+    Perfex,
+    Pfmon,
+    StandaloneTool,
+    ToolReport,
+    make_tool,
+)
+
+__all__ = [
+    "Papiex",
+    "Perfex",
+    "Pfmon",
+    "ProcessCosts",
+    "ProcessModel",
+    "StandaloneTool",
+    "ToolReport",
+    "make_tool",
+]

@@ -1,0 +1,98 @@
+"""Process lifecycle costs.
+
+A standalone tool measures from *before* ``execve`` to *after* process
+exit, so everything the OS and the C runtime do to get ``main`` running
+lands inside the measurement: the kernel's exec path, the dynamic
+linker resolving relocations, libc initialization, and at the end the
+exit path.  These are the instruction budgets that dwarf short
+benchmarks (Korn et al.'s >60 000 % errors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.isa.builder import user_code_chunk
+from repro.kernel.kcode import kernel_chunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.system import Machine
+
+
+@dataclass(frozen=True)
+class ProcessCosts:
+    """Instruction budgets of one process's lifecycle.
+
+    Defaults are representative of a small dynamically linked IA32
+    binary on a 2.6 kernel (hundreds of thousands of instructions
+    before ``main``).
+    """
+
+    execve_kernel: int = 110_000
+    dynamic_linker_user: int = 240_000
+    libc_init_user: int = 56_000
+    #: Additional user-mode startup for binaries linking large
+    #: measurement libraries (papiex loads PAPI + the substrate lib).
+    extra_runtime_user: int = 0
+    exit_user: int = 9_000
+    exit_kernel: int = 41_000
+
+    def __post_init__(self) -> None:
+        for name in (
+            "execve_kernel", "dynamic_linker_user", "libc_init_user",
+            "extra_runtime_user", "exit_user", "exit_kernel",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    @property
+    def startup_total(self) -> int:
+        return (
+            self.execve_kernel
+            + self.dynamic_linker_user
+            + self.libc_init_user
+            + self.extra_runtime_user
+        )
+
+    @property
+    def shutdown_total(self) -> int:
+        return self.exit_user + self.exit_kernel
+
+
+class ProcessModel:
+    """Runs a process lifecycle on a machine, retiring its real work."""
+
+    def __init__(self, machine: "Machine", costs: ProcessCosts) -> None:
+        self.machine = machine
+        self.costs = costs
+
+    def run_startup(self) -> None:
+        """exec + loader + runtime init, retired in the right modes."""
+        core = self.machine.core
+        with core.kernel_mode():
+            core.execute_chunk(
+                kernel_chunk(self.costs.execve_kernel, "process:execve")
+            )
+        core.execute_chunk(
+            user_code_chunk(self.costs.dynamic_linker_user, "process:ld.so")
+        )
+        core.execute_chunk(
+            user_code_chunk(self.costs.libc_init_user, "process:libc-init")
+        )
+        if self.costs.extra_runtime_user:
+            core.execute_chunk(
+                user_code_chunk(
+                    self.costs.extra_runtime_user, "process:runtime-init"
+                )
+            )
+
+    def run_shutdown(self) -> None:
+        """atexit handlers + the kernel exit path."""
+        core = self.machine.core
+        core.execute_chunk(user_code_chunk(self.costs.exit_user, "process:exit"))
+        with core.kernel_mode():
+            core.execute_chunk(
+                kernel_chunk(self.costs.exit_kernel, "process:do_exit")
+            )

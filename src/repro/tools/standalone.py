@@ -1,0 +1,164 @@
+"""The standalone tools: perfex, pfmon, papiex.
+
+Each tool starts counting, launches the benchmark *as a process*
+(startup + benchmark + shutdown), stops counting, and reports.  The
+whole lifecycle lands inside the measured window — the structural
+reason these tools are hopeless for fine-grained measurements (paper,
+Section 9: "over 60000% error in some cases ... we have also conducted
+measurements using the standalone measurement tools available for our
+infrastructures ... and found errors of similar magnitude").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.benchmarks import Benchmark
+from repro.core.config import Mode
+from repro.cpu.events import Event
+from repro.errors import ConfigurationError
+from repro.kernel.system import Machine
+from repro.perfctr.libperfctr import LibPerfctr
+from repro.perfmon.libpfm import LibPfm
+from repro.papi.highlevel import PapiHighLevel
+from repro.papi.presets import event_to_preset
+from repro.tools.process import ProcessCosts, ProcessModel
+
+
+@dataclass(frozen=True)
+class ToolReport:
+    """What a standalone tool prints at process exit."""
+
+    tool: str
+    benchmark_name: str
+    measured: int
+    expected: int
+
+    @property
+    def error(self) -> int:
+        return self.measured - self.expected
+
+    @property
+    def relative_error_percent(self) -> float:
+        """Error as a percentage of the true count (Korn et al.'s metric)."""
+        if self.expected <= 0:
+            return float("inf")
+        return 100.0 * self.error / self.expected
+
+
+class StandaloneTool(abc.ABC):
+    """Common skeleton: count around an entire process lifecycle."""
+
+    name: str
+    kernel: str
+    process_costs: ProcessCosts = ProcessCosts()
+
+    def __init__(self, processor: str = "CD", seed: int = 0,
+                 io_interrupts: bool = True) -> None:
+        self.machine = Machine(
+            processor=processor, kernel=self.kernel, seed=seed,
+            io_interrupts=io_interrupts,
+        )
+        self._process = ProcessModel(self.machine, self.process_costs)
+
+    def run(self, benchmark: Benchmark, mode: Mode = Mode.USER_KERNEL) -> ToolReport:
+        """Measure ``benchmark`` the way the real tool would: from
+        before exec to after exit."""
+        self._start(mode)
+        self._process.run_startup()
+        benchmark.run(self.machine, address=0x0804_9000)
+        self._process.run_shutdown()
+        measured = self._stop()
+        expected = (
+            0 if mode is Mode.KERNEL else benchmark.expected_instructions
+        )
+        return ToolReport(
+            tool=self.name,
+            benchmark_name=benchmark.name,
+            measured=measured,
+            expected=expected,
+        )
+
+    @abc.abstractmethod
+    def _start(self, mode: Mode) -> None:
+        """Program and start the instruction counter."""
+
+    @abc.abstractmethod
+    def _stop(self) -> int:
+        """Stop counting and return the instruction count."""
+
+
+class Perfex(StandaloneTool):
+    """perfctr's ``perfex`` command-line tool."""
+
+    name = "perfex"
+    kernel = "perfctr"
+
+    def _start(self, mode: Mode) -> None:
+        self._lib = LibPerfctr(self.machine)
+        self._lib.open()
+        self._lib.control(
+            ((Event.INSTR_RETIRED, mode.priv_filter),), tsc_on=True
+        )
+
+    def _stop(self) -> int:
+        self._lib.stop()
+        return self._lib.read().pmcs[0]
+
+
+class Pfmon(StandaloneTool):
+    """perfmon2's ``pfmon`` command-line tool."""
+
+    name = "pfmon"
+    kernel = "perfmon"
+
+    def _start(self, mode: Mode) -> None:
+        self._lib = LibPfm(self.machine)
+        self._lib.create_context()
+        self._lib.write_pmcs(((Event.INSTR_RETIRED, mode.priv_filter),))
+        self._lib.write_pmds()
+        self._lib.load_context()
+        self._lib.start()
+
+    def _stop(self) -> int:
+        self._lib.stop()
+        return self._lib.read_pmds()[0]
+
+
+class Papiex(StandaloneTool):
+    """PAPI's ``papiex`` tool (here over the perfctr substrate).
+
+    papiex itself links PAPI plus the substrate library, so its
+    monitored processes pay extra runtime initialization.
+    """
+
+    name = "papiex"
+    kernel = "perfctr"
+    process_costs = ProcessCosts(extra_runtime_user=130_000)
+
+    def _start(self, mode: Mode) -> None:
+        self._papi = PapiHighLevel(self.machine, domain=mode.priv_filter)
+        self._papi.library_init()
+        self._papi.start_counters(
+            [event_to_preset(Event.INSTR_RETIRED)]
+        )
+
+    def _stop(self) -> int:
+        return self._papi.stop_counters()[0]
+
+
+_TOOLS = {"perfex": Perfex, "pfmon": Pfmon, "papiex": Papiex}
+
+
+def make_tool(name: str, processor: str = "CD", seed: int = 0,
+              io_interrupts: bool = True) -> StandaloneTool:
+    """Instantiate a standalone tool by name."""
+    try:
+        cls = _TOOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(_TOOLS))
+        raise ConfigurationError(
+            f"unknown standalone tool {name!r}; known tools: {known}"
+        ) from None
+    return cls(processor=processor, seed=seed, io_interrupts=io_interrupts)

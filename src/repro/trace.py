@@ -1,0 +1,114 @@
+"""Retirement tracing: see exactly where measurement error comes from.
+
+The paper reports *how much* error each infrastructure injects; a
+natural follow-up question when using this package is *where* those
+instructions live.  Attach a :class:`Tracer` to a machine and every
+retirement is recorded with its code-path label, privilege mode, and
+the harness phase it happened in — so the TSC-off penalty, for
+example, decomposes into ``libperfctr:slow-read-post`` (user mode) and
+``perfctr:read-post`` (kernel) lines.
+
+Tracing is strictly an observer: it never changes what retires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.events import PrivLevel
+from repro.isa.work import WorkVector
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One retirement event."""
+
+    label: str
+    mode: PrivLevel
+    phase: str
+    instructions: int
+    cycles: float
+
+
+@dataclass
+class PathSummary:
+    """Aggregated retirements of one (label, mode) pair."""
+
+    label: str
+    mode: PrivLevel
+    instructions: int = 0
+    cycles: float = 0.0
+    occurrences: int = 0
+
+
+class Tracer:
+    """Records every retirement on the core it is attached to.
+
+    Attributes:
+        phase: free-form tag for the current harness phase; the pattern
+            runner sets ``setup`` / ``measure`` / ``benchmark`` so
+            per-phase breakdowns line up with the measurement window.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.phase: str = "setup"
+        self.enabled = True
+
+    def record(self, label: str, mode: PrivLevel, work: WorkVector,
+               cycles: float) -> None:
+        """Called by the core on every retirement."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(
+                label=label or "(unlabeled)",
+                mode=mode,
+                phase=self.phase,
+                instructions=work.instructions,
+                cycles=cycles,
+            )
+        )
+
+    # -- aggregation ---------------------------------------------------------
+
+    def by_path(
+        self, phase: str | None = None, mode: PrivLevel | None = None
+    ) -> list[PathSummary]:
+        """Per-(label, mode) totals, largest instruction count first."""
+        summaries: dict[tuple[str, PrivLevel], PathSummary] = {}
+        for record in self.records:
+            if phase is not None and record.phase != phase:
+                continue
+            if mode is not None and record.mode is not mode:
+                continue
+            key = (record.label, record.mode)
+            summary = summaries.get(key)
+            if summary is None:
+                summary = summaries[key] = PathSummary(
+                    label=record.label, mode=record.mode
+                )
+            summary.instructions += record.instructions
+            summary.cycles += record.cycles
+            summary.occurrences += 1
+        return sorted(
+            summaries.values(), key=lambda s: s.instructions, reverse=True
+        )
+
+    def total_instructions(
+        self, phase: str | None = None, mode: PrivLevel | None = None
+    ) -> int:
+        return sum(s.instructions for s in self.by_path(phase, mode))
+
+    def render(self, phase: str | None = None, top: int = 15) -> str:
+        """A printable breakdown table."""
+        lines = [f"{'path':<34} {'mode':<7} {'instr':>8} {'calls':>6}"]
+        for summary in self.by_path(phase)[:top]:
+            lines.append(
+                f"{summary.label:<34} {summary.mode.value:<7} "
+                f"{summary.instructions:>8,} {summary.occurrences:>6}"
+            )
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,169 @@
+"""Unit tests for repro.analysis.anova."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anova import anova_n_way
+from repro.errors import ConfigurationError
+
+
+def balanced_design(rng, effect_a=10.0, effect_b=0.0, n_rep=8):
+    """Two factors x two levels each, with configurable main effects."""
+    factors = {"a": [], "b": []}
+    response = []
+    for a_level in ("a0", "a1"):
+        for b_level in ("b0", "b1"):
+            for _ in range(n_rep):
+                factors["a"].append(a_level)
+                factors["b"].append(b_level)
+                value = rng.normal(0, 1)
+                if a_level == "a1":
+                    value += effect_a
+                if b_level == "b1":
+                    value += effect_b
+                response.append(value)
+    return factors, response
+
+
+class TestAnova:
+    def test_detects_real_effect(self):
+        rng = np.random.default_rng(0)
+        factors, response = balanced_design(rng, effect_a=10, effect_b=0)
+        result = anova_n_way(factors, response)
+        assert result.effect("a").p_value < 1e-10
+        assert result.effect("b").p_value > 1e-6
+
+    def test_null_effect_not_significant(self):
+        rng = np.random.default_rng(1)
+        factors, response = balanced_design(rng, effect_a=0, effect_b=0)
+        result = anova_n_way(factors, response)
+        assert "a" not in result.significant_factors(alpha=1e-3)
+        assert "b" not in result.significant_factors(alpha=1e-3)
+
+    def test_degrees_of_freedom(self):
+        rng = np.random.default_rng(2)
+        factors, response = balanced_design(rng, n_rep=5)
+        result = anova_n_way(factors, response)
+        assert result.effect("a").df == 1
+        assert result.effect("b").df == 1
+        assert result.residual_df == 20 - 1 - 2
+
+    def test_sum_of_squares_decomposes(self):
+        rng = np.random.default_rng(3)
+        factors, response = balanced_design(rng, effect_a=5, effect_b=3)
+        result = anova_n_way(factors, response)
+        explained = sum(e.sum_squares for e in result.effects)
+        assert explained + result.residual_ss == pytest.approx(result.total_ss)
+
+    def test_three_level_factor(self):
+        rng = np.random.default_rng(4)
+        levels = ["x", "y", "z"]
+        factors = {"f": [levels[i % 3] for i in range(60)]}
+        response = [
+            {"x": 0.0, "y": 5.0, "z": 10.0}[f] + rng.normal(0, 0.5)
+            for f in factors["f"]
+        ]
+        result = anova_n_way(factors, response)
+        assert result.effect("f").df == 2
+        assert result.effect("f").p_value < 1e-10
+
+    def test_single_level_factor_is_inert(self):
+        rng = np.random.default_rng(5)
+        factors = {"only": ["same"] * 30, "real": ["a", "b"] * 15}
+        response = [
+            (10.0 if r == "b" else 0.0) + rng.normal() for r in factors["real"]
+        ]
+        result = anova_n_way(factors, response)
+        assert result.effect("only").df == 0
+        assert result.effect("only").p_value == 1.0
+        assert result.effect("real").significant()
+
+    def test_unknown_effect_lookup(self):
+        rng = np.random.default_rng(6)
+        factors, response = balanced_design(rng)
+        result = anova_n_way(factors, response)
+        with pytest.raises(ConfigurationError, match="no factor"):
+            result.effect("ghost")
+
+
+class TestValidation:
+    def test_needs_observations(self):
+        with pytest.raises(ConfigurationError, match="observations"):
+            anova_n_way({"a": ["x"]}, [1.0])
+
+    def test_needs_factors(self):
+        with pytest.raises(ConfigurationError, match="factor"):
+            anova_n_way({}, [1.0, 2.0, 3.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigurationError, match="values for"):
+            anova_n_way({"a": ["x", "y"]}, [1.0, 2.0, 3.0])
+
+    def test_needs_replication(self):
+        # Saturated model: no residual degrees of freedom.
+        with pytest.raises(ConfigurationError, match="residual"):
+            anova_n_way({"a": ["x", "y", "z"]}, [1.0, 2.0, 3.0])
+
+
+class TestInteractions:
+    @staticmethod
+    def crossed_design(rng, interaction=10.0, n_rep=10):
+        """a and b have no main effects; only their combination matters."""
+        factors = {"a": [], "b": []}
+        response = []
+        for a_level in ("a0", "a1"):
+            for b_level in ("b0", "b1"):
+                for _ in range(n_rep):
+                    factors["a"].append(a_level)
+                    factors["b"].append(b_level)
+                    value = rng.normal(0, 0.5)
+                    # XOR-shaped effect: pure interaction.
+                    if (a_level == "a1") != (b_level == "b1"):
+                        value += interaction
+                    response.append(value)
+        return factors, response
+
+    def test_pure_interaction_detected(self):
+        rng = np.random.default_rng(11)
+        factors, response = self.crossed_design(rng)
+        result = anova_n_way(factors, response, interactions=[("a", "b")])
+        assert result.effect("a:b").significant()
+        # The main effects carry (almost) nothing.
+        assert result.eta_squared("a:b") > 0.8
+        assert result.eta_squared("a") < 0.1
+
+    def test_no_interaction_not_flagged(self):
+        rng = np.random.default_rng(12)
+        factors = {"a": [], "b": []}
+        response = []
+        for a_level in ("a0", "a1"):
+            for b_level in ("b0", "b1"):
+                for _ in range(10):
+                    factors["a"].append(a_level)
+                    factors["b"].append(b_level)
+                    response.append(
+                        (5.0 if a_level == "a1" else 0.0) + rng.normal(0, 1)
+                    )
+        result = anova_n_way(factors, response, interactions=[("a", "b")])
+        assert result.effect("a").significant()
+        assert not result.effect("a:b").significant(alpha=1e-3)
+
+    def test_unknown_interaction_factor(self):
+        rng = np.random.default_rng(13)
+        factors, response = self.crossed_design(rng)
+        with pytest.raises(ConfigurationError, match="unknown factor"):
+            anova_n_way(factors, response, interactions=[("a", "ghost")])
+
+    def test_decomposition_still_holds(self):
+        rng = np.random.default_rng(14)
+        factors, response = self.crossed_design(rng)
+        result = anova_n_way(factors, response, interactions=[("a", "b")])
+        explained = sum(e.sum_squares for e in result.effects)
+        assert explained + result.residual_ss == pytest.approx(result.total_ss)
+
+    def test_eta_squared_sums_below_one(self):
+        rng = np.random.default_rng(15)
+        factors, response = self.crossed_design(rng)
+        result = anova_n_way(factors, response, interactions=[("a", "b")])
+        total = sum(result.eta_squared(e.name) for e in result.effects)
+        assert 0 < total <= 1.0

@@ -1,0 +1,76 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_ci, median_ci
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapCi:
+    def test_interval_brackets_estimate(self):
+        rng = np.random.default_rng(1)
+        ci = median_ci(rng.normal(100, 10, size=200))
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_covers_true_median_typically(self):
+        rng = np.random.default_rng(2)
+        hits = sum(
+            median_ci(rng.normal(50, 5, size=80), seed=i).contains(50)
+            for i in range(40)
+        )
+        assert hits >= 32  # ~95% nominal coverage, allow slack
+
+    def test_more_data_narrower(self):
+        rng = np.random.default_rng(3)
+        small = median_ci(rng.normal(0, 1, size=20))
+        large = median_ci(rng.normal(0, 1, size=2000))
+        assert large.width < small.width
+
+    def test_higher_confidence_wider(self):
+        rng = np.random.default_rng(4)
+        data = rng.exponential(5, size=150)
+        narrow = median_ci(data, confidence=0.80)
+        wide = median_ci(data, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 3.0, 4.0, 100.0]
+        ci = bootstrap_ci(data, np.mean, seed=5)
+        assert ci.estimate == pytest.approx(22.0)
+
+    def test_deterministic_given_seed(self):
+        data = list(range(30))
+        assert median_ci(data, seed=9) == median_ci(data, seed=9)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="observations"):
+            median_ci([1.0])
+        with pytest.raises(ConfigurationError, match="confidence"):
+            median_ci([1.0, 2.0], confidence=1.5)
+        with pytest.raises(ConfigurationError, match="n_resamples"):
+            bootstrap_ci([1.0, 2.0], n_resamples=10)
+
+    def test_on_real_measurement_errors(self):
+        """CI of the pc start-read fixed error is tight around ~168."""
+        from repro.core import (
+            MeasurementConfig,
+            Mode,
+            NullBenchmark,
+            Pattern,
+            run_measurement,
+        )
+
+        errors = [
+            run_measurement(
+                MeasurementConfig(
+                    processor="CD", infra="pc", pattern=Pattern.START_READ,
+                    mode=Mode.USER_KERNEL, seed=seed,
+                ),
+                NullBenchmark(),
+            ).error
+            for seed in range(25)
+        ]
+        ci = median_ci(errors)
+        assert ci.contains(168)
+        assert ci.width < 120

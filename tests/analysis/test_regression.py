@@ -1,0 +1,56 @@
+"""Unit tests for repro.analysis.regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.regression import fit_line
+from repro.errors import ConfigurationError
+
+
+class TestFitLine:
+    def test_exact_line_recovered(self):
+        x = np.arange(10, dtype=float)
+        fit = fit_line(x, 0.002 * x + 5)
+        assert fit.slope == pytest.approx(0.002)
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_slope_close(self):
+        rng = np.random.default_rng(1)
+        x = np.linspace(0, 1e6, 200)
+        y = 0.00204 * x + rng.normal(0, 50, size=200)
+        fit = fit_line(x, y)
+        assert fit.slope == pytest.approx(0.00204, rel=0.05)
+
+    def test_predict(self):
+        fit = fit_line([0, 1], [1, 3])
+        assert fit.predict(2) == pytest.approx(5.0)
+
+    def test_constant_y(self):
+        fit = fit_line([0, 1, 2], [7, 7, 7])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError, match="shape"):
+            fit_line([1, 2], [1, 2, 3])
+
+    def test_too_few_points(self):
+        with pytest.raises(ConfigurationError, match="2 points"):
+            fit_line([1], [1])
+
+    def test_degenerate_x(self):
+        with pytest.raises(ConfigurationError, match="identical"):
+            fit_line([3, 3, 3], [1, 2, 3])
+
+    @given(
+        slope=st.floats(-100, 100, allow_nan=False),
+        intercept=st.floats(-100, 100, allow_nan=False),
+    )
+    def test_recovers_arbitrary_lines(self, slope, intercept):
+        x = np.linspace(0, 10, 20)
+        fit = fit_line(x, slope * x + intercept)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)

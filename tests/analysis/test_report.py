@@ -1,0 +1,77 @@
+"""Tests for the ASCII figure rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    render_box_ladder,
+    render_series,
+    render_violin,
+    summarize_errors,
+)
+from repro.analysis.stats import box_summary, violin_summary
+from repro.errors import ConfigurationError
+
+
+class TestRenderViolin:
+    def test_width_respected(self):
+        violin = violin_summary(np.random.default_rng(0).normal(size=500))
+        line = render_violin(violin, width=40)
+        inner = line[line.index("[") + 1 : line.index("]")]
+        assert len(inner) == 40
+
+    def test_dense_region_darker(self):
+        data = [5.0] * 500 + list(np.linspace(0, 10, 20))
+        violin = violin_summary(data, bins=20)
+        line = render_violin(violin, width=20)
+        inner = line[line.index("[") + 1 : line.index("]")]
+        middle = inner[len(inner) // 2]
+        assert middle in "%@#"
+
+    def test_label_prefixed(self):
+        violin = violin_summary([1.0, 2.0, 3.0])
+        assert render_violin(violin, label="user").startswith("user")
+
+
+class TestRenderBoxLadder:
+    def test_common_scale(self):
+        boxes = {
+            "pc": box_summary([80, 84, 90]),
+            "pm": box_summary([700, 726, 750]),
+        }
+        text = render_box_ladder(boxes)
+        assert "med=84" in text
+        assert "med=726" in text
+        assert "scale: 0" in text
+
+    def test_medians_ordered_by_position(self):
+        boxes = {
+            "small": box_summary([10.0] * 5),
+            "large": box_summary([900.0] * 5),
+        }
+        lines = render_box_ladder(boxes, width=40).splitlines()
+        assert lines[0].index("|") < lines[1].index("|")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no boxes"):
+            render_box_ladder({})
+
+
+class TestRenderSeries:
+    def test_scatter_contains_points(self):
+        text = render_series([0, 1, 2], [0, 10, 20], width=20, height=5)
+        assert text.count("o") >= 2
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ConfigurationError, match="matching"):
+            render_series([1, 2], [1], width=10, height=3)
+
+    def test_label_included(self):
+        assert render_series([1, 2], [3, 4], label="cycles").startswith("cycles")
+
+
+class TestSummarizeErrors:
+    def test_contains_all_stats(self):
+        line = summarize_errors([1, 2, 3, 4, 100], label="uk")
+        for token in ("min=", "med=", "max=", "n=5", "uk:"):
+            assert token in line

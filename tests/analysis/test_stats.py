@@ -1,0 +1,81 @@
+"""Unit tests for repro.analysis.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import (
+    box_summary,
+    render_box_ascii,
+    violin_summary,
+)
+from repro.errors import ConfigurationError
+
+samples = st.lists(
+    st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=200
+)
+
+
+class TestBoxSummary:
+    def test_simple_quartiles(self):
+        box = box_summary([1, 2, 3, 4, 5])
+        assert box.median == 3
+        assert box.q1 == 2
+        assert box.q3 == 4
+        assert box.count == 5
+
+    def test_outlier_detection(self):
+        data = [10] * 20 + [1000]
+        box = box_summary(data)
+        assert box.n_outliers == 1
+        assert box.whisker_high == 10
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            box_summary([])
+
+    def test_single_value(self):
+        box = box_summary([42.0])
+        assert box.median == box.minimum == box.maximum == 42.0
+        assert box.iqr == 0
+
+    @given(values=samples)
+    def test_invariants(self, values):
+        box = box_summary(values)
+        assert box.minimum <= box.q1 <= box.median <= box.q3 <= box.maximum
+        assert box.whisker_low >= box.minimum
+        assert box.whisker_high <= box.maximum
+        assert 0 <= box.n_outliers <= box.count
+
+
+class TestViolinSummary:
+    def test_densities_integrate_to_one(self):
+        rng = np.random.default_rng(0)
+        violin = violin_summary(rng.normal(size=1000), bins=30)
+        widths = np.diff(violin.bin_edges)
+        assert np.sum(np.asarray(violin.densities) * widths) == pytest.approx(1.0)
+
+    def test_peak_bin_contains_mode(self):
+        data = [5.0] * 100 + [1.0, 9.0]
+        low, high = violin_summary(data, bins=10).peak_bin()
+        assert low <= 5.0 <= high
+
+    def test_bad_bins(self):
+        with pytest.raises(ConfigurationError, match="bins"):
+            violin_summary([1.0], bins=0)
+
+    def test_box_included(self):
+        violin = violin_summary([1, 2, 3])
+        assert violin.box.median == 2
+
+
+class TestAsciiRendering:
+    def test_contains_median_marker(self):
+        box = box_summary([0, 25, 50, 75, 100])
+        line = render_box_ascii("label", box, scale_max=100)
+        assert "|" in line and "label" in line and "med=50" in line
+
+    def test_zero_scale_does_not_crash(self):
+        box = box_summary([0.0])
+        assert render_box_ascii("x", box, scale_max=0)

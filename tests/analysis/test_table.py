@@ -1,0 +1,170 @@
+"""Unit tests for repro.analysis.table."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.table import ResultTable
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def table() -> ResultTable:
+    return ResultTable.from_rows(
+        [
+            {"infra": "pm", "mode": "user", "error": 37},
+            {"infra": "pm", "mode": "user+kernel", "error": 726},
+            {"infra": "pc", "mode": "user", "error": 67},
+            {"infra": "pc", "mode": "user+kernel", "error": 163},
+        ]
+    )
+
+
+class TestConstruction:
+    def test_from_rows(self, table):
+        assert len(table) == 4
+        assert set(table.column_names) == {"infra", "mode", "error"}
+
+    def test_schema_enforced_on_append(self, table):
+        with pytest.raises(ConfigurationError, match="schema"):
+            table.append({"infra": "pm", "mode": "user"})
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ConfigurationError, match="ragged"):
+            ResultTable({"a": [1, 2], "b": [1]})
+
+    def test_empty_table(self):
+        assert len(ResultTable()) == 0
+
+    def test_concat(self, table):
+        doubled = ResultTable.concat([table, table])
+        assert len(doubled) == 8
+
+    def test_concat_schema_mismatch(self, table):
+        other = ResultTable.from_rows([{"x": 1}])
+        with pytest.raises(ConfigurationError, match="schemas"):
+            ResultTable.concat([table, other])
+
+    def test_concat_empty_list(self):
+        assert len(ResultTable.concat([])) == 0
+
+
+class TestAccess:
+    def test_column(self, table):
+        assert table.column("error") == [37, 726, 67, 163]
+
+    def test_unknown_column(self, table):
+        with pytest.raises(ConfigurationError, match="no column"):
+            table.column("nope")
+
+    def test_values_numeric(self, table):
+        values = table.values("error")
+        assert isinstance(values, np.ndarray)
+        assert values.sum() == 993
+
+    def test_unique_order_preserving(self, table):
+        assert table.unique("infra") == ["pm", "pc"]
+
+    def test_rows_round_trip(self, table):
+        rebuilt = ResultTable.from_rows(table.rows())
+        assert rebuilt.column("error") == table.column("error")
+
+
+class TestRelational:
+    def test_where_equality(self, table):
+        sub = table.where(infra="pm")
+        assert len(sub) == 2
+
+    def test_where_membership(self, table):
+        sub = table.where(error=[37, 67])
+        assert len(sub) == 2
+
+    def test_where_multiple_conditions(self, table):
+        sub = table.where(infra="pc", mode="user")
+        assert sub.column("error") == [67]
+
+    def test_where_typo_raises(self, table):
+        with pytest.raises(ConfigurationError, match="no column"):
+            table.where(infrastructure="pm")
+
+    def test_filter_predicate(self, table):
+        sub = table.filter(lambda row: row["error"] > 100)
+        assert len(sub) == 2
+
+    def test_select(self, table):
+        assert table.select(["error"]).column_names == ("error",)
+
+    def test_with_column(self, table):
+        doubled = table.with_column("double", [e * 2 for e in table.column("error")])
+        assert doubled.column("double")[0] == 74
+        assert "double" not in table.column_names
+
+    def test_with_column_length_checked(self, table):
+        with pytest.raises(ConfigurationError, match="values"):
+            table.with_column("x", [1])
+
+    def test_sort_by(self, table):
+        ordered = table.sort_by("error")
+        assert ordered.column("error") == [37, 67, 163, 726]
+
+    def test_group_by(self, table):
+        groups = table.group_by("infra")
+        assert set(groups) == {("pm",), ("pc",)}
+        assert len(groups[("pm",)]) == 2
+
+    def test_group_by_multiple(self, table):
+        groups = table.group_by(["infra", "mode"])
+        assert len(groups) == 4
+
+    def test_aggregate(self, table):
+        out = table.aggregate("infra", worst=("error", np.max))
+        worst = dict(zip(out.column("infra"), out.column("worst")))
+        assert worst["pm"] == 726
+        assert worst["pc"] == 163
+
+
+class TestProperties:
+    @given(
+        values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=60),
+    )
+    def test_filter_partitions(self, values):
+        table = ResultTable({"v": values})
+        left = table.filter(lambda r: r["v"] < 0)
+        right = table.filter(lambda r: r["v"] >= 0)
+        assert len(left) + len(right) == len(table)
+
+    @given(values=st.lists(st.integers(0, 100), min_size=1, max_size=60))
+    def test_sort_is_a_permutation(self, values):
+        table = ResultTable({"v": values})
+        assert sorted(values) == table.sort_by("v").column("v")
+
+    @given(values=st.lists(st.sampled_from("abc"), min_size=1, max_size=60))
+    def test_groups_cover_rows(self, values):
+        table = ResultTable({"k": values})
+        groups = table.group_by("k")
+        assert sum(len(g) for g in groups.values()) == len(table)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_rows(self, table, tmp_path):
+        path = tmp_path / "out.csv"
+        table.to_csv(path)
+        loaded = ResultTable.from_csv(path)
+        assert list(loaded.rows()) == list(table.rows())
+
+    def test_from_csv_text(self, table):
+        text = table.to_csv()
+        loaded = ResultTable.from_csv(text)
+        assert loaded.column("error") == table.column("error")
+
+    def test_types_restored(self):
+        original = ResultTable.from_rows(
+            [{"n": 3, "x": 2.5, "flag": True, "name": "pc"}]
+        )
+        loaded = ResultTable.from_csv(original.to_csv())
+        row = next(loaded.rows())
+        assert row == {"n": 3, "x": 2.5, "flag": True, "name": "pc"}
+
+    def test_empty_csv(self):
+        assert len(ResultTable.from_csv("")) == 0

@@ -1,0 +1,63 @@
+"""Stateful property test of ResultTable against a list-of-dicts model."""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.analysis.table import ResultTable
+
+COLUMNS = ("infra", "error")
+infras = st.sampled_from(["pm", "pc", "PLpm"])
+errors = st.integers(-100, 5000)
+
+
+class TableMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.table = ResultTable()
+        self.model: list[dict] = []
+
+    @rule(infra=infras, error=errors)
+    def append(self, infra, error):
+        row = {"infra": infra, "error": error}
+        self.table.append(row)
+        self.model.append(dict(row))
+
+    @rule(infra=infras)
+    def filter_where(self, infra):
+        sub = self.table.where(infra=infra)
+        expected = [r for r in self.model if r["infra"] == infra]
+        assert list(sub.rows()) == expected
+
+    @rule()
+    def sort(self):
+        if not self.model:
+            return
+        ordered = self.table.sort_by("error")
+        assert ordered.column("error") == sorted(
+            r["error"] for r in self.model
+        )
+
+    @rule()
+    def csv_round_trip(self):
+        if not self.model:
+            return
+        loaded = ResultTable.from_csv(self.table.to_csv())
+        assert list(loaded.rows()) == self.model
+
+    @rule()
+    def concat_with_self(self):
+        if not self.model:
+            return
+        doubled = ResultTable.concat([self.table, self.table])
+        assert len(doubled) == 2 * len(self.model)
+
+    @invariant()
+    def length_matches_model(self):
+        assert len(self.table) == len(self.model)
+
+    @invariant()
+    def rows_match_model(self):
+        assert list(self.table.rows()) == self.model
+
+
+TestTableStateful = TableMachine.TestCase

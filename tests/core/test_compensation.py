@@ -1,0 +1,70 @@
+"""Tests for repro.core.compensation — null-probe compensation."""
+
+import pytest
+
+from repro.core.benchmarks import LoopBenchmark, NullBenchmark
+from repro.core.compensation import (
+    calibrate,
+    compensated_error,
+    measure_compensated,
+)
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.cpu.events import Event
+from repro.errors import ConfigurationError
+
+
+def user_config(**kwargs) -> MeasurementConfig:
+    defaults = dict(processor="CD", infra="pc", pattern=Pattern.START_READ,
+                    mode=Mode.USER, seed=5, io_interrupts=False)
+    defaults.update(kwargs)
+    return MeasurementConfig(**defaults)
+
+
+class TestCalibrate:
+    def test_probe_median_equals_fixed_cost(self):
+        config = user_config()
+        model = calibrate(config, n_probes=5)
+        null = run_measurement(config, NullBenchmark())
+        assert model.probe_median == null.measured
+
+    def test_stability_flag(self):
+        model = calibrate(user_config(), n_probes=5)
+        assert model.is_stable
+
+    def test_needs_probes(self):
+        with pytest.raises(ConfigurationError, match="probe"):
+            calibrate(user_config(), n_probes=0)
+
+
+class TestCompensation:
+    def test_user_mode_residual_is_zero(self):
+        """Interrupt-free user-mode fixed cost is deterministic, so
+        compensation removes it exactly."""
+        config = user_config()
+        model = calibrate(config, n_probes=5)
+        result = run_measurement(config, LoopBenchmark(100_000))
+        assert compensated_error(result, model) == 0.0
+
+    def test_duration_error_survives(self):
+        config = user_config(mode=Mode.USER_KERNEL, io_interrupts=True, seed=3)
+        model = calibrate(config, n_probes=7)
+        result = run_measurement(config, LoopBenchmark(5_000_000))
+        residual = compensated_error(result, model)
+        raw = result.error
+        # compensation removed (most of) the fixed part...
+        assert abs(residual) < abs(raw)
+        # ...but the interrupt-driven duration error remains
+        assert residual > 1000
+
+    def test_measure_compensated_calibrates_lazily(self):
+        raw, residual = measure_compensated(user_config(), LoopBenchmark(1000))
+        assert raw.error > 0
+        assert residual == 0.0
+
+    def test_cycles_cannot_be_compensated(self):
+        config = user_config(primary_event=Event.CYCLES)
+        model = calibrate(config, n_probes=3)
+        result = run_measurement(config, LoopBenchmark(1000))
+        with pytest.raises(ConfigurationError, match="ground truth"):
+            compensated_error(result, model)

@@ -1,0 +1,94 @@
+"""Unit tests for repro.core.config."""
+
+import pytest
+
+from repro.core.config import (
+    INFRASTRUCTURES,
+    MeasurementConfig,
+    Mode,
+    Pattern,
+    api_level,
+    substrate_of,
+)
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import ConfigurationError
+
+
+class TestModeAndPattern:
+    def test_mode_filters(self):
+        assert Mode.USER.priv_filter is PrivFilter.USR
+        assert Mode.KERNEL.priv_filter is PrivFilter.OS
+        assert Mode.USER_KERNEL.priv_filter is PrivFilter.ALL
+
+    def test_pattern_short_codes(self):
+        assert {p.short for p in Pattern} == {"ar", "ao", "rr", "ro"}
+
+    def test_begins_with_read(self):
+        assert Pattern.READ_READ.begins_with_read
+        assert Pattern.READ_STOP.begins_with_read
+        assert not Pattern.START_READ.begins_with_read
+        assert not Pattern.START_STOP.begins_with_read
+
+
+class TestInfraNames:
+    def test_six_infrastructures(self):
+        assert len(INFRASTRUCTURES) == 6
+
+    @pytest.mark.parametrize(
+        "infra,substrate,level",
+        [
+            ("pm", "perfmon", "direct"),
+            ("pc", "perfctr", "direct"),
+            ("PLpm", "perfmon", "low"),
+            ("PLpc", "perfctr", "low"),
+            ("PHpm", "perfmon", "high"),
+            ("PHpc", "perfctr", "high"),
+        ],
+    )
+    def test_classification(self, infra, substrate, level):
+        assert substrate_of(infra) == substrate
+        assert api_level(infra) == level
+
+    def test_unknown_infra(self):
+        with pytest.raises(ConfigurationError, match="unknown infrastructure"):
+            substrate_of("oprofile")
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = MeasurementConfig()
+        assert config.substrate == "perfctr"
+        assert config.api == "direct"
+
+    def test_unknown_processor(self):
+        with pytest.raises(ConfigurationError, match="unknown processor"):
+            MeasurementConfig(processor="P5")
+
+    def test_counter_budget_enforced(self):
+        with pytest.raises(ConfigurationError, match="programmable counters"):
+            MeasurementConfig(processor="CD", n_counters=3)
+
+    def test_zero_counters_rejected(self):
+        with pytest.raises(ConfigurationError, match="n_counters"):
+            MeasurementConfig(n_counters=0)
+
+    def test_tsc_off_only_for_direct_perfctr(self):
+        MeasurementConfig(infra="pc", tsc=False)  # fine
+        for infra in ("pm", "PLpc", "PHpc"):
+            with pytest.raises(ConfigurationError, match="tsc"):
+                MeasurementConfig(infra=infra, tsc=False)
+
+    def test_events_measured_first(self):
+        config = MeasurementConfig(processor="K8", n_counters=3)
+        events = config.events()
+        assert events[0] is Event.INSTR_RETIRED
+        assert len(events) == 3
+        assert len(set(events)) == 3
+
+    def test_events_exclude_primary_duplicate(self):
+        config = MeasurementConfig(
+            processor="K8", n_counters=2, primary_event=Event.CYCLES
+        )
+        events = config.events()
+        assert events[0] is Event.CYCLES
+        assert Event.CYCLES not in events[1:]

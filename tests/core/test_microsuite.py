@@ -1,0 +1,140 @@
+"""Tests for the extended micro-benchmark suite."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import run_measurement
+from repro.core.microsuite import (
+    BranchPatternBenchmark,
+    DependencyChainBenchmark,
+    SyscallBenchmark,
+)
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.pmu import CounterConfig
+from repro.errors import ConfigurationError
+from repro.kernel.system import Machine
+
+
+def quiet_machine(**kwargs) -> Machine:
+    defaults = dict(processor="CD", kernel="vanilla", seed=2,
+                    io_interrupts=False)
+    defaults.update(kwargs)
+    return Machine(**defaults)
+
+
+class TestDependencyChain:
+    def test_model(self):
+        assert DependencyChainBenchmark(500).expected_instructions == 500
+
+    def test_no_branches_no_memory(self):
+        work = DependencyChainBenchmark(100).expected_work()
+        assert work.branches == 0
+        assert work.loads == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DependencyChainBenchmark(0)
+
+    def test_run_retires_model(self):
+        machine = quiet_machine()
+        machine.core.pmu.program(
+            0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True)
+        )
+        DependencyChainBenchmark(777).run(machine, 0x8048000)
+        assert machine.core.pmu.read(0) == 777
+
+
+class TestBranchPattern:
+    def test_model(self):
+        bench = BranchPatternBenchmark(1000)
+        assert bench.expected_instructions == 1 + 4 * 1000
+        # per pair: 1 inner taken + 2 back-edges
+        assert bench.expected_taken_branches == 3 * 500
+
+    def test_odd_iterations_rejected(self):
+        with pytest.raises(ConfigurationError, match="even"):
+            BranchPatternBenchmark(7)
+
+    @given(n=st.integers(1, 5000))
+    @settings(max_examples=20)
+    def test_model_scales(self, n):
+        bench = BranchPatternBenchmark(2 * n)
+        assert bench.expected_work().branches == 4 * n
+
+    def test_taken_branch_measurement(self):
+        machine = quiet_machine()
+        machine.core.pmu.program(
+            0, CounterConfig(Event.TAKEN_BRANCHES, PrivFilter.USR, True)
+        )
+        bench = BranchPatternBenchmark(10_000)
+        bench.run(machine, 0x8048000)
+        assert machine.core.pmu.read(0) == bench.expected_taken_branches
+
+    def test_through_harness(self):
+        config = MeasurementConfig(
+            processor="K8", infra="pm", pattern=Pattern.READ_READ,
+            mode=Mode.USER, primary_event=Event.TAKEN_BRANCHES,
+            seed=3, io_interrupts=False,
+        )
+        bench = BranchPatternBenchmark(100_000)
+        result = run_measurement(config, bench)
+        assert result.expected == bench.expected_taken_branches
+        # infrastructure adds a few taken branches (calls/returns)
+        assert 0 <= result.error < 100
+
+
+class TestSyscallBenchmark:
+    def test_user_model_is_one_trap_per_call(self):
+        assert SyscallBenchmark(9).expected_instructions == 9
+
+    def test_kernel_model_counts_entry_exit_handler(self):
+        machine = quiet_machine()
+        bench = SyscallBenchmark(5)
+        costs = machine.build.costs
+        expected = 5 * (costs.syscall_entry + 12 + costs.syscall_exit + 1)
+        assert bench.expected_kernel_instructions(machine) == expected
+
+    def test_kernel_count_measured_exactly(self):
+        machine = quiet_machine()
+        machine.core.pmu.program(
+            0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.OS, True)
+        )
+        bench = SyscallBenchmark(25)
+        bench.run(machine, 0)
+        assert machine.core.pmu.read(0) == bench.expected_kernel_instructions(
+            machine
+        )
+
+    def test_user_count_measured_exactly(self):
+        machine = quiet_machine()
+        machine.core.pmu.program(
+            0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True)
+        )
+        bench = SyscallBenchmark(25)
+        bench.run(machine, 0)
+        assert machine.core.pmu.read(0) == 25
+
+    def test_registration_idempotent(self):
+        machine = quiet_machine()
+        SyscallBenchmark(2).run(machine, 0)
+        SyscallBenchmark(3).run(machine, 0)  # re-register must not raise
+
+    def test_kernel_ground_truth_differs_by_build(self):
+        bench = SyscallBenchmark(10)
+        vanilla = quiet_machine()
+        assert bench.expected_kernel_instructions(vanilla) > 0
+
+    def test_mode_decomposition_holds(self):
+        """user + kernel == user+kernel for a kernel-entering benchmark."""
+        counts = {}
+        for priv, name in ((PrivFilter.USR, "user"), (PrivFilter.OS, "os"),
+                           (PrivFilter.ALL, "all")):
+            machine = quiet_machine()
+            machine.core.pmu.program(
+                0, CounterConfig(Event.INSTR_RETIRED, priv, True)
+            )
+            SyscallBenchmark(8).run(machine, 0)
+            counts[name] = machine.core.pmu.read(0)
+        assert counts["user"] + counts["os"] == counts["all"]

@@ -1,0 +1,89 @@
+"""Unit tests for repro.core.patterns and registry adapters."""
+
+import pytest
+
+from repro.core.config import MeasurementConfig, Mode, Pattern
+from repro.core.measurement import build_machine
+from repro.core.patterns import run_pattern
+from repro.core.registry import make_interface
+from repro.errors import ConfigurationError, UnsupportedPatternError
+
+
+def interface_for(infra: str, **kwargs):
+    defaults = dict(processor="CD", infra=infra, mode=Mode.USER_KERNEL,
+                    seed=2, io_interrupts=False)
+    defaults.update(kwargs)
+    config = MeasurementConfig(**defaults)
+    machine = build_machine(config)
+    iface = make_interface(config, machine)
+    iface.setup()
+    return iface
+
+
+class TestAdapters:
+    @pytest.mark.parametrize("infra", ["pm", "pc", "PLpm", "PLpc", "PHpm", "PHpc"])
+    def test_start_then_stop_yields_values(self, infra):
+        iface = interface_for(infra)
+        iface.start_counting()
+        values = iface.stop_counting()
+        assert len(values) == 1
+        assert values[0] >= 0
+
+    @pytest.mark.parametrize("infra", ["pm", "pc", "PLpm", "PLpc"])
+    def test_read_running_monotone(self, infra):
+        iface = interface_for(infra)
+        iface.start_counting()
+        assert iface.read_running()[0] <= iface.read_running()[0]
+
+    def test_name_reflects_substrate(self):
+        assert interface_for("PLpm").name == "PLpm"
+        assert interface_for("PLpc").name == "PLpc"
+        assert interface_for("PHpm").name == "PHpm"
+
+    def test_mismatched_machine_rejected(self):
+        config_pm = MeasurementConfig(infra="pm", io_interrupts=False)
+        config_pc = MeasurementConfig(infra="pc", io_interrupts=False)
+        machine_pc = build_machine(config_pc)
+        with pytest.raises(ConfigurationError, match="needs a perfmon kernel"):
+            make_interface(config_pm, machine_pc)
+
+
+class TestRunPattern:
+    @pytest.mark.parametrize("pattern", list(Pattern))
+    def test_all_patterns_on_direct_interfaces(self, pattern):
+        for infra in ("pm", "pc"):
+            iface = interface_for(infra)
+            ran = []
+            c0, c1 = run_pattern(pattern, iface, lambda: ran.append(1))
+            assert ran == [1]
+            assert len(c0) == len(c1) == 1
+            assert c1[0] >= c0[0]
+
+    def test_start_patterns_have_zero_baseline(self):
+        iface = interface_for("pm")
+        c0, _c1 = run_pattern(Pattern.START_READ, iface, lambda: None)
+        assert c0 == (0,)
+
+    def test_read_patterns_have_nonzero_baseline(self):
+        iface = interface_for("pm")
+        c0, _c1 = run_pattern(Pattern.READ_READ, iface, lambda: None)
+        assert c0[0] > 0
+
+    @pytest.mark.parametrize("pattern", [Pattern.READ_READ, Pattern.READ_STOP])
+    @pytest.mark.parametrize("infra", ["PHpm", "PHpc"])
+    def test_high_level_read_patterns_unsupported(self, infra, pattern):
+        iface = interface_for(infra)
+        with pytest.raises(UnsupportedPatternError, match="resets"):
+            run_pattern(pattern, iface, lambda: None)
+
+    def test_benchmark_runs_between_samples(self):
+        """The benchmark's own work must land inside the window."""
+        from repro.core.benchmarks import LoopBenchmark
+
+        iface = interface_for("pc", mode=Mode.USER)
+        bench = LoopBenchmark(10_000)
+        machine = iface.machine
+        c0, c1 = run_pattern(
+            Pattern.READ_READ, iface, lambda: bench.run(machine, 0x8048000)
+        )
+        assert c1[0] - c0[0] >= bench.expected_instructions

@@ -1,0 +1,184 @@
+"""Unit tests for repro.cpu.core — the execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig
+from repro.cpu.models import microarch
+from repro.errors import PrivilegeError
+from repro.isa.block import Chunk, Loop
+from repro.isa.work import WorkVector
+
+
+def make_core(key: str = "CD", seed: int = 0) -> Core:
+    core = Core(microarch(key), np.random.default_rng(seed))
+    core.loop_warmup_cycles = 0.0
+    return core
+
+
+def arm_instr_counter(core: Core, priv: PrivFilter = PrivFilter.ALL) -> None:
+    core.pmu.program(0, CounterConfig(Event.INSTR_RETIRED, priv, True))
+
+
+class TestRetirement:
+    def test_retire_counts_in_current_mode(self):
+        core = make_core()
+        arm_instr_counter(core, PrivFilter.OS)
+        core.mode = PrivLevel.KERNEL
+        core.retire(WorkVector(instructions=10))
+        assert core.pmu.read(0) == 10
+
+    def test_mode_filter_respected(self):
+        core = make_core()
+        arm_instr_counter(core, PrivFilter.USR)
+        core.mode = PrivLevel.KERNEL
+        core.retire(WorkVector(instructions=10))
+        assert core.pmu.read(0) == 0
+
+    def test_tsc_always_advances(self):
+        core = make_core()
+        before = core.pmu.read_tsc()
+        core.retire(WorkVector(instructions=100))
+        assert core.pmu.read_tsc() > before
+
+    def test_cycles_event_charged(self):
+        core = make_core()
+        core.pmu.program(0, CounterConfig(Event.CYCLES, PrivFilter.ALL, True))
+        core.retire(WorkVector(instructions=30))
+        assert core.pmu.read(0) == pytest.approx(core.cycle, abs=1)
+
+    def test_wall_clock_tracks_frequency(self):
+        core = make_core("CD")  # 2.4 GHz
+        core.retire(WorkVector.zero(), cycles=2.4e9)
+        assert core.wall_s == pytest.approx(1.0)
+
+    def test_zero_work_is_free(self):
+        core = make_core()
+        core.retire(WorkVector.zero())
+        assert core.cycle == 0.0
+
+
+class TestLoops:
+    def test_loop_instruction_count_exact(self):
+        core = make_core()
+        core.mode = PrivLevel.USER
+        arm_instr_counter(core)
+        body = Chunk(WorkVector(instructions=3, branches=1, taken_branches=1),
+                     size_bytes=10)
+        header = Chunk(WorkVector(instructions=1), size_bytes=5)
+        core.execute_loop(Loop(body=body, trips=12345, header=header), 0x8048000)
+        assert core.pmu.read(0) == 1 + 3 * 12345
+
+    def test_billion_iterations_fast_and_exact(self):
+        core = make_core()
+        arm_instr_counter(core)
+        body = Chunk(WorkVector(instructions=3, branches=1, taken_branches=1),
+                     size_bytes=10)
+        core.execute_loop(Loop(body=body, trips=1_000_000_000), 0x8048000)
+        assert core.pmu.read(0) == 3_000_000_000
+
+    def test_cycles_proportional_to_trips(self):
+        core = make_core("K8")
+        body = Chunk(WorkVector(instructions=3, branches=1, taken_branches=1),
+                     size_bytes=10)
+        core.execute_loop(Loop(body=body, trips=1000), 0x8048000)
+        first = core.cycle
+        core.execute_loop(Loop(body=body, trips=2000), 0x8048000)
+        assert core.cycle - first == pytest.approx(2 * first, rel=0.01)
+
+    def test_warmup_adds_cycles_not_instructions(self):
+        core = make_core()
+        core.loop_warmup_cycles = 100.0
+        arm_instr_counter(core)
+        body = Chunk(WorkVector(instructions=3), size_bytes=10)
+        core.execute_loop(Loop(body=body, trips=10), 0x8048000)
+        assert core.pmu.read(0) == 30
+        assert core.cycle > 0
+
+
+class TestCounterInstructions:
+    def test_rdtsc_counts_as_one_instruction(self):
+        core = make_core()
+        arm_instr_counter(core)
+        core.rdtsc()
+        assert core.pmu.read(0) == 1
+
+    def test_rdpmc_requires_pce_in_user_mode(self):
+        core = make_core()
+        core.mode = PrivLevel.USER
+        with pytest.raises(PrivilegeError, match="RDPMC"):
+            core.rdpmc(0)
+
+    def test_rdpmc_with_pce(self):
+        core = make_core()
+        core.mode = PrivLevel.USER
+        core.user_rdpmc_enabled = True
+        arm_instr_counter(core)
+        core.rdpmc(0)  # the read itself retires and is counted
+
+    def test_rdpmc_allowed_in_kernel(self):
+        core = make_core()
+        core.mode = PrivLevel.KERNEL
+        core.rdpmc(0)
+
+    @pytest.mark.parametrize("op", ["rdmsr", "wrmsr"])
+    def test_msr_access_faults_in_user_mode(self, op):
+        core = make_core()
+        core.mode = PrivLevel.USER
+        with pytest.raises(PrivilegeError, match="#GP"):
+            if op == "rdmsr":
+                core.rdmsr(0x10)
+            else:
+                core.wrmsr(0x10, 0)
+
+    def test_wrmsr_serializes(self):
+        core = make_core()
+        before = core.cycle
+        core.wrmsr(0x10, 0)
+        assert core.cycle - before >= core.timing.serialize_cost
+
+
+class TestModeHelpers:
+    def test_kernel_mode_context_restores(self):
+        core = make_core()
+        core.mode = PrivLevel.USER
+        with core.kernel_mode():
+            assert core.mode is PrivLevel.KERNEL
+        assert core.mode is PrivLevel.USER
+
+    def test_masked_interrupts_restores(self):
+        core = make_core()
+        with core.masked_interrupts():
+            assert core.interrupts_masked
+        assert not core.interrupts_masked
+
+
+class TestSkid:
+    def test_skid_disabled_by_default(self):
+        core = make_core()
+        arm_instr_counter(core, PrivFilter.USR)
+        for _ in range(100):
+            core.apply_interrupt_skid()
+        assert core.pmu.read(0) == 0
+
+    def test_positive_bias_drifts_up(self):
+        core = make_core(seed=7)
+        core.skid_probability = 1.0
+        core.skid_bias = 1.0
+        arm_instr_counter(core, PrivFilter.USR)
+        core.pmu.write(0, 1000)
+        for _ in range(50):
+            core.apply_interrupt_skid()
+        assert core.pmu.read(0) == 1050
+
+    def test_negative_bias_drifts_down(self):
+        core = make_core(seed=7)
+        core.skid_probability = 1.0
+        core.skid_bias = -1.0
+        arm_instr_counter(core, PrivFilter.USR)
+        core.pmu.write(0, 1000)
+        for _ in range(50):
+            core.apply_interrupt_skid()
+        assert core.pmu.read(0) == 950

@@ -1,0 +1,102 @@
+"""Core × frequency-policy interactions (the ondemand mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.frequency import Governor
+from repro.cpu.models import microarch
+from repro.cpu.pmu import CounterConfig
+from repro.isa.block import Chunk, Loop
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+
+
+def memory_loop(trips: int) -> Loop:
+    body = Chunk(
+        WorkVector(instructions=4, branches=1, taken_branches=1, loads=1),
+        size_bytes=13,
+    )
+    return Loop(body=body, trips=trips)
+
+
+class TestMemoryCycleScaling:
+    def test_slower_clock_cheaper_memory_in_cycles(self):
+        """At a lower core clock, constant-time memory costs fewer
+        cycles — the Section 8 frequency-scaling mechanism."""
+        def cycles_at(governor: Governor) -> float:
+            core = Core(
+                microarch("PD"), np.random.default_rng(0), governor=governor
+            )
+            core.loop_warmup_cycles = 0.0
+            core.execute_loop(memory_loop(100_000), 0x8048000)
+            return core.cycle
+
+        fast = cycles_at(Governor.PERFORMANCE)   # 3.0 GHz
+        slow = cycles_at(Governor.POWERSAVE)     # 2.4 GHz
+        assert slow < fast
+
+    def test_pure_alu_loop_clock_invariant(self):
+        """Without memory traffic, cycles per iteration do not depend
+        on the clock."""
+        body = Chunk(
+            WorkVector(instructions=3, branches=1, taken_branches=1),
+            size_bytes=10,
+        )
+
+        def cycles_at(governor: Governor) -> float:
+            core = Core(
+                microarch("PD"), np.random.default_rng(0), governor=governor
+            )
+            core.loop_warmup_cycles = 0.0
+            core.execute_loop(Loop(body=body, trips=50_000), 0x8048000)
+            return core.cycle
+
+        assert cycles_at(Governor.PERFORMANCE) == cycles_at(
+            Governor.POWERSAVE
+        )
+
+    def test_instruction_counts_clock_invariant(self):
+        """Retired-instruction counts never depend on the governor."""
+        def count_at(governor: Governor) -> int:
+            machine = Machine(
+                processor="PD", kernel="vanilla", seed=4,
+                governor=governor, io_interrupts=False,
+            )
+            machine.core.skid_probability = 0.0
+            machine.core.pmu.program(
+                0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True)
+            )
+            machine.core.execute_loop(memory_loop(200_000), 0x8049000)
+            return machine.core.pmu.read(0)
+
+        assert count_at(Governor.PERFORMANCE) == count_at(Governor.POWERSAVE)
+
+    def test_ondemand_retunes_only_at_ticks(self):
+        machine = Machine(
+            processor="PD", kernel="vanilla", seed=9,
+            governor=Governor.ONDEMAND, io_interrupts=False,
+        )
+        start_hz = machine.core.freq.current_hz
+        # No elapsed ticks: the clock cannot have moved.
+        machine.core.retire(WorkVector(instructions=100))
+        assert machine.core.freq.current_hz == start_hz
+        # Across many ticks it (very probably) moves for this seed.
+        period = machine.core.freq.current_hz / machine.build.hz
+        seen = {machine.core.freq.current_hz}
+        for _ in range(60):
+            machine.core.retire(WorkVector.zero(), cycles=1.1 * period)
+            seen.add(machine.core.freq.current_hz)
+        assert len(seen) > 1
+
+    def test_wall_time_integrates_across_frequency_changes(self):
+        machine = Machine(
+            processor="PD", kernel="vanilla", seed=9,
+            governor=Governor.ONDEMAND, io_interrupts=False,
+        )
+        before = machine.core.wall_s
+        machine.core.retire(WorkVector.zero(), cycles=3.0e9)
+        elapsed = machine.core.wall_s - before
+        # 3e9 cycles at clocks between 2.4 and 3.0 GHz: 1.0-1.25 s.
+        assert 0.9 <= elapsed <= 1.3

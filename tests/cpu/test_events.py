@@ -1,0 +1,43 @@
+"""Unit tests for repro.cpu.events."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel, events_from_work
+from repro.isa.work import WorkVector
+
+
+class TestPrivFilter:
+    def test_usr_matches_user_only(self):
+        assert PrivFilter.USR.matches(PrivLevel.USER)
+        assert not PrivFilter.USR.matches(PrivLevel.KERNEL)
+
+    def test_os_matches_kernel_only(self):
+        assert PrivFilter.OS.matches(PrivLevel.KERNEL)
+        assert not PrivFilter.OS.matches(PrivLevel.USER)
+
+    def test_all_matches_both(self):
+        assert PrivFilter.ALL.matches(PrivLevel.USER)
+        assert PrivFilter.ALL.matches(PrivLevel.KERNEL)
+
+    def test_none_matches_nothing(self):
+        assert not PrivFilter.NONE.matches(PrivLevel.USER)
+        assert not PrivFilter.NONE.matches(PrivLevel.KERNEL)
+
+    def test_all_is_union(self):
+        assert PrivFilter.ALL == PrivFilter.USR | PrivFilter.OS
+
+
+class TestEventsFromWork:
+    def test_maps_every_architectural_field(self):
+        work = WorkVector(
+            instructions=10, branches=3, taken_branches=2, loads=4, stores=1
+        )
+        deltas = events_from_work(work)
+        assert deltas[Event.INSTR_RETIRED] == 10
+        assert deltas[Event.BRANCHES_RETIRED] == 3
+        assert deltas[Event.TAKEN_BRANCHES] == 2
+        assert deltas[Event.LOADS_RETIRED] == 4
+        assert deltas[Event.STORES_RETIRED] == 1
+
+    def test_cycles_not_derivable_from_work(self):
+        assert Event.CYCLES not in events_from_work(WorkVector(instructions=1))

@@ -1,0 +1,116 @@
+"""Unit tests for the processor catalogue (paper Table 1)."""
+
+import pytest
+
+from repro.cpu.events import Event
+from repro.cpu.models import PROCESSORS, microarch
+from repro.errors import ConfigurationError, UnsupportedEventError
+
+
+class TestTable1:
+    """The catalogue must match the paper's Table 1 exactly."""
+
+    def test_three_processors(self):
+        assert set(PROCESSORS) == {"PD", "CD", "K8"}
+
+    @pytest.mark.parametrize(
+        "key,ghz,prog,fixed,uarch_name",
+        [
+            ("PD", 3.0, 18, 0, "NetBurst"),
+            ("CD", 2.4, 2, 3, "Core2"),
+            ("K8", 2.2, 4, 0, "K8"),
+        ],
+    )
+    def test_row(self, key, ghz, prog, fixed, uarch_name):
+        uarch = microarch(key)
+        assert uarch.freq_ghz == ghz
+        assert uarch.n_prog_counters == prog
+        assert uarch.n_fixed_counters == fixed
+        assert uarch.uarch_name == uarch_name
+
+    def test_unknown_processor(self):
+        with pytest.raises(ConfigurationError, match="unknown processor"):
+            microarch("P6")
+
+
+class TestFactories:
+    @pytest.mark.parametrize("key", ["PD", "CD", "K8"])
+    def test_pmu_matches_catalogue(self, key):
+        uarch = microarch(key)
+        pmu = uarch.make_pmu()
+        assert pmu.n_programmable == uarch.n_prog_counters
+        assert pmu.n_fixed == uarch.n_fixed_counters
+
+    @pytest.mark.parametrize("key", ["PD", "CD", "K8"])
+    def test_timing_builds(self, key):
+        timing = microarch(key).make_timing()
+        assert timing.loop_base_cpi > 0
+
+    @pytest.mark.parametrize("key", ["PD", "CD", "K8"])
+    def test_all_study_events_encodable(self, key):
+        uarch = microarch(key)
+        for event in Event:
+            assert uarch.supports_event(event)
+            assert uarch.event_code(event) >= 0
+
+    def test_event_code_failure_message(self):
+        uarch = microarch("CD")
+        trimmed = {
+            ev: code
+            for ev, code in uarch.event_codes.items()
+            if ev is Event.INSTR_RETIRED
+        }
+        from dataclasses import replace
+
+        smaller = replace(uarch, key="CDX", event_codes=trimmed)
+        with pytest.raises(UnsupportedEventError, match="no native encoding"):
+            smaller.event_code(Event.CYCLES)
+
+    def test_netburst_needs_more_msr_writes(self):
+        # ESCR/CCCR pairs: a real source of per-platform driver cost.
+        assert (
+            microarch("PD").pmc_msr_writes_per_counter
+            > microarch("CD").pmc_msr_writes_per_counter
+        )
+
+    @pytest.mark.parametrize("key", ["PD", "CD", "K8"])
+    def test_p_states_ascend_to_nominal(self, key):
+        uarch = microarch(key)
+        states = uarch.p_states_hz()
+        assert states == tuple(sorted(states))
+        assert states[-1] == uarch.freq_hz
+
+
+class TestExtensionPlatforms:
+    def test_p3_not_in_table1(self):
+        from repro.cpu.models import EXTRA_PROCESSORS, PROCESSORS
+
+        assert "P3" in EXTRA_PROCESSORS
+        assert "P3" not in PROCESSORS  # Table 1 stays the paper's three
+
+    def test_p3_bootable(self):
+        from repro.kernel.system import Machine
+
+        machine = Machine(processor="P3", kernel="perfmon", io_interrupts=False)
+        assert machine.uarch.uarch_name == "P6"
+        assert machine.core.pmu.n_programmable == 2
+
+    def test_p3_measurable(self):
+        from repro.core import (
+            MeasurementConfig,
+            Mode,
+            NullBenchmark,
+            Pattern,
+            run_measurement,
+        )
+
+        config = MeasurementConfig(
+            processor="P3", infra="pm", pattern=Pattern.READ_READ,
+            mode=Mode.USER, io_interrupts=False,
+        )
+        assert run_measurement(config, NullBenchmark()).error > 0
+
+    def test_all_processors_superset(self):
+        from repro.cpu.models import ALL_PROCESSORS, PROCESSORS
+
+        assert set(PROCESSORS) < set(ALL_PROCESSORS)

@@ -1,0 +1,91 @@
+"""Unit tests for the placement models (repro.cpu.branch / fetch)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.branch import BranchPlacementModel
+from repro.cpu.fetch import FetchPlacementModel
+from repro.errors import ConfigurationError
+
+
+class TestBranchPlacement:
+    def test_deterministic(self):
+        model = BranchPlacementModel()
+        assert model.penalty_per_iteration(0x8048123) == model.penalty_per_iteration(
+            0x8048123
+        )
+
+    def test_all_penalties_reachable(self):
+        model = BranchPlacementModel(alias_penalties=(0.0, 1.0))
+        seen = {
+            model.alias_class(0x8048000 + 16 * i) for i in range(4096)
+        }
+        assert seen == {0, 1}
+
+    def test_penalty_from_table(self):
+        model = BranchPlacementModel(alias_penalties=(0.0, 2.5))
+        for address in range(0x8048000, 0x8048000 + 64 * 64, 64):
+            assert model.penalty_per_iteration(address) in (0.0, 2.5)
+
+    def test_btb_set_within_range(self):
+        model = BranchPlacementModel(btb_sets=512)
+        assert 0 <= model.btb_set(0xFFFFFFFF) < 512
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ConfigurationError, match="power of two"):
+            BranchPlacementModel(btb_sets=100)
+
+    def test_empty_penalties_rejected(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            BranchPlacementModel(alias_penalties=())
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            BranchPlacementModel(alias_penalties=(0.0, -1.0))
+
+    @given(address=st.integers(0, 2**32 - 1))
+    def test_nearby_addresses_share_class_within_shift(self, address):
+        model = BranchPlacementModel(index_shift=4)
+        base = address & ~0xF
+        classes = {model.alias_class(base + off) for off in range(16)}
+        assert len(classes) == 1
+
+
+class TestFetchPlacement:
+    def test_no_crossing_when_aligned_and_small(self):
+        model = FetchPlacementModel(line_bytes=16, bubble_cycles=1.0)
+        assert model.line_crossings(0x1000, 10) == 0
+
+    def test_crossing_when_straddling(self):
+        model = FetchPlacementModel(line_bytes=16, bubble_cycles=1.0)
+        assert model.line_crossings(0x100A, 10) == 1
+        assert model.penalty_per_iteration(0x100A, 10) == 1.0
+
+    def test_multiple_crossings(self):
+        model = FetchPlacementModel(line_bytes=16)
+        assert model.line_crossings(0x1001, 40) == 2
+
+    def test_zero_size_body(self):
+        model = FetchPlacementModel()
+        assert model.line_crossings(0x1000, 0) == 0
+        assert model.penalty_per_iteration(0x1000, 0) == 0.0
+
+    def test_page_crossing_penalty(self):
+        model = FetchPlacementModel(
+            bubble_cycles=0.0, page_bytes=4096, page_bubble_cycles=2.0
+        )
+        assert model.penalty_per_iteration(4096 - 4, 10) == 2.0
+
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigurationError, match="line_bytes"):
+            FetchPlacementModel(line_bytes=0)
+
+    @given(
+        address=st.integers(0, 2**24),
+        size=st.integers(1, 256),
+    )
+    def test_crossings_bounded(self, address, size):
+        model = FetchPlacementModel(line_bytes=16)
+        crossings = model.line_crossings(address, size)
+        assert 0 <= crossings <= size // 16 + 1

@@ -1,0 +1,190 @@
+"""Unit tests for repro.cpu.pmu."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig, Pmu
+from repro.errors import CounterError
+
+
+def make_pmu(n: int = 2, fixed: tuple = ()) -> Pmu:
+    return Pmu(n_programmable=n, fixed_events=fixed, counter_width=40)
+
+
+def count_instr(pmu: Pmu, n: int, level: PrivLevel) -> None:
+    pmu.count({Event.INSTR_RETIRED: n}, level)
+
+
+class TestProgramming:
+    def test_unprogrammed_counters_do_not_count(self):
+        pmu = make_pmu()
+        count_instr(pmu, 100, PrivLevel.USER)
+        assert pmu.read(0) == 0
+
+    def test_programmed_enabled_counter_counts(self):
+        pmu = make_pmu()
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        count_instr(pmu, 100, PrivLevel.USER)
+        assert pmu.read(0) == 100
+
+    def test_disabled_counter_does_not_count(self):
+        pmu = make_pmu()
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        pmu.disable(0)
+        count_instr(pmu, 100, PrivLevel.USER)
+        assert pmu.read(0) == 0
+
+    def test_enable_requires_programming(self):
+        with pytest.raises(CounterError, match="programmed"):
+            make_pmu().enable(0)
+
+    def test_bad_index(self):
+        with pytest.raises(CounterError, match="no programmable counter"):
+            make_pmu(2).read(2)
+
+    def test_needs_at_least_one_counter(self):
+        with pytest.raises(CounterError):
+            Pmu(n_programmable=0)
+
+    def test_disable_all(self):
+        pmu = make_pmu()
+        for i in range(2):
+            pmu.program(i, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        pmu.disable_all()
+        count_instr(pmu, 10, PrivLevel.USER)
+        assert pmu.read(0) == 0 and pmu.read(1) == 0
+
+
+class TestPrivilegeFiltering:
+    """Conditional counting per privilege level (paper §2.5)."""
+
+    @pytest.mark.parametrize(
+        "priv,user_counts,kernel_counts",
+        [
+            (PrivFilter.USR, True, False),
+            (PrivFilter.OS, False, True),
+            (PrivFilter.ALL, True, True),
+        ],
+    )
+    def test_filter_behaviour(self, priv, user_counts, kernel_counts):
+        pmu = make_pmu()
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, priv, True))
+        count_instr(pmu, 7, PrivLevel.USER)
+        count_instr(pmu, 11, PrivLevel.KERNEL)
+        expected = (7 if user_counts else 0) + (11 if kernel_counts else 0)
+        assert pmu.read(0) == expected
+
+    def test_user_count_never_exceeds_all_count(self):
+        pmu = make_pmu(2)
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True))
+        pmu.program(1, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        count_instr(pmu, 5, PrivLevel.USER)
+        count_instr(pmu, 9, PrivLevel.KERNEL)
+        assert pmu.read(0) <= pmu.read(1)
+
+
+class TestEventSelection:
+    def test_counter_counts_only_its_event(self):
+        pmu = make_pmu(2)
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        pmu.program(1, CounterConfig(Event.BRANCHES_RETIRED, PrivFilter.ALL, True))
+        pmu.count(
+            {Event.INSTR_RETIRED: 10, Event.BRANCHES_RETIRED: 3},
+            PrivLevel.USER,
+        )
+        assert pmu.read(0) == 10
+        assert pmu.read(1) == 3
+
+
+class TestOverflow:
+    def test_counter_wraps_at_width(self):
+        pmu = Pmu(n_programmable=1, counter_width=8)
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        count_instr(pmu, 300, PrivLevel.USER)
+        assert pmu.read(0) == 300 - 256
+
+    def test_overflow_callback_fires(self):
+        fired = []
+        pmu = Pmu(n_programmable=1, counter_width=8, on_overflow=fired.append)
+        pmu.program(
+            0,
+            CounterConfig(
+                Event.INSTR_RETIRED, PrivFilter.ALL, True,
+                interrupt_on_overflow=True,
+            ),
+        )
+        count_instr(pmu, 257, PrivLevel.USER)
+        assert fired == [0]
+
+    def test_no_callback_without_interrupt_bit(self):
+        fired = []
+        pmu = Pmu(n_programmable=1, counter_width=8, on_overflow=fired.append)
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        count_instr(pmu, 600, PrivLevel.USER)
+        assert fired == []
+
+    def test_write_wraps_to_width(self):
+        pmu = Pmu(n_programmable=1, counter_width=8)
+        pmu.write(0, 256 + 5)
+        assert pmu.read(0) == 5
+
+
+class TestFixedCounters:
+    def test_fixed_counts_designated_event(self):
+        pmu = make_pmu(fixed=(Event.INSTR_RETIRED,))
+        pmu.configure_fixed(0, PrivFilter.ALL)
+        count_instr(pmu, 50, PrivLevel.USER)
+        assert pmu.read_fixed(0) == 50
+
+    def test_fixed_disabled_by_default(self):
+        pmu = make_pmu(fixed=(Event.INSTR_RETIRED,))
+        count_instr(pmu, 50, PrivLevel.USER)
+        assert pmu.read_fixed(0) == 0
+
+    def test_fixed_priv_filter(self):
+        pmu = make_pmu(fixed=(Event.INSTR_RETIRED,))
+        pmu.configure_fixed(0, PrivFilter.OS)
+        count_instr(pmu, 5, PrivLevel.USER)
+        count_instr(pmu, 9, PrivLevel.KERNEL)
+        assert pmu.read_fixed(0) == 9
+
+
+class TestTsc:
+    def test_tsc_free_runs(self):
+        pmu = make_pmu()
+        pmu.advance_tsc(123.0)
+        assert pmu.read_tsc() == 123
+
+    def test_tsc_cannot_run_backwards(self):
+        with pytest.raises(CounterError, match="backwards"):
+            make_pmu().advance_tsc(-1.0)
+
+    def test_tsc_write(self):
+        pmu = make_pmu()
+        pmu.write_tsc(10)
+        pmu.advance_tsc(5)
+        assert pmu.read_tsc() == 15
+
+
+class TestSnapshotRestore:
+    def test_round_trip(self):
+        pmu = make_pmu(2, fixed=(Event.CYCLES,))
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        pmu.configure_fixed(0, PrivFilter.ALL)
+        count_instr(pmu, 42, PrivLevel.USER)
+        state = pmu.snapshot()
+        count_instr(pmu, 100, PrivLevel.USER)
+        pmu.restore(state)
+        assert pmu.read(0) == 42
+
+    @given(counts=st.lists(st.integers(1, 1000), min_size=1, max_size=10))
+    def test_monotone_accumulation(self, counts):
+        pmu = make_pmu()
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True))
+        total = 0
+        for n in counts:
+            count_instr(pmu, n, PrivLevel.USER)
+            total += n
+            assert pmu.read(0) == total

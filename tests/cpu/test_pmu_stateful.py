@@ -1,0 +1,102 @@
+"""Stateful property test of the PMU against a reference model.
+
+Hypothesis drives random sequences of PMU operations (program, enable,
+disable, write, count at either privilege level, snapshot/restore) and
+checks the hardware model against a trivially correct shadow
+implementation after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig, Pmu
+
+WIDTH = 24  # small width so overflow paths are exercised
+LIMIT = 1 << WIDTH
+N = 3
+
+events = st.sampled_from([Event.INSTR_RETIRED, Event.CYCLES,
+                          Event.BRANCHES_RETIRED])
+privs = st.sampled_from([PrivFilter.USR, PrivFilter.OS, PrivFilter.ALL])
+levels = st.sampled_from([PrivLevel.USER, PrivLevel.KERNEL])
+indices = st.integers(0, N - 1)
+amounts = st.integers(1, LIMIT // 2)
+
+
+class PmuMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pmu = Pmu(n_programmable=N, counter_width=WIDTH)
+        # Shadow: per-counter (config, value) mirror.
+        self.shadow_config: list[CounterConfig | None] = [None] * N
+        self.shadow_value: list[int] = [0] * N
+        self.saved: list[tuple] = []
+
+    snapshots = Bundle("snapshots")
+
+    @rule(index=indices, event=events, priv=privs,
+          enabled=st.booleans())
+    def program(self, index, event, priv, enabled):
+        config = CounterConfig(event, priv, enabled)
+        self.pmu.program(index, config)
+        self.shadow_config[index] = config
+
+    @rule(index=indices)
+    def disable(self, index):
+        self.pmu.disable(index)
+        if self.shadow_config[index] is not None:
+            from dataclasses import replace
+
+            self.shadow_config[index] = replace(
+                self.shadow_config[index], enabled=False
+            )
+
+    @rule(index=indices, value=st.integers(0, LIMIT - 1))
+    def write(self, index, value):
+        self.pmu.write(index, value)
+        self.shadow_value[index] = value
+
+    @rule(event=events, amount=amounts, level=levels)
+    def count(self, event, amount, level):
+        self.pmu.count({event: amount}, level)
+        for index in range(N):
+            config = self.shadow_config[index]
+            if (
+                config is not None
+                and config.enabled
+                and config.event is event
+                and config.priv.matches(level)
+            ):
+                self.shadow_value[index] = (
+                    self.shadow_value[index] + amount
+                ) % LIMIT
+
+    @rule(target=snapshots)
+    def snapshot(self):
+        state = self.pmu.snapshot()
+        mirror = (list(self.shadow_config), list(self.shadow_value))
+        return (state, mirror)
+
+    @rule(snap=snapshots)
+    def restore(self, snap):
+        state, (configs, values) = snap
+        self.pmu.restore(state)
+        self.shadow_config = list(configs)
+        self.shadow_value = list(values)
+
+    @invariant()
+    def hardware_matches_shadow(self):
+        for index in range(N):
+            assert self.pmu.read(index) == self.shadow_value[index], (
+                f"counter {index}: hw={self.pmu.read(index)} "
+                f"shadow={self.shadow_value[index]}"
+            )
+
+
+TestPmuStateful = PmuMachine.TestCase

@@ -1,0 +1,136 @@
+"""Unit tests for repro.cpu.timing and repro.cpu.frequency."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.branch import BranchPlacementModel
+from repro.cpu.fetch import FetchPlacementModel
+from repro.cpu.frequency import FrequencyPolicy, Governor
+from repro.cpu.models import microarch
+from repro.cpu.timing import TimingModel
+from repro.errors import ConfigurationError
+from repro.isa.block import Chunk
+from repro.isa.work import WorkVector
+
+
+def flat_timing(loop_cpi: float = 2.0) -> TimingModel:
+    return TimingModel(
+        issue_width=2.0,
+        taken_branch_cost=1.0,
+        load_cost=0.5,
+        store_cost=0.5,
+        serialize_cost=30.0,
+        loop_base_cpi=loop_cpi,
+        branch_model=BranchPlacementModel(alias_penalties=(0.0,)),
+        fetch_model=FetchPlacementModel(bubble_cycles=0.0),
+    )
+
+
+class TestStraightLine:
+    def test_issue_width_floor(self):
+        timing = flat_timing()
+        assert timing.cycles_for_work(WorkVector(instructions=10)) == 5.0
+
+    def test_penalties_add(self):
+        timing = flat_timing()
+        work = WorkVector(
+            instructions=10, branches=2, taken_branches=2, loads=2, serializing=1
+        )
+        # 10/2 + 2*1.0 + 2*0.5 + 1*30
+        assert timing.cycles_for_work(work) == 5 + 2 + 1 + 30
+
+    def test_zero_work_zero_cycles(self):
+        assert flat_timing().cycles_for_work(WorkVector.zero()) == 0.0
+
+    def test_invalid_issue_width(self):
+        with pytest.raises(ConfigurationError, match="issue_width"):
+            TimingModel(
+                issue_width=0,
+                taken_branch_cost=0,
+                load_cost=0,
+                store_cost=0,
+                serialize_cost=0,
+                loop_base_cpi=1,
+                branch_model=BranchPlacementModel(),
+                fetch_model=FetchPlacementModel(),
+            )
+
+
+class TestLoopCpi:
+    def test_base_cpi_without_placement(self):
+        timing = flat_timing(loop_cpi=2.0)
+        body = Chunk(WorkVector(instructions=3, branches=1, taken_branches=1))
+        assert timing.loop_cycles_per_iteration(body, 0x8048000) == 2.0
+
+    def test_k8_cpi_is_two_or_three(self):
+        # Figure 11: K8 loops run at c=2i or c=3i depending on placement.
+        timing = microarch("K8").make_timing()
+        body = Chunk(
+            WorkVector(instructions=3, branches=1, taken_branches=1),
+            size_bytes=10,
+        )
+        cpis = {
+            timing.loop_cycles_per_iteration(body, 0x8048000 + 16 * i)
+            for i in range(512)
+        }
+        assert cpis == {2.0, 3.0}
+
+    def test_pd_spread_is_wide(self):
+        # Figure 10: PD cycles vary ~1.5x-4x per iteration.
+        timing = microarch("PD").make_timing()
+        body = Chunk(
+            WorkVector(instructions=3, branches=1, taken_branches=1),
+            size_bytes=10,
+        )
+        cpis = [
+            timing.loop_cycles_per_iteration(body, 0x8048000 + 8 * i)
+            for i in range(1024)
+        ]
+        assert min(cpis) == 1.5
+        assert max(cpis) >= 3.5
+
+
+class TestFrequencyPolicy:
+    def test_performance_pins_max(self):
+        policy = FrequencyPolicy((1e9, 2e9, 3e9), Governor.PERFORMANCE)
+        assert policy.current_hz == 3e9
+
+    def test_powersave_pins_min(self):
+        policy = FrequencyPolicy((1e9, 2e9), Governor.POWERSAVE)
+        assert policy.current_hz == 1e9
+
+    def test_userspace_requires_valid_state(self):
+        with pytest.raises(ConfigurationError, match="userspace"):
+            FrequencyPolicy((1e9, 2e9), Governor.USERSPACE, userspace_hz=5e9)
+
+    def test_userspace_pins_choice(self):
+        policy = FrequencyPolicy(
+            (1e9, 2e9), Governor.USERSPACE, userspace_hz=1e9
+        )
+        assert policy.current_hz == 1e9
+
+    def test_performance_never_moves(self):
+        rng = np.random.default_rng(0)
+        policy = FrequencyPolicy((1e9, 3e9), Governor.PERFORMANCE)
+        for _ in range(100):
+            assert not policy.on_decision_point(rng)
+        assert policy.current_hz == 3e9
+
+    def test_ondemand_wanders(self):
+        rng = np.random.default_rng(0)
+        policy = FrequencyPolicy(
+            (1e9, 2e9, 3e9), Governor.ONDEMAND, switch_probability=0.5
+        )
+        seen = {policy.current_hz}
+        for _ in range(200):
+            policy.on_decision_point(rng)
+            seen.add(policy.current_hz)
+        assert len(seen) == 3
+
+    def test_states_must_ascend(self):
+        with pytest.raises(ConfigurationError, match="ascending"):
+            FrequencyPolicy((2e9, 1e9))
+
+    def test_needs_a_state(self):
+        with pytest.raises(ConfigurationError, match="P-state"):
+            FrequencyPolicy(())

@@ -1,0 +1,183 @@
+"""Tests running every paper-artifact experiment at reduced scale and
+asserting the paper's qualitative conclusions hold."""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig01_overview,
+    fig02_stack,
+    fig03_benchmark,
+    fig04_tsc,
+    fig05_registers,
+    fig06_infrastructure,
+    fig07_uk_slope,
+    fig08_user_slope,
+    fig09_kernel_by_size,
+    fig10_cycles,
+    fig11_bimodal,
+    fig12_placement,
+    sec43_anova,
+    tab01_processors,
+    tab02_patterns,
+)
+
+QUICK_SIZES = (1, 100_000, 500_000, 1_000_000)
+
+
+class TestRegistry:
+    def test_fifteen_artifacts(self):
+        assert len(EXPERIMENTS) == 15
+
+    def test_ids_cover_every_table_and_figure(self):
+        for artifact in ("table1", "table2", "figure1", "figure2", "figure3",
+                         "figure4", "figure5", "figure6+table3", "section4.3",
+                         "figure7", "figure8", "figure9", "figure10",
+                         "figure11", "figure12"):
+            assert artifact in EXPERIMENTS
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        result = tab01_processors.run()
+        assert result.summary["mismatches"] == []
+        assert "Pentium D 925" in result.report()
+
+    def test_table2_matches_paper(self):
+        result = tab02_patterns.run()
+        assert result.summary["matches_paper"]
+
+
+class TestStructuralFigures:
+    def test_figure2_stack_consistent(self):
+        result = fig02_stack.run()
+        assert result.summary["paths"] == 6
+        assert result.summary["layering_consistent"]
+
+    def test_figure3_model_derived_from_source(self):
+        result = fig03_benchmark.run()
+        assert result.summary["model_holds"]
+        assert result.summary["structure_ok"]
+
+
+class TestFigure1:
+    def test_overview_distribution(self):
+        result = fig01_overview.run(repeats=1)
+        assert result.summary["n_measurements"] > 500
+        user = result.summary["user"]
+        uk = result.summary["user+kernel"]
+        # minimum error close to zero, long tails (paper Figure 1)
+        assert user["min"] < 50
+        assert user["max"] > 1500
+        assert uk["max"] > user["max"]
+        assert uk["median"] > user["median"]
+
+
+class TestFigure4:
+    def test_tsc_effect(self):
+        result = fig04_tsc.run(repeats=2)
+        s = result.summary
+        # read-based patterns inflate badly with TSC off
+        assert s[("user", "rr", False)] > 10 * s[("user", "rr", True)]
+        assert s[("user", "ro", False)] > 10 * s[("user", "ro", True)]
+        # rr and ro are equally affected (both begin with a read)
+        ratio = s[("user", "rr", False)] / s[("user", "ro", False)]
+        assert 0.8 < ratio < 1.2
+        # start-stop is unaffected
+        assert s[("user+kernel", "ao", False)] == pytest.approx(
+            s[("user+kernel", "ao", True)], rel=0.1
+        )
+        # start-read is less affected than read-read
+        ar_inflation = s[("user+kernel", "ar", False)] - s[("user+kernel", "ar", True)]
+        rr_inflation = s[("user+kernel", "rr", False)] - s[("user+kernel", "rr", True)]
+        assert ar_inflation < rr_inflation / 2
+
+
+class TestFigure5:
+    def test_register_scaling(self):
+        result = fig05_registers.run(repeats=2)
+        s = result.summary
+        # pm u+k read-read: ~100 instructions per extra register
+        assert 80 <= s[("pm", "user+kernel", "rr")]["slope_per_register"] <= 130
+        # pm user mode: flat
+        assert abs(s[("pm", "user", "rr")]["slope_per_register"]) < 5
+        # pc read-read: ~13 per register
+        assert 8 <= s[("pc", "user+kernel", "rr")]["slope_per_register"] <= 20
+        # start-stop flat for both
+        assert abs(s[("pm", "user+kernel", "ao")]["slope_per_register"]) < 10
+        assert abs(s[("pc", "user+kernel", "ao")]["slope_per_register"]) < 10
+
+
+class TestFigure6Table3:
+    def test_infrastructure_ordering(self):
+        result = fig06_infrastructure.run(repeats=2)
+        checks = result.summary["checks"]
+        assert checks["layering_monotone"]
+        assert checks["pm_wins_user"]
+        assert checks["pc_wins_user_kernel"]
+
+    def test_magnitudes_near_paper(self):
+        result = fig06_infrastructure.run(repeats=2)
+        s = result.summary
+        # pm user-mode error ~37; pm u+k ~726 (paper Table 3)
+        assert 25 <= s[("user", "pm")]["median"] <= 60
+        assert 500 <= s[("user+kernel", "pm")]["median"] <= 950
+
+
+class TestSection43:
+    def test_anova_significance_pattern(self):
+        result = sec43_anova.run(repeats=2)
+        significant = set(result.summary["significant"])
+        assert {"processor", "infra", "pattern"} <= significant
+        assert "opt" not in significant
+
+
+class TestDurationErrors:
+    def test_figure7_slopes_positive_and_small(self):
+        result = fig07_uk_slope.run(
+            repeats=4, sizes=QUICK_SIZES, infras=("pm", "pc"),
+            processors=("CD", "K8"),
+        )
+        slopes = [v for k, v in result.summary.items() if isinstance(k, tuple)]
+        assert all(s > 0 for s in slopes)
+        assert all(s < 0.02 for s in slopes)
+
+    def test_figure8_user_slopes_tiny(self):
+        result = fig08_user_slope.run(
+            repeats=10, sizes=QUICK_SIZES, infras=("pm", "pc"),
+            processors=("CD", "K8"),
+        )
+        assert result.summary["max_abs_slope"] < 1e-4
+
+    def test_figure9_kernel_error_grows(self):
+        result = fig09_kernel_by_size.run(repeats=20, sizes=QUICK_SIZES)
+        assert 0.0005 < result.summary["slope"] < 0.006
+        assert result.summary["mean_at_1m"] > result.summary["mean_at_500k"]
+
+
+class TestCycleAccuracy:
+    def test_figure10_spread(self):
+        result = fig10_cycles.run(repeats=1, processors=("PD", "K8"))
+        assert result.summary["pd_spread"] > 1.5
+
+    def test_figure11_bimodality(self):
+        result = fig11_bimodal.run(repeats=1)
+        assert result.summary["bimodal"]
+        assert 2.0 <= result.summary["min_cpi"] < 2.5
+        assert 3.0 <= result.summary["max_cpi"] < 3.5
+
+    def test_figure12_interaction(self):
+        result = fig12_placement.run(repeats=1)
+        assert result.summary["interaction_present"]
+        slopes = result.summary["slopes"].values()
+        assert min(slopes) >= 1.9
+        assert max(slopes) <= 3.4
+
+
+class TestReports:
+    @pytest.mark.parametrize("runner", [tab01_processors.run, tab02_patterns.run])
+    def test_reports_render(self, runner):
+        result = runner()
+        text = result.report()
+        assert text.startswith("== ")
+        assert len(text.splitlines()) > 2

@@ -1,0 +1,105 @@
+"""Tests for the extension experiments (beyond the paper's evaluation)."""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    EXTENSIONS,
+    ext_cache_accuracy,
+    ext_compensation,
+    ext_cross_platform,
+    ext_frequency,
+    ext_multiplexing,
+    ext_sampling,
+    ext_standalone_tools,
+    ext_thread_isolation,
+)
+
+
+class TestRegistry:
+    def test_eight_extensions(self):
+        assert len(EXTENSIONS) == 8
+
+    def test_all_experiments_superset(self):
+        assert set(EXTENSIONS) <= set(ALL_EXPERIMENTS)
+        assert len(ALL_EXPERIMENTS) == 23
+
+
+class TestStandaloneTools:
+    def test_korn_magnitudes(self):
+        result = ext_standalone_tools.run()
+        assert result.summary["some_tool_exceeds_60000pct"]
+        assert result.summary["all_tools_exceed_10000pct"]
+        # the fine-grained harness is orders of magnitude better
+        assert result.summary["harness_relative_error_pct"] < 100
+
+
+class TestCompensation:
+    def test_fixed_cost_removed_duration_survives(self):
+        result = ext_compensation.run(repeats=3)
+        assert result.summary["user_fixed_removed"]
+        assert result.summary["duration_error_survives"]
+
+
+class TestMultiplexing:
+    def test_uniform_accurate_coarse_biased(self):
+        result = ext_multiplexing.run()
+        assert result.summary["uniform_accurate"]
+        assert result.summary["coarse_load_bias"] > 0.5
+        assert result.summary["fine_slicing_helps"]
+
+
+class TestSampling:
+    def test_overhead_per_sample_is_handler_size(self):
+        result = ext_sampling.run()
+        from repro.sampling.profiler import SamplingProfiler
+
+        for period, row in result.summary.items():
+            if not isinstance(period, int) or period == 0:
+                continue
+            if row["samples"]:
+                assert row["error_per_sample"] == pytest.approx(
+                    SamplingProfiler.HANDLER_INSTRUCTIONS, rel=0.2
+                )
+
+    def test_shorter_period_more_error(self):
+        result = ext_sampling.run()
+        errors = [
+            result.summary[p]["error"]
+            for p in (0, 1_000_000, 250_000, 50_000)
+        ]
+        assert errors == sorted(errors)
+
+
+class TestFrequency:
+    def test_guideline_confirmed(self):
+        result = ext_frequency.run(runs=6)
+        assert result.summary["guideline_confirmed"]
+        assert result.summary["ondemand_spread"] > 0.005
+
+
+class TestCacheAccuracy:
+    def test_counts_validate_and_composition_matters(self):
+        result = ext_cache_accuracy.run(repeats=2)
+        assert result.summary["all_within_1pct"]
+        assert result.summary["instr_more_contaminated_when_memory_bound"]
+        assert result.summary["duration_error_grows_with_stride"]
+
+
+class TestThreadIsolation:
+    def test_both_threads_isolated(self):
+        result = ext_thread_isolation.run()
+        assert result.summary["isolated"]
+        assert result.summary["switches"] >= 10
+        # B did twice A's work and measured it, despite sharing the core.
+        assert result.summary["B"]["work"] == 2 * result.summary["A"]["work"]
+
+
+class TestCrossPlatform:
+    def test_conclusions_platform_invariant(self):
+        result = ext_cross_platform.run()
+        assert result.summary["fixed_cost_benchmark_invariant"]
+        assert result.summary["pm_beats_pc_everywhere"]
+        assert result.summary["layering_everywhere"]
+        platforms = set(result.data.column("platform"))
+        assert platforms == {"PD", "CD", "K8", "P3"}

@@ -1,0 +1,57 @@
+"""Tests for batch report generation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import (
+    generate_report,
+    run_artifacts,
+    write_report,
+)
+
+
+class TestRunArtifacts:
+    def test_subset(self):
+        results = run_artifacts(("table1", "table2"))
+        assert set(results) == {"table1", "table2"}
+        assert results["table1"].summary["mismatches"] == []
+
+    def test_unknown_artifact(self):
+        with pytest.raises(ConfigurationError, match="unknown artifacts"):
+            run_artifacts(("figure99",))
+
+    def test_repeats_forwarded_where_supported(self):
+        results = run_artifacts(("figure4",), repeats=1)
+        assert len(results["figure4"].data) > 0
+
+    def test_repeats_ignored_where_unsupported(self):
+        # table1.run() takes no repeats; must not crash.
+        run_artifacts(("table1",), repeats=5)
+
+
+class TestGenerateReport:
+    def test_markdown_structure(self):
+        results = run_artifacts(("table1", "figure3"))
+        text = generate_report(results)
+        assert text.startswith("# Reproduction report")
+        assert "## table1" in text
+        assert "## figure3" in text
+        assert "```" in text
+
+    def test_notes_rendered(self):
+        results = run_artifacts(("figure6+table3",), repeats=1)
+        text = generate_report(results)
+        assert "*Note:" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError, match="no results"):
+            generate_report({})
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = tmp_path / "report.md"
+        results = write_report(path, artifacts=("table1",))
+        assert path.exists()
+        assert "table1" in results
+        assert "Pentium D 925" in path.read_text()

@@ -1,0 +1,69 @@
+"""The perfctr fast read's context-switch detection.
+
+The mapped-page read is only safe because it can *detect* that a
+context switch invalidated its snapshot (the resume-count check, a
+sequence-lock in the real perfctr).  These tests force a timer tick —
+and with it a thread switch — into the middle of a fast read and check
+the library retries rather than returning a torn value.
+"""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+from repro.perfctr.libperfctr import LibPerfctr
+
+
+def machine_with_contender() -> tuple[Machine, LibPerfctr]:
+    machine = Machine(processor="CD", kernel="perfctr", seed=8,
+                      io_interrupts=False, quantum_ticks=1)
+    machine.scheduler.spawn("contender")
+    lib = LibPerfctr(machine)
+    lib.open()
+    lib.control(((Event.INSTR_RETIRED, PrivFilter.USR),), tsc_on=True)
+    return machine, lib
+
+
+def advance_until_just_before_tick(machine: Machine, margin_cycles: float) -> None:
+    """Run idle time so the next timer tick lands ``margin_cycles`` away."""
+    controller = machine.controller
+    horizon = controller.cycles_until_next(machine.core)
+    assert horizon is not None
+    if horizon > margin_cycles:
+        machine.core.retire(
+            WorkVector.zero(), cycles=horizon - margin_cycles
+        )
+
+
+class TestFastReadRetry:
+    def test_switch_mid_read_forces_retry(self):
+        machine, lib = machine_with_contender()
+        state = machine.extension.state_of(machine.main_thread)
+        # Place the tick inside the read's instruction footprint.
+        advance_until_just_before_tick(machine, margin_cycles=10.0)
+        resume_before = state.resume_count
+        sample = lib.read()
+        # Wait until we are scheduled again to assert cleanly.
+        while machine.current_thread is not machine.main_thread:
+            machine.core.retire(WorkVector.zero(), cycles=1000.0)
+        assert state.resume_count > resume_before  # a switch happened
+        assert sample.pmcs[0] >= 0  # and the read still returned sanely
+
+    def test_value_consistent_despite_interruption(self):
+        """The retried read's value must match a later quiet read,
+        modulo the read's own instructions."""
+        machine, lib = machine_with_contender()
+        advance_until_just_before_tick(machine, margin_cycles=10.0)
+        interrupted = lib.read().pmcs[0]
+        while machine.current_thread is not machine.main_thread:
+            machine.core.retire(WorkVector.zero(), cycles=1000.0)
+        quiet = lib.read().pmcs[0]
+        assert 0 < quiet - interrupted < 500
+
+    def test_quiet_read_does_not_retry(self):
+        machine, lib = machine_with_contender()
+        state = machine.extension.state_of(machine.main_thread)
+        resume_before = state.resume_count
+        lib.read()
+        assert state.resume_count == resume_before

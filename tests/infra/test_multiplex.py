@@ -1,0 +1,107 @@
+"""Tests for repro.papi.multiplex — counter multiplexing."""
+
+import pytest
+
+from repro.core.benchmarks import LoopBenchmark, StridedLoadBenchmark
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import ConfigurationError
+from repro.kernel.system import Machine
+from repro.papi.multiplex import _slice_loop, run_multiplexed
+
+FOUR_EVENTS = (
+    Event.INSTR_RETIRED,
+    Event.BRANCHES_RETIRED,
+    Event.LOADS_RETIRED,
+    Event.TAKEN_BRANCHES,
+)
+
+
+def machine() -> Machine:
+    return Machine(processor="CD", kernel="perfctr", seed=4,
+                   io_interrupts=False)
+
+
+class TestSliceLoop:
+    def test_trips_partition(self):
+        loop = LoopBenchmark(1003).as_loop()
+        slices = _slice_loop(loop, 8)
+        assert sum(s.trips for s in slices) == 1003
+
+    def test_header_only_once(self):
+        loop = LoopBenchmark(100).as_loop()
+        slices = _slice_loop(loop, 4)
+        total = sum(s.total_work().instructions for s in slices)
+        assert total == loop.total_work().instructions
+
+    def test_more_slices_than_trips(self):
+        loop = LoopBenchmark(3).as_loop()
+        slices = _slice_loop(loop, 8)
+        assert sum(s.trips for s in slices) == 3
+        assert all(s.trips > 0 for s in slices)
+
+
+class TestRunMultiplexed:
+    def test_uniform_estimates_accurate(self):
+        result = run_multiplexed(
+            machine(), FOUR_EVENTS, [StridedLoadBenchmark(400_000)],
+            priv=PrivFilter.USR, slices_per_phase=8,
+        )
+        assert result.estimate(Event.LOADS_RETIRED) == pytest.approx(
+            400_000, rel=0.02
+        )
+        assert result.estimate(Event.INSTR_RETIRED) == pytest.approx(
+            2 + 4 * 400_000, rel=0.02
+        )
+
+    def test_within_budget_needs_no_extrapolation(self):
+        result = run_multiplexed(
+            machine(), (Event.INSTR_RETIRED, Event.BRANCHES_RETIRED),
+            [LoopBenchmark(90_000)], priv=PrivFilter.USR, slices_per_phase=4,
+        )
+        # One group: every event observed in every slice.
+        assert result.active_slices[Event.INSTR_RETIRED] == result.total_slices
+
+    def test_coarse_phased_workload_is_biased(self):
+        result = run_multiplexed(
+            machine(), FOUR_EVENTS,
+            [LoopBenchmark(200_000), StridedLoadBenchmark(150_000)],
+            priv=PrivFilter.USR, slices_per_phase=1,
+        )
+        # Loads all sit in phase 2, which the loads group monopolizes:
+        # extrapolation doubles them.
+        assert result.estimate(Event.LOADS_RETIRED) == pytest.approx(
+            2 * 150_000, rel=0.02
+        )
+
+    def test_observed_less_than_estimates(self):
+        result = run_multiplexed(
+            machine(), FOUR_EVENTS, [StridedLoadBenchmark(100_000)],
+            priv=PrivFilter.USR, slices_per_phase=4,
+        )
+        for event in FOUR_EVENTS:
+            assert result.observed[event] <= result.estimates[event]
+
+    def test_unknown_event_lookup(self):
+        result = run_multiplexed(
+            machine(), (Event.INSTR_RETIRED,), [LoopBenchmark(1000)],
+            priv=PrivFilter.USR, slices_per_phase=2,
+        )
+        with pytest.raises(ConfigurationError, match="not part"):
+            result.estimate(Event.CYCLES)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="at least one event"):
+            run_multiplexed(machine(), (), [LoopBenchmark(10)])
+        with pytest.raises(ConfigurationError, match="slices_per_phase"):
+            run_multiplexed(
+                machine(), (Event.INSTR_RETIRED,), [LoopBenchmark(10)],
+                slices_per_phase=0,
+            )
+
+    def test_group_never_scheduled(self):
+        # 2 groups but only 1 slice in total: group 2 never runs.
+        with pytest.raises(ConfigurationError, match="never scheduled"):
+            run_multiplexed(
+                machine(), FOUR_EVENTS, [LoopBenchmark(10)],
+                slices_per_phase=1,
+            )

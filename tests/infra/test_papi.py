@@ -1,0 +1,241 @@
+"""Tests for the PAPI layer (presets, event sets, low and high APIs)."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.models import microarch
+from repro.errors import ConfigurationError, CounterError, UnsupportedEventError
+from repro.kernel.system import Machine
+from repro.papi.eventset import EventSet
+from repro.papi.highlevel import PapiHighLevel
+from repro.papi.lowlevel import PapiLowLevel
+from repro.papi.presets import PRESETS, Preset, event_to_preset, preset_to_event
+
+
+class TestPresets:
+    def test_every_preset_maps_to_an_event(self):
+        for preset in Preset:
+            assert preset in PRESETS
+
+    @pytest.mark.parametrize("key", ["PD", "CD", "K8"])
+    def test_all_presets_available_on_study_processors(self, key):
+        uarch = microarch(key)
+        for preset in Preset:
+            assert preset_to_event(preset, uarch) is PRESETS[preset]
+
+    def test_unavailable_preset_raises(self):
+        from dataclasses import replace
+
+        uarch = microarch("CD")
+        trimmed = replace(
+            uarch,
+            key="CDX",
+            event_codes={Event.INSTR_RETIRED: 0xC0},
+        )
+        with pytest.raises(UnsupportedEventError, match="no native event"):
+            preset_to_event(Preset.PAPI_TOT_CYC, trimmed)
+
+    def test_event_to_preset_round_trip(self):
+        for preset, event in PRESETS.items():
+            assert event_to_preset(event) is preset
+
+
+class TestEventSet:
+    def test_add_and_domain(self):
+        es = EventSet(esi=1)
+        es.add(Preset.PAPI_TOT_INS)
+        es.set_domain(PrivFilter.ALL)
+        assert es.n_events == 1
+
+    def test_duplicate_event_rejected(self):
+        es = EventSet(esi=1)
+        es.add(Preset.PAPI_TOT_INS)
+        with pytest.raises(ConfigurationError, match="already added"):
+            es.add(Preset.PAPI_TOT_INS)
+
+    def test_running_set_is_locked(self):
+        es = EventSet(esi=1)
+        es.add(Preset.PAPI_TOT_INS)
+        es.running = True
+        with pytest.raises(ConfigurationError, match="running"):
+            es.add(Preset.PAPI_TOT_CYC)
+        with pytest.raises(ConfigurationError, match="running"):
+            es.set_domain(PrivFilter.ALL)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ConfigurationError, match="domain"):
+            EventSet(esi=1).set_domain(PrivFilter.NONE)
+
+
+@pytest.fixture(params=["perfmon", "perfctr"])
+def papi_low(request) -> PapiLowLevel:
+    machine = Machine(processor="CD", kernel=request.param, seed=8,
+                      io_interrupts=False)
+    papi = PapiLowLevel(machine)
+    papi.library_init()
+    return papi
+
+
+class TestLowLevel:
+    def test_needs_extension(self):
+        machine = Machine(kernel="vanilla", io_interrupts=False)
+        with pytest.raises(ConfigurationError, match="extension"):
+            PapiLowLevel(machine)
+
+    def test_requires_init(self):
+        machine = Machine(kernel="perfmon", io_interrupts=False)
+        papi = PapiLowLevel(machine)
+        with pytest.raises(CounterError, match="initialized"):
+            papi.create_eventset()
+
+    def test_start_read_stop_cycle(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.set_domain(esi, PrivFilter.ALL)
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.start(esi)
+        first = papi_low.read(esi)
+        second = papi_low.read(esi)
+        final = papi_low.stop(esi)
+        assert second[0] > first[0]
+        assert final[0] >= second[0]
+
+    def test_start_requires_events(self, papi_low):
+        esi = papi_low.create_eventset()
+        with pytest.raises(ConfigurationError, match="no events"):
+            papi_low.start(esi)
+
+    def test_double_start_rejected(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.start(esi)
+        with pytest.raises(ConfigurationError, match="already running"):
+            papi_low.start(esi)
+
+    def test_reset_zeroes(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.start(esi)
+        papi_low.stop(esi)
+        papi_low.reset(esi)
+        papi_low.start(esi)
+        values = papi_low.stop(esi)
+        # fresh count after the reset+restart, not an accumulation
+        assert values[0] < 2000
+
+    def test_accum_adds_and_resets(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.start(esi)
+        totals = [0]
+        papi_low.accum(esi, totals)
+        first = totals[0]
+        papi_low.accum(esi, totals)
+        assert totals[0] > first
+
+    def test_unknown_eventset(self, papi_low):
+        with pytest.raises(CounterError, match="unknown event set"):
+            papi_low.read(99)
+
+    def test_destroy_running_rejected(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.start(esi)
+        with pytest.raises(ConfigurationError, match="running"):
+            papi_low.destroy_eventset(esi)
+
+    def test_cleanup_and_destroy(self, papi_low):
+        esi = papi_low.create_eventset()
+        papi_low.add_event(esi, Preset.PAPI_TOT_INS)
+        papi_low.cleanup_eventset(esi)
+        papi_low.destroy_eventset(esi)
+        with pytest.raises(CounterError, match="unknown"):
+            papi_low.read(esi)
+
+
+@pytest.fixture(params=["perfmon", "perfctr"])
+def papi_high(request) -> PapiHighLevel:
+    machine = Machine(processor="CD", kernel=request.param, seed=8,
+                      io_interrupts=False)
+    papi = PapiHighLevel(machine, domain=PrivFilter.ALL)
+    papi.library_init()
+    return papi
+
+
+class TestHighLevel:
+    def test_num_counters(self, papi_high):
+        assert papi_high.num_counters() == 2  # CD
+
+    def test_start_read_stop(self, papi_high):
+        papi_high.start_counters([Preset.PAPI_TOT_INS])
+        first = papi_high.read_counters()
+        second = papi_high.read_counters()
+        final = papi_high.stop_counters()
+        assert first[0] > 0
+        # read_counters RESETS: the second read is small again, not
+        # cumulative — the reason rr/ro are unsupported (Table 2).
+        assert second[0] < first[0] * 10
+        assert final[0] >= 0
+
+    def test_read_resets(self, papi_high):
+        papi_high.start_counters([Preset.PAPI_TOT_INS])
+        papi_high.read_counters()
+        after_reset = papi_high.read_counters()
+        # Only the instructions between the two reads are left.
+        assert after_reset[0] < 3000
+
+    def test_double_start_rejected(self, papi_high):
+        papi_high.start_counters([Preset.PAPI_TOT_INS])
+        with pytest.raises(CounterError, match="already started"):
+            papi_high.start_counters([Preset.PAPI_TOT_INS])
+
+    def test_read_requires_start(self, papi_high):
+        with pytest.raises(CounterError, match="not started"):
+            papi_high.read_counters()
+
+    def test_stop_allows_restart(self, papi_high):
+        papi_high.start_counters([Preset.PAPI_TOT_INS])
+        papi_high.stop_counters()
+        papi_high.start_counters([Preset.PAPI_TOT_CYC])
+        assert papi_high.stop_counters()[0] >= 0
+
+    def test_accum_counters(self, papi_high):
+        papi_high.start_counters([Preset.PAPI_TOT_INS])
+        totals = [0]
+        papi_high.accum_counters(totals)
+        assert totals[0] > 0
+
+
+class TestLayerOverhead:
+    """Figure 6's mechanism: each wrapper layer adds user instructions."""
+
+    @staticmethod
+    def ar_user_error(machine_kernel: str, level: str) -> int:
+        from repro.core import (
+            MeasurementConfig,
+            Mode,
+            NullBenchmark,
+            Pattern,
+            run_measurement,
+        )
+
+        infra = {"direct": "", "low": "PL", "high": "PH"}[level] + (
+            "pm" if machine_kernel == "perfmon" else "pc"
+        )
+        config = MeasurementConfig(
+            processor="CD", infra=infra, pattern=Pattern.START_READ,
+            mode=Mode.USER, seed=4, io_interrupts=False,
+        )
+        return run_measurement(config, NullBenchmark()).error
+
+    @pytest.mark.parametrize("kernel", ["perfmon", "perfctr"])
+    def test_layering_strictly_increases_error(self, kernel):
+        direct = self.ar_user_error(kernel, "direct")
+        low = self.ar_user_error(kernel, "low")
+        high = self.ar_user_error(kernel, "high")
+        assert direct < low < high
+
+    @pytest.mark.parametrize("kernel", ["perfmon", "perfctr"])
+    def test_each_layer_adds_tens_of_instructions(self, kernel):
+        low = self.ar_user_error(kernel, "low")
+        high = self.ar_user_error(kernel, "high")
+        assert 50 <= high - low <= 150

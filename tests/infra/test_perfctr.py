@@ -1,0 +1,178 @@
+"""Tests for the perfctr extension and libperfctr."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import CounterAllocationError, CounterError
+from repro.kernel.system import Machine
+from repro.perfctr.kext import VPerfctrControl
+from repro.perfctr.libperfctr import LibPerfctr
+
+
+def lib_on(machine: Machine) -> LibPerfctr:
+    lib = LibPerfctr(machine)
+    lib.open()
+    return lib
+
+
+class TestLifecycle:
+    def test_needs_perfctr_kernel(self, quiet_perfmon_machine):
+        with pytest.raises(CounterError, match="perfctr-patched"):
+            LibPerfctr(quiet_perfmon_machine)
+
+    def test_read_requires_open(self, quiet_perfctr_machine):
+        lib = LibPerfctr(quiet_perfctr_machine)
+        with pytest.raises(CounterError, match="open"):
+            lib.read()
+
+    def test_read_requires_control(self, quiet_perfctr_machine):
+        lib = lib_on(quiet_perfctr_machine)
+        with pytest.raises(CounterError, match="programmed"):
+            lib.read()
+
+    def test_open_enables_user_rdpmc(self, quiet_perfctr_machine):
+        lib_on(quiet_perfctr_machine)
+        assert quiet_perfctr_machine.core.user_rdpmc_enabled
+
+    def test_unlink_frees_state(self, quiet_perfctr_machine, instr_all):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all)
+        lib.unlink()
+        with pytest.raises(CounterError, match="open"):
+            lib.read()
+
+    def test_too_many_counters_rejected(self, quiet_perfctr_machine):
+        lib = lib_on(quiet_perfctr_machine)  # CD: 2 programmable
+        events = tuple(
+            (ev, PrivFilter.ALL)
+            for ev in (Event.INSTR_RETIRED, Event.CYCLES, Event.BRANCHES_RETIRED)
+        )
+        with pytest.raises(CounterAllocationError, match="available"):
+            lib.control(events)
+
+
+class TestCounting:
+    def test_counts_are_monotone_while_running(
+        self, quiet_perfctr_machine, instr_all
+    ):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all)
+        a = lib.read().pmcs[0]
+        b = lib.read().pmcs[0]
+        c = lib.read().pmcs[0]
+        assert a < b < c
+
+    def test_control_resets_sums(self, quiet_perfctr_machine, instr_all):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all)
+        first = lib.read().pmcs[0]
+        lib.control(instr_all)
+        second = lib.read().pmcs[0]
+        assert second <= first + 5  # fresh count, not an accumulation
+
+    def test_stop_freezes_counts(self, quiet_perfctr_machine, instr_all):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all)
+        lib.stop()
+        frozen = lib.read().pmcs[0]
+        assert lib.read().pmcs[0] == frozen
+
+    def test_fast_read_includes_tsc(self, quiet_perfctr_machine, instr_all):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all, tsc_on=True)
+        sample = lib.read()
+        assert sample.tsc is not None and sample.tsc > 0
+
+    def test_slow_read_has_no_tsc(self, quiet_perfctr_machine, instr_all):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(instr_all, tsc_on=False)
+        assert lib.read().tsc is None
+
+    def test_user_filter_excludes_kernel_work(self, quiet_perfctr_machine):
+        lib = lib_on(quiet_perfctr_machine)
+        lib.control(((Event.INSTR_RETIRED, PrivFilter.USR),))
+        a = lib.read().pmcs[0]
+        quiet_perfctr_machine.syscall(335)  # a read syscall: kernel work
+        b = lib.read().pmcs[0]
+        lib.control(((Event.INSTR_RETIRED, PrivFilter.ALL),))
+        a2 = lib.read().pmcs[0]
+        quiet_perfctr_machine.syscall(335)
+        b2 = lib.read().pmcs[0]
+        assert (b2 - a2) > (b - a)  # ALL sees the kernel path, USR does not
+
+
+class TestTscFastPathMechanism:
+    """The Figure 4 mechanism: TSC off forces the syscall fallback."""
+
+    def test_tsc_on_read_stays_in_user_mode(
+        self, quiet_perfctr_machine, instr_all
+    ):
+        machine = quiet_perfctr_machine
+        lib = lib_on(machine)
+        lib.control(instr_all, tsc_on=True)
+        before = dict(machine.syscalls.invocations)
+        lib.read()
+        assert machine.syscalls.invocations == before  # no kernel entry
+
+    def test_tsc_off_read_enters_kernel(self, quiet_perfctr_machine, instr_all):
+        machine = quiet_perfctr_machine
+        lib = lib_on(machine)
+        lib.control(instr_all, tsc_on=False)
+        before = sum(machine.syscalls.invocations.values())
+        lib.read()
+        assert sum(machine.syscalls.invocations.values()) == before + 1
+
+    def test_tsc_off_error_much_larger(self, instr_all):
+        def rr_error(tsc_on: bool) -> int:
+            machine = Machine(processor="CD", kernel="perfctr", seed=9,
+                              io_interrupts=False)
+            lib = lib_on(machine)
+            lib.control(instr_all, tsc_on=tsc_on)
+            a = lib.read().pmcs[0]
+            b = lib.read().pmcs[0]
+            return b - a
+
+        assert rr_error(False) > 10 * rr_error(True)
+
+
+class TestVirtualization:
+    def test_counts_survive_context_switches(self):
+        machine = Machine(processor="CD", kernel="perfctr", seed=11,
+                          io_interrupts=False, quantum_ticks=1)
+        machine.scheduler.spawn("other")
+        lib = lib_on(machine)
+        lib.control(((Event.INSTR_RETIRED, PrivFilter.USR),))
+        before = lib.read().pmcs[0]
+        # Run long enough for several quantum expirations.
+        from repro.isa.work import WorkVector
+
+        period = machine.core.freq.current_hz / machine.build.hz
+        machine.core.retire(WorkVector(instructions=1000), cycles=3 * period)
+        assert machine.scheduler.switches >= 1
+        # Wait until our thread is scheduled again before reading.
+        while machine.current_thread is not machine.main_thread:
+            machine.core.retire(WorkVector.zero(), cycles=period)
+        after = lib.read().pmcs[0]
+        assert after >= before + 1000
+
+    def test_resume_count_increments_on_switch(self):
+        machine = Machine(processor="CD", kernel="perfctr", seed=11,
+                          io_interrupts=False, quantum_ticks=1)
+        machine.scheduler.spawn("other")
+        lib = lib_on(machine)
+        lib.control(((Event.INSTR_RETIRED, PrivFilter.USR),))
+        state = machine.extension.state_of(machine.main_thread)
+        start = state.resume_count
+        from repro.isa.work import WorkVector
+
+        period = machine.core.freq.current_hz / machine.build.hz
+        for _ in range(6):
+            machine.core.retire(WorkVector.zero(), cycles=period)
+        assert state.resume_count > start
+
+
+class TestKextValidation:
+    def test_control_without_open(self, quiet_perfctr_machine, instr_all):
+        control = VPerfctrControl(events=instr_all)
+        with pytest.raises(CounterError, match="no vperfctr"):
+            quiet_perfctr_machine.syscall(334, control)

@@ -1,0 +1,168 @@
+"""Tests for the perfmon2 extension and libpfm."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import CounterAllocationError, CounterError, SyscallError
+from repro.kernel.system import Machine
+from repro.perfmon.libpfm import LibPfm
+
+
+def ready_lib(machine: Machine, events) -> LibPfm:
+    lib = LibPfm(machine)
+    lib.create_context()
+    lib.write_pmcs(events)
+    lib.write_pmds()
+    lib.load_context()
+    return lib
+
+
+class TestLifecycle:
+    def test_needs_perfmon_kernel(self, quiet_perfctr_machine):
+        with pytest.raises(CounterError, match="perfmon-patched"):
+            LibPfm(quiet_perfctr_machine)
+
+    def test_operations_require_context(self, quiet_perfmon_machine):
+        lib = LibPfm(quiet_perfmon_machine)
+        with pytest.raises(CounterError, match="context"):
+            lib.start()
+
+    def test_load_before_write_pmcs_rejected(self, quiet_perfmon_machine):
+        lib = LibPfm(quiet_perfmon_machine)
+        lib.create_context()
+        with pytest.raises(SyscallError, match="write_pmcs"):
+            lib.load_context()
+
+    def test_start_before_load_rejected(self, quiet_perfmon_machine, instr_all):
+        lib = LibPfm(quiet_perfmon_machine)
+        lib.create_context()
+        lib.write_pmcs(instr_all)
+        with pytest.raises(SyscallError, match="load"):
+            lib.start()
+
+    def test_too_many_counters(self, quiet_perfmon_machine):
+        lib = LibPfm(quiet_perfmon_machine)
+        lib.create_context()
+        events = tuple(
+            (ev, PrivFilter.ALL)
+            for ev in (Event.INSTR_RETIRED, Event.CYCLES, Event.BRANCHES_RETIRED)
+        )
+        with pytest.raises(CounterAllocationError):
+            lib.write_pmcs(events)  # CD has 2 counters
+
+    def test_write_pmds_length_checked(self, quiet_perfmon_machine, instr_all):
+        lib = LibPfm(quiet_perfmon_machine)
+        lib.create_context()
+        lib.write_pmcs(instr_all)
+        with pytest.raises(SyscallError, match="values"):
+            lib.write_pmds((0, 0))
+
+    def test_read_count_validated(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.start()
+        with pytest.raises(SyscallError, match="requested"):
+            lib.read_pmds(5)
+
+
+class TestCounting:
+    def test_monotone_while_started(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.start()
+        a = lib.read_pmds()[0]
+        b = lib.read_pmds()[0]
+        assert b > a
+
+    def test_stop_freezes(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.start()
+        lib.stop()
+        frozen = lib.read_pmds()[0]
+        assert lib.read_pmds()[0] == frozen
+
+    def test_write_pmds_resets(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.start()
+        lib.stop()
+        lib.write_pmds()
+        assert lib.read_pmds()[0] == 0
+
+    def test_priming_with_values(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.write_pmds((1_000_000,))
+        assert lib.read_pmds()[0] == 1_000_000
+
+    def test_user_filter_excludes_kernel(self, quiet_perfmon_machine):
+        lib = ready_lib(
+            quiet_perfmon_machine, ((Event.INSTR_RETIRED, PrivFilter.USR),)
+        )
+        lib.start()
+        a = lib.read_pmds()[0]
+        b = lib.read_pmds()[0]
+        user_delta = b - a
+        # ~37 user instructions: the two stub halves (paper, Table 3).
+        assert 30 <= user_delta <= 50
+
+    def test_all_filter_includes_kernel(self, quiet_perfmon_machine, instr_all):
+        lib = ready_lib(quiet_perfmon_machine, instr_all)
+        lib.start()
+        a = lib.read_pmds()[0]
+        b = lib.read_pmds()[0]
+        # Hundreds of kernel-path instructions (paper: ~726 median).
+        assert b - a > 400
+
+    def test_every_access_is_a_syscall(self, quiet_perfmon_machine, instr_all):
+        machine = quiet_perfmon_machine
+        lib = ready_lib(machine, instr_all)
+        lib.start()
+        before = sum(machine.syscalls.invocations.values())
+        lib.read_pmds()
+        lib.stop()
+        assert sum(machine.syscalls.invocations.values()) == before + 2
+
+
+class TestRegisterScaling:
+    """Figure 5's mechanism: the kernel read loop costs ~100+ instr/counter."""
+
+    def rr_delta(self, n_counters: int, priv: PrivFilter) -> int:
+        machine = Machine(processor="K8", kernel="perfmon", seed=5,
+                          io_interrupts=False)
+        events = tuple(
+            (ev, priv)
+            for ev in (
+                Event.INSTR_RETIRED,
+                Event.CYCLES,
+                Event.BRANCHES_RETIRED,
+                Event.LOADS_RETIRED,
+            )[:n_counters]
+        )
+        lib = ready_lib(machine, events)
+        lib.start()
+        a = lib.read_pmds()[0]
+        b = lib.read_pmds()[0]
+        return b - a
+
+    def test_uk_error_grows_per_register(self):
+        one = self.rr_delta(1, PrivFilter.ALL)
+        four = self.rr_delta(4, PrivFilter.ALL)
+        assert 80 <= (four - one) / 3 <= 130
+
+    def test_user_error_register_independent(self):
+        assert self.rr_delta(1, PrivFilter.USR) == self.rr_delta(4, PrivFilter.USR)
+
+
+class TestVirtualization:
+    def test_counts_survive_context_switches(self):
+        machine = Machine(processor="K8", kernel="perfmon", seed=3,
+                          io_interrupts=False, quantum_ticks=1)
+        machine.scheduler.spawn("other")
+        lib = ready_lib(machine, ((Event.INSTR_RETIRED, PrivFilter.USR),))
+        lib.start()
+        base = lib.read_pmds()[0]
+        from repro.isa.work import WorkVector
+
+        period = machine.core.freq.current_hz / machine.build.hz
+        machine.core.retire(WorkVector(instructions=5000), cycles=4 * period)
+        while machine.current_thread is not machine.main_thread:
+            machine.core.retire(WorkVector.zero(), cycles=period)
+        assert machine.scheduler.switches >= 1
+        assert lib.read_pmds()[0] >= base + 5000

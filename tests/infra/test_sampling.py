@@ -1,0 +1,160 @@
+"""Tests for repro.sampling — overflow-driven sampling."""
+
+import pytest
+
+from repro.core.benchmarks import LoopBenchmark
+from repro.cpu.events import Event, PrivFilter
+from repro.errors import ConfigurationError, CounterError
+from repro.kernel.system import Machine
+from repro.sampling.profiler import SamplingProfiler
+
+
+def machine() -> Machine:
+    return Machine(processor="K8", kernel="perfctr", seed=6,
+                   io_interrupts=False)
+
+
+class TestLifecycle:
+    def test_start_stop(self):
+        profiler = SamplingProfiler(machine(), period=100_000)
+        profiler.start()
+        profiler.stop()
+        assert profiler.n_samples == 0
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(machine(), period=100_000)
+        profiler.start()
+        with pytest.raises(CounterError, match="already running"):
+            profiler.start()
+
+    def test_overflow_line_single_owner(self):
+        m = machine()
+        first = SamplingProfiler(m, period=100_000, counter_index=3)
+        first.start()
+        second = SamplingProfiler(m, period=100_000, counter_index=2)
+        with pytest.raises(CounterError, match="claimed"):
+            second.start()
+
+    def test_pathological_period_rejected(self):
+        with pytest.raises(ConfigurationError, match="pathological"):
+            SamplingProfiler(machine(), period=10)
+
+    def test_bad_counter_index(self):
+        with pytest.raises(CounterError, match="no programmable counter"):
+            SamplingProfiler(machine(), counter_index=9)
+
+    def test_stop_idempotent(self):
+        profiler = SamplingProfiler(machine(), period=100_000)
+        profiler.start()
+        profiler.stop()
+        profiler.stop()
+
+
+class TestSamplingBehaviour:
+    def run_loop(self, m: Machine, iterations: int = 1_000_000) -> None:
+        LoopBenchmark(iterations).run(m, address=0x0804_9000)
+
+    def test_sample_count_tracks_period(self):
+        m = machine()
+        profiler = SamplingProfiler(m, event=Event.CYCLES, period=100_000)
+        profiler.start()
+        self.run_loop(m)
+        profiler.stop()
+        cycles = m.core.cycle
+        expected = cycles / 100_000
+        assert expected * 0.7 <= profiler.n_samples <= expected * 1.4
+
+    def test_halving_period_doubles_samples(self):
+        counts = []
+        for period in (200_000, 100_000):
+            m = machine()
+            profiler = SamplingProfiler(m, event=Event.CYCLES, period=period)
+            profiler.start()
+            self.run_loop(m)
+            profiler.stop()
+            counts.append(profiler.n_samples)
+        assert counts[1] == pytest.approx(2 * counts[0], rel=0.2)
+
+    def test_samples_monotone_in_time(self):
+        m = machine()
+        profiler = SamplingProfiler(m, event=Event.CYCLES, period=150_000)
+        profiler.start()
+        self.run_loop(m)
+        profiler.stop()
+        cycles = [s.cycle for s in profiler.samples]
+        assert cycles == sorted(cycles)
+        assert all(s.index == i for i, s in enumerate(profiler.samples))
+
+    def test_overhead_reported(self):
+        m = machine()
+        profiler = SamplingProfiler(m, event=Event.CYCLES, period=100_000)
+        profiler.start()
+        self.run_loop(m)
+        profiler.stop()
+        assert profiler.overhead_instructions() == (
+            profiler.n_samples * SamplingProfiler.HANDLER_INSTRUCTIONS
+        )
+
+    def test_sampling_perturbs_concurrent_count(self):
+        """The extension experiment's core claim, as a unit test."""
+        def uk_count(with_sampling: bool) -> int:
+            m = machine()
+            pmu = m.core.pmu
+            from repro.cpu.pmu import CounterConfig
+
+            pmu.program(
+                0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.ALL, True)
+            )
+            profiler = None
+            if with_sampling:
+                profiler = SamplingProfiler(
+                    m, event=Event.CYCLES, period=50_000, counter_index=3
+                )
+                profiler.start()
+            self.run_loop(m)
+            if profiler:
+                profiler.stop()
+            return pmu.read(0)
+
+        assert uk_count(True) > uk_count(False) + 5_000
+
+    def test_no_samples_after_stop(self):
+        m = machine()
+        profiler = SamplingProfiler(m, event=Event.CYCLES, period=100_000)
+        profiler.start()
+        self.run_loop(m, 200_000)
+        profiler.stop()
+        count = profiler.n_samples
+        self.run_loop(m, 500_000)
+        assert profiler.n_samples == count
+
+
+class TestProfileAttribution:
+    def test_samples_split_by_phase_cycle_share(self):
+        """A sampling profile of a two-phase workload attributes samples
+        in proportion to each phase's cycle share — the reason sampling
+        exists despite its overhead."""
+        from repro.core.benchmarks import StridedLoadBenchmark
+
+        m = machine()
+        profiler = SamplingProfiler(m, event=Event.CYCLES, period=20_000)
+        profiler.start()
+        start_cycle = m.core.cycle
+        LoopBenchmark(200_000).run(m, 0x8049000)       # ALU phase
+        boundary = m.core.cycle
+        StridedLoadBenchmark(200_000).run(m, 0x804A000)  # memory phase
+        end_cycle = m.core.cycle
+        profiler.stop()
+
+        phase1 = sum(
+            1 for s in profiler.samples if start_cycle <= s.cycle < boundary
+        )
+        phase2 = sum(
+            1 for s in profiler.samples if boundary <= s.cycle <= end_cycle
+        )
+        share1 = (boundary - start_cycle) / (end_cycle - start_cycle)
+        total = phase1 + phase2
+        assert total > 20
+        assert phase1 / total == pytest.approx(share1, abs=0.1)
+        # The memory phase dominates cycles, hence samples.
+        assert phase2 > phase1

@@ -1,0 +1,81 @@
+"""Tests for repro.tools — the standalone measurement tools."""
+
+import pytest
+
+from repro.core.benchmarks import LoopBenchmark
+from repro.core.config import Mode
+from repro.errors import ConfigurationError
+from repro.tools.process import ProcessCosts
+from repro.tools.standalone import Papiex, Perfex, Pfmon, make_tool
+
+
+class TestProcessCosts:
+    def test_totals(self):
+        costs = ProcessCosts()
+        assert costs.startup_total == (
+            costs.execve_kernel + costs.dynamic_linker_user + costs.libc_init_user
+        )
+        assert costs.shutdown_total == costs.exit_user + costs.exit_kernel
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            ProcessCosts(execve_kernel=-1)
+
+    def test_papiex_pays_extra_runtime(self):
+        assert Papiex.process_costs.extra_runtime_user > 0
+        assert Perfex.process_costs.extra_runtime_user == 0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("perfex", Perfex), ("pfmon", Pfmon), ("papiex", Papiex),
+    ])
+    def test_make_tool(self, name, cls):
+        tool = make_tool(name, io_interrupts=False)
+        assert isinstance(tool, cls)
+
+    def test_unknown_tool(self):
+        with pytest.raises(ConfigurationError, match="unknown standalone tool"):
+            make_tool("oprofile")
+
+
+class TestWholeProcessError:
+    @pytest.mark.parametrize("name", ["perfex", "pfmon", "papiex"])
+    def test_error_includes_process_lifecycle(self, name):
+        tool = make_tool(name, io_interrupts=False)
+        report = tool.run(LoopBenchmark(1000), mode=Mode.USER_KERNEL)
+        lifecycle = (
+            tool.process_costs.startup_total + tool.process_costs.shutdown_total
+        )
+        assert report.error >= lifecycle
+        # lifecycle + measurement overhead, but not wildly more
+        assert report.error < lifecycle * 1.5
+
+    def test_relative_error_shrinks_with_benchmark_size(self):
+        small = make_tool("perfex", io_interrupts=False).run(LoopBenchmark(300))
+        large = make_tool("perfex", io_interrupts=False).run(
+            LoopBenchmark(3_000_000)
+        )
+        assert small.relative_error_percent > 100 * large.relative_error_percent
+
+    def test_korn_et_al_magnitude(self):
+        report = make_tool("papiex", io_interrupts=False).run(LoopBenchmark(300))
+        assert report.relative_error_percent > 60_000
+
+    def test_user_mode_excludes_kernel_lifecycle(self):
+        uk = make_tool("pfmon", io_interrupts=False).run(
+            LoopBenchmark(1000), mode=Mode.USER_KERNEL
+        )
+        user = make_tool("pfmon", io_interrupts=False).run(
+            LoopBenchmark(1000), mode=Mode.USER
+        )
+        kernel_share = (
+            Pfmon.process_costs.execve_kernel + Pfmon.process_costs.exit_kernel
+        )
+        assert uk.error - user.error >= kernel_share
+
+    def test_report_fields(self):
+        report = make_tool("perfex", io_interrupts=False).run(LoopBenchmark(500))
+        assert report.tool == "perfex"
+        assert report.benchmark_name == "loop"
+        assert report.expected == 1 + 3 * 500

@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole stack."""
+
+import pytest
+
+from repro import (
+    LoopBenchmark,
+    MeasurementConfig,
+    Mode,
+    NullBenchmark,
+    Pattern,
+    run_measurement,
+)
+from repro.core.config import INFRASTRUCTURES
+from repro.core.sweep import SweepSpec, run_sweep
+from repro.core.compiler import OptLevel
+
+
+class TestEveryInfrastructureEveryProcessor:
+    @pytest.mark.parametrize("processor", ["PD", "CD", "K8"])
+    @pytest.mark.parametrize("infra", INFRASTRUCTURES)
+    def test_null_measurement_runs(self, processor, infra):
+        config = MeasurementConfig(
+            processor=processor, infra=infra, pattern=Pattern.START_READ,
+            mode=Mode.USER_KERNEL, seed=5, io_interrupts=False,
+        )
+        result = run_measurement(config, NullBenchmark())
+        assert result.error > 0
+        assert result.error < 5000
+
+    @pytest.mark.parametrize("infra", INFRASTRUCTURES)
+    def test_loop_ground_truth_recovered_after_correction(self, infra):
+        """Subtracting a same-seed null calibration recovers the loop's
+        true instruction count exactly in user mode (no interrupts)."""
+        def error_of(benchmark):
+            config = MeasurementConfig(
+                processor="K8", infra=infra, pattern=Pattern.START_READ,
+                mode=Mode.USER, seed=9, io_interrupts=False,
+            )
+            return run_measurement(config, benchmark).error
+
+        assert error_of(LoopBenchmark(100_000)) == error_of(NullBenchmark())
+
+
+class TestPaperHeadlines:
+    """The paper's abstract-level claims, checked end to end."""
+
+    def test_errors_span_orders_of_magnitude(self):
+        spec = SweepSpec(
+            processors=("CD", "K8"),
+            modes=(Mode.USER, Mode.USER_KERNEL),
+            opt_levels=(OptLevel.O2,),
+            tsc=(True, False),
+            repeats=1,
+            io_interrupts=False,
+        )
+        table = run_sweep(spec)
+        errors = table.values("error").astype(float)
+        assert errors.min() < 50
+        assert errors.max() > 1500
+
+    def test_user_mode_error_never_negative_without_interrupts(self):
+        spec = SweepSpec(
+            processors=("CD",),
+            modes=(Mode.USER,),
+            opt_levels=(OptLevel.O2,),
+            repeats=1,
+            io_interrupts=False,
+        )
+        table = run_sweep(spec)
+        assert min(table.values("error")) >= 0
+
+    def test_mode_choice_determines_best_substrate(self):
+        def best(mode: Mode, infra: str) -> int:
+            config = MeasurementConfig(
+                processor="CD", infra=infra,
+                pattern=Pattern.READ_READ if infra == "pm" else Pattern.START_READ,
+                mode=mode, seed=3, io_interrupts=False,
+            )
+            return run_measurement(config, NullBenchmark()).error
+
+        assert best(Mode.USER, "pm") < best(Mode.USER, "pc")
+        assert best(Mode.USER_KERNEL, "pc") < best(Mode.USER_KERNEL, "pm")
+
+
+class TestCrossBenchmarkConsistency:
+    def test_fixed_cost_independent_of_benchmark(self):
+        """The access cost does not depend on what runs in between
+        (user mode, interrupt-free)."""
+        errors = []
+        for bench in (NullBenchmark(), LoopBenchmark(10),
+                      LoopBenchmark(10_000)):
+            config = MeasurementConfig(
+                processor="CD", infra="pm", pattern=Pattern.READ_READ,
+                mode=Mode.USER, seed=6, io_interrupts=False,
+            )
+            errors.append(run_measurement(config, bench).error)
+        assert len(set(errors)) == 1
+
+    def test_strided_benchmark_measurable(self):
+        from repro import StridedLoadBenchmark
+
+        config = MeasurementConfig(
+            processor="K8", infra="pc", pattern=Pattern.START_STOP,
+            mode=Mode.USER, seed=2, io_interrupts=False,
+        )
+        bench = StridedLoadBenchmark(50_000)
+        result = run_measurement(config, bench)
+        assert result.expected == bench.expected_instructions
+        assert 0 <= result.error < 500
+
+
+class TestSeedIsolation:
+    def test_different_seeds_can_change_interrupt_alignment(self):
+        measured = {
+            run_measurement(
+                MeasurementConfig(
+                    processor="CD", infra="pc", pattern=Pattern.START_READ,
+                    mode=Mode.USER_KERNEL, seed=seed,
+                ),
+                LoopBenchmark(1_000_000),
+            ).error
+            for seed in range(12)
+        }
+        assert len(measured) > 1

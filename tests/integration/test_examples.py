@@ -1,0 +1,40 @@
+"""Every example under examples/ must run to completion.
+
+The examples are the package's front door; this test keeps them green
+by importing each one as a module and calling its ``main()``.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        assert len(EXAMPLES) >= 6
+        names = {path.stem for path in EXAMPLES}
+        assert "quickstart" in names
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLES, ids=[path.stem for path in EXAMPLES]
+    )
+    def test_example_runs(self, path, capsys):
+        module = load_example(path)
+        assert hasattr(module, "main"), f"{path.name} must define main()"
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out.splitlines()) >= 3, f"{path.name} printed too little"

@@ -1,0 +1,145 @@
+"""Failure injection: the stack must fail loudly and recover cleanly."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig
+from repro.errors import (
+    CounterError,
+    PrivilegeError,
+    SyscallError,
+    UnsupportedPatternError,
+)
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+from repro.perfctr.libperfctr import LibPerfctr
+from repro.perfmon.libpfm import LibPfm
+
+
+class TestPrivilegeViolations:
+    def test_user_code_cannot_program_counters_directly(self):
+        machine = Machine(io_interrupts=False)
+        with pytest.raises(PrivilegeError):
+            machine.core.wrmsr(0x186, 0)
+
+    def test_rdpmc_fault_leaves_machine_usable(self):
+        machine = Machine(kernel="vanilla", io_interrupts=False)
+        with pytest.raises(PrivilegeError):
+            machine.core.rdpmc(0)
+        # The machine still works after the fault.
+        machine.core.retire(WorkVector(instructions=10))
+        assert machine.core.mode is PrivLevel.USER
+
+    def test_vanilla_kernel_never_enables_user_rdpmc(self):
+        machine = Machine(kernel="vanilla", io_interrupts=False)
+        assert not machine.core.user_rdpmc_enabled
+
+
+class TestProtocolViolations:
+    def test_perfctr_read_before_control(self, quiet_perfctr_machine):
+        lib = LibPerfctr(quiet_perfctr_machine)
+        lib.open()
+        with pytest.raises(CounterError, match="programmed"):
+            lib.read()
+
+    def test_perfmon_sequence_enforced_at_each_step(
+        self, quiet_perfmon_machine
+    ):
+        lib = LibPfm(quiet_perfmon_machine)
+        lib.create_context()
+        with pytest.raises(SyscallError):
+            quiet_perfmon_machine.syscall(344)  # pfm_start before load
+        # After the failure the context is still usable.
+        lib.write_pmcs(((Event.INSTR_RETIRED, PrivFilter.ALL),))
+        lib.write_pmds()
+        lib.load_context()
+        lib.start()
+        assert lib.read_pmds()[0] >= 0
+
+    def test_failed_syscall_restores_user_mode(self, quiet_perfmon_machine):
+        with pytest.raises(SyscallError):
+            quiet_perfmon_machine.syscall(346, 1)  # read without context
+        assert quiet_perfmon_machine.core.mode is PrivLevel.USER
+
+    def test_unsupported_pattern_reports_not_crashes(self):
+        from repro.core import MeasurementConfig, NullBenchmark, Pattern, run_measurement
+
+        config = MeasurementConfig(
+            infra="PHpc", pattern=Pattern.READ_READ, io_interrupts=False
+        )
+        with pytest.raises(UnsupportedPatternError, match="resets"):
+            run_measurement(config, NullBenchmark())
+
+
+class TestCounterOverflowMidMeasurement:
+    def test_wraparound_corrupts_naive_differencing(self):
+        """A counter wrapping inside the window makes c1 < c0 — the
+        classic fine-grained measurement hazard; the PMU wraps silently
+        (as hardware does) and the harness surfaces the negative delta
+        instead of masking it."""
+        machine = Machine(processor="CD", kernel="vanilla",
+                          io_interrupts=False)
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True))
+        pmu.write(0, pmu.counters[0].limit - 100)
+        c0 = pmu.read(0)
+        machine.core.retire(WorkVector(instructions=500))
+        c1 = pmu.read(0)
+        assert c1 < c0  # wrapped
+        assert (c1 - c0) % pmu.counters[0].limit == 500  # modulo recovers
+
+    def test_extension_virtual_counters_are_64bit(self):
+        """perfmon's virtualized counters absorb hardware wraps: the
+        visible (virtual) count keeps increasing even though the
+        40-bit hardware register would wrap."""
+        machine = Machine(processor="CD", kernel="perfmon", seed=1,
+                          io_interrupts=False)
+        lib = LibPfm(machine)
+        lib.create_context()
+        lib.write_pmcs(((Event.INSTR_RETIRED, PrivFilter.USR),))
+        lib.write_pmds((2**40 - 1000,))  # virtual count near 2^40
+        lib.load_context()
+        lib.start()
+        machine.core.retire(WorkVector(instructions=5000))
+        value = lib.read_pmds()[0]
+        assert value > 2**40  # no wrap at the virtual level
+
+
+class TestInterruptStorms:
+    def test_io_storm_inflates_uk_error_but_not_user(self):
+        from dataclasses import replace
+
+        from repro.kernel.calibration import PERFCTR_BUILD
+
+        storm = replace(
+            PERFCTR_BUILD, name="perfctr-storm", io_irq_rate_hz=5_000.0
+        )
+
+        def run(mode_priv):
+            machine = Machine(processor="CD", kernel=storm, seed=3)
+            lib = LibPerfctr(machine)
+            lib.open()
+            lib.control(((Event.INSTR_RETIRED, mode_priv),))
+            from repro.core import LoopBenchmark
+
+            bench = LoopBenchmark(2_000_000)
+            bench.run(machine, 0x8049000)
+            return lib.read().pmcs[0] - bench.expected_instructions
+
+        uk_error = run(PrivFilter.ALL)
+        user_error = run(PrivFilter.USR)
+        assert uk_error > 10_000      # storms hammer u+k counts
+        assert abs(user_error) < 500  # user-mode counts stay honest
+
+    def test_interrupt_delivery_terminates(self):
+        """Even at absurd rates, delivery converges (no livelock)."""
+        from dataclasses import replace
+
+        from repro.kernel.calibration import PERFCTR_BUILD
+
+        extreme = replace(
+            PERFCTR_BUILD, name="perfctr-extreme", io_irq_rate_hz=50_000.0
+        )
+        machine = Machine(processor="CD", kernel=extreme, seed=5)
+        machine.core.retire(WorkVector.zero(), cycles=2.4e7)  # 10 ms
+        assert machine.controller.io_delivered > 0

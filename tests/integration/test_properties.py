@@ -1,0 +1,140 @@
+"""Property-based tests of the study's cross-cutting invariants.
+
+These encode relationships that must hold for *any* configuration —
+the kind of structural truths the paper's methodology relies on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    LoopBenchmark,
+    MeasurementConfig,
+    Mode,
+    NullBenchmark,
+    Pattern,
+    run_measurement,
+)
+from repro.core.config import INFRASTRUCTURES
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+processors = st.sampled_from(["PD", "CD", "K8"])
+infras = st.sampled_from(INFRASTRUCTURES)
+direct_infras = st.sampled_from(["pm", "pc"])
+patterns = st.sampled_from(list(Pattern))
+start_patterns = st.sampled_from([Pattern.START_READ, Pattern.START_STOP])
+seeds = st.integers(0, 2**31 - 1)
+
+
+def config_for(infra, pattern, **kwargs):
+    if infra.startswith("PH") and pattern.begins_with_read:
+        pattern = Pattern.START_READ
+    defaults = dict(infra=infra, pattern=pattern, io_interrupts=False)
+    defaults.update(kwargs)
+    return MeasurementConfig(**defaults)
+
+
+class TestErrorInvariants:
+    @SETTINGS
+    @given(processor=processors, infra=infras, pattern=patterns, seed=seeds)
+    def test_error_is_never_negative_without_interrupt_noise(
+        self, processor, infra, pattern, seed
+    ):
+        """Without interrupts, the infrastructure can only ADD
+        instructions — never remove them."""
+        config = config_for(
+            infra, pattern, processor=processor, mode=Mode.USER_KERNEL,
+            seed=seed,
+        )
+        assert run_measurement(config, NullBenchmark()).error >= 0
+
+    @SETTINGS
+    @given(processor=processors, infra=infras, pattern=start_patterns,
+           seed=seeds)
+    def test_user_error_never_exceeds_user_kernel_error(
+        self, processor, infra, pattern, seed
+    ):
+        """User-mode instructions are a subset of user+kernel ones."""
+        def error(mode):
+            config = config_for(
+                infra, pattern, processor=processor, mode=mode, seed=seed
+            )
+            return run_measurement(config, NullBenchmark()).error
+
+        assert error(Mode.USER) <= error(Mode.USER_KERNEL)
+
+    @SETTINGS
+    @given(processor=processors, infra=infras, pattern=start_patterns,
+           seed=seeds)
+    def test_modes_decompose(self, processor, infra, pattern, seed):
+        """user + kernel counts = user+kernel counts, configuration by
+        configuration (same seed => same execution)."""
+        def measured(mode):
+            config = config_for(
+                infra, pattern, processor=processor, mode=mode, seed=seed
+            )
+            return run_measurement(config, NullBenchmark()).measured
+
+        assert measured(Mode.USER) + measured(Mode.KERNEL) == measured(
+            Mode.USER_KERNEL
+        )
+
+    @SETTINGS
+    @given(infra=infras, pattern=patterns, seed=seeds,
+           iters=st.integers(1, 200_000))
+    def test_fixed_error_independent_of_benchmark_user_mode(
+        self, infra, pattern, seed, iters
+    ):
+        """In user mode the error is a property of the infrastructure
+        alone — any benchmark measures the same, up to the boundary
+        skid of timer ticks that happen to land inside the run."""
+        config = config_for(infra, pattern, mode=Mode.USER, seed=seed)
+        null = run_measurement(config, NullBenchmark())
+        loop = run_measurement(config, LoopBenchmark(iters))
+        tolerance = 3 * (null.ticks + loop.ticks)
+        assert abs(null.error - loop.error) <= tolerance
+
+
+class TestDeterminism:
+    @SETTINGS
+    @given(processor=processors, infra=infras, pattern=patterns, seed=seeds)
+    def test_same_seed_same_result(self, processor, infra, pattern, seed):
+        config = config_for(
+            infra, pattern, processor=processor, seed=seed,
+        )
+        a = run_measurement(config, NullBenchmark())
+        b = run_measurement(config, NullBenchmark())
+        assert a.deltas == b.deltas
+        assert a.benchmark_address == b.benchmark_address
+
+
+class TestGroundTruth:
+    @SETTINGS
+    @given(iters=st.integers(1, 10_000_000), infra=direct_infras,
+           seed=seeds)
+    def test_corrected_count_recovers_model_up_to_skid(self, iters, infra, seed):
+        """error(loop) - error(null) == 0 in user mode, except for the
+        per-interrupt boundary skid (Figure 8's mechanism): the deviation
+        is bounded by the skid magnitude times the ticks that landed in
+        the loop."""
+        config = config_for(
+            infra, Pattern.START_READ, processor="K8", mode=Mode.USER,
+            seed=seed,
+        )
+        loop = run_measurement(config, LoopBenchmark(iters))
+        null = run_measurement(config, NullBenchmark())
+        corrected = loop.measured - null.measured
+        max_skid = 3 * (loop.ticks + null.ticks)
+        assert abs(corrected - (1 + 3 * iters)) <= max_skid
+
+    @SETTINGS
+    @given(iters=st.integers(1, 100_000), seed=seeds)
+    def test_longer_benchmarks_never_measure_less(self, iters, seed):
+        config = config_for(
+            "pc", Pattern.START_READ, mode=Mode.USER_KERNEL, seed=seed
+        )
+        short = run_measurement(config, LoopBenchmark(iters)).measured
+        long = run_measurement(config, LoopBenchmark(iters * 2)).measured
+        assert long > short

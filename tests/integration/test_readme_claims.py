@@ -1,0 +1,68 @@
+"""The README's runnable claims must stay true."""
+
+import pathlib
+import re
+
+from repro import (
+    LoopBenchmark,
+    MeasurementConfig,
+    Mode,
+    NullBenchmark,
+    Pattern,
+    run_measurement,
+)
+
+README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+
+
+class TestQuickstartClaims:
+    def test_quickstart_numbers(self):
+        """The README quickstart says the pc/CD start-read u+k error is
+        ~163 and the loop ground truth is 3000001."""
+        cfg = MeasurementConfig(
+            processor="CD", infra="pc", pattern=Pattern.START_READ,
+            mode=Mode.USER_KERNEL, io_interrupts=False,
+        )
+        error = run_measurement(cfg, NullBenchmark()).error
+        assert 150 <= error <= 200
+        result = run_measurement(cfg, LoopBenchmark(1_000_000))
+        assert result.expected == 3_000_001
+
+    def test_package_docstring_example(self):
+        """The example in repro/__init__.py's docstring prints 38."""
+        cfg = MeasurementConfig(
+            processor="K8", infra="pm", pattern=Pattern.READ_READ,
+            mode=Mode.USER, io_interrupts=False,
+        )
+        assert run_measurement(cfg, NullBenchmark()).error == 38
+
+
+class TestReadmeStructure:
+    def test_readme_exists_and_cites_the_paper(self):
+        text = README.read_text()
+        assert "Accuracy of Performance Counter Measurements" in text
+        assert "ISPASS" in text
+
+    def test_reproduction_table_rows_exist(self):
+        """Every artifact named in the README's status table has a
+        runner."""
+        from repro.experiments import ALL_EXPERIMENTS
+
+        text = README.read_text()
+        for artifact in ("Figure 4", "Figure 5", "Figure 9", "Figure 11"):
+            assert artifact in text
+        # and the registry covers the numbered figures 1-12 (figure 6
+        # ships combined with table 3)
+        numbered = {
+            name for name in ALL_EXPERIMENTS if re.fullmatch(r"figure\d+", name)
+        }
+        assert numbered | {"figure6"} == {f"figure{i}" for i in range(1, 13)}
+        assert "figure6+table3" in ALL_EXPERIMENTS
+
+    def test_layout_section_matches_tree(self):
+        text = README.read_text()
+        root = README.parent
+        for path in ("src/repro", "tests", "benchmarks", "examples",
+                     "DESIGN.md", "EXPERIMENTS.md"):
+            assert (root / path).exists(), path
+            assert path.split("/")[-1] in text

@@ -1,0 +1,40 @@
+"""Tests for the end-to-end selftest."""
+
+from repro.cli import main
+from repro.selftest import CHECKS, render, run_selftest
+
+
+class TestSelftest:
+    def test_all_checks_pass(self):
+        results = run_selftest()
+        failures = [r for r in results if not r.passed]
+        assert not failures, [f"{r.name}: {r.detail}" for r in failures]
+
+    def test_covers_the_headline_conclusions(self):
+        assert len(CHECKS) >= 6
+
+    def test_render(self):
+        results = run_selftest()
+        text = render(results)
+        assert "PASS" in text
+        assert f"{len(results)}/{len(results)} checks passed" in text
+
+    def test_crash_reported_not_raised(self):
+        from repro import selftest
+
+        def boom():
+            raise RuntimeError("injected")
+
+        original = selftest.CHECKS
+        try:
+            selftest.CHECKS = (boom,)
+            results = selftest.run_selftest()
+        finally:
+            selftest.CHECKS = original
+        assert len(results) == 1
+        assert not results[0].passed
+        assert "injected" in results[0].detail
+
+    def test_cli_exit_code(self, capsys):
+        assert main(["selftest"]) == 0
+        assert "6/6" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Tests for repro.trace — retirement tracing and error attribution."""
+
+import pytest
+
+from repro.core import (
+    LoopBenchmark,
+    MeasurementConfig,
+    Mode,
+    NullBenchmark,
+    Pattern,
+    run_measurement,
+)
+from repro.cpu.events import PrivLevel
+from repro.trace import Tracer
+
+
+def traced_measurement(benchmark=None, **kwargs):
+    defaults = dict(processor="CD", infra="pc", pattern=Pattern.START_READ,
+                    mode=Mode.USER_KERNEL, seed=9, io_interrupts=False)
+    defaults.update(kwargs)
+    config = MeasurementConfig(**defaults)
+    tracer = Tracer()
+    result = run_measurement(
+        config, benchmark or NullBenchmark(), tracer=tracer
+    )
+    return result, tracer
+
+
+class TestRecording:
+    def test_records_labeled_paths(self):
+        _result, tracer = traced_measurement()
+        labels = {record.label for record in tracer.records}
+        assert "libperfctr:control-post" in labels
+        assert "kernel:syscall-entry" in labels
+
+    def test_phases_cover_setup_and_measure(self):
+        _result, tracer = traced_measurement()
+        phases = {record.phase for record in tracer.records}
+        assert {"setup", "measure"} <= phases
+
+    def test_benchmark_phase_tagged(self):
+        _result, tracer = traced_measurement(LoopBenchmark(1000))
+        bench = [r for r in tracer.records if r.phase == "benchmark"]
+        assert sum(r.instructions for r in bench) == 3001
+
+    def test_modes_recorded(self):
+        _result, tracer = traced_measurement()
+        modes = {record.mode for record in tracer.records}
+        assert modes == {PrivLevel.USER, PrivLevel.KERNEL}
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        config = MeasurementConfig(io_interrupts=False)
+        run_measurement(config, NullBenchmark(), tracer=tracer)
+        assert tracer.records == []
+
+    def test_tracing_does_not_perturb_measurement(self):
+        config = MeasurementConfig(seed=12, io_interrupts=False)
+        plain = run_measurement(config, NullBenchmark())
+        traced = run_measurement(config, NullBenchmark(), tracer=Tracer())
+        assert plain.deltas == traced.deltas
+
+
+class TestAttribution:
+    def test_error_decomposes_into_paths(self):
+        """The measured u+k error must equal the traced instructions of
+        the measure phase between the sample points... which we bound:
+        every traced measure-phase instruction is a candidate, and the
+        error can never exceed that total."""
+        result, tracer = traced_measurement()
+        measure_total = tracer.total_instructions(phase="measure")
+        assert 0 < result.error <= measure_total
+
+    def test_by_path_sorted_and_aggregated(self):
+        _result, tracer = traced_measurement()
+        summaries = tracer.by_path()
+        counts = [s.instructions for s in summaries]
+        assert counts == sorted(counts, reverse=True)
+        assert all(s.occurrences >= 1 for s in summaries)
+
+    def test_mode_filter(self):
+        _result, tracer = traced_measurement()
+        kernel_paths = tracer.by_path(mode=PrivLevel.KERNEL)
+        assert kernel_paths
+        assert all(s.mode is PrivLevel.KERNEL for s in kernel_paths)
+
+    def test_tsc_off_penalty_locates_in_slow_read(self):
+        """The Figure 4 penalty must be attributable to the slow-read
+        paths — the tracer shows *where* the error lives."""
+        _result, tracer = traced_measurement(
+            pattern=Pattern.READ_READ, tsc=False
+        )
+        top = tracer.by_path(phase="measure")[0]
+        assert "slow-read" in top.label or "read-post" in top.label
+
+    def test_render(self):
+        _result, tracer = traced_measurement()
+        text = tracer.render()
+        assert "path" in text and "instr" in text
+        assert len(text.splitlines()) > 3
+
+    def test_clear(self):
+        _result, tracer = traced_measurement()
+        tracer.clear()
+        assert tracer.total_instructions() == 0

@@ -1,0 +1,106 @@
+"""Unit tests for repro.isa.assembler — the Figure 3 loop parser."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import (
+    PAPER_LOOP_SOURCE,
+    assemble_loop,
+    parse_att_listing,
+)
+from repro.isa.instructions import Instr, InstrClass
+
+
+class TestParser:
+    def test_parses_paper_loop(self):
+        items = parse_att_listing(PAPER_LOOP_SOURCE.replace("$MAX", "$5"))
+        instrs = [i for i in items if isinstance(i, Instr)]
+        labels = [i for i in items if isinstance(i, str)]
+        assert [i.mnemonic for i in instrs] == ["movl", "addl", "cmpl", "jne"]
+        assert labels == [".loop"]
+
+    def test_comments_and_blanks_ignored(self):
+        items = parse_att_listing("# comment\n\n  nop  # trailing\n")
+        assert len(items) == 1
+        assert items[0].iclass is InstrClass.NOP
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="frobnicate"):
+            parse_att_listing("frobnicate %eax")
+
+    def test_memory_operand_classification(self):
+        load, store = parse_att_listing(
+            "movl (%esi), %eax\nmovl %eax, (%edi)"
+        )
+        assert load.iclass is InstrClass.LOAD
+        assert store.iclass is InstrClass.STORE
+
+    def test_operands_preserved(self):
+        (instr,) = parse_att_listing("addl $1, %eax")
+        assert instr.operands == ("$1", "%eax")
+
+
+class TestAssembleLoop:
+    def test_paper_ground_truth_model(self):
+        # The paper's model: instructions = 1 + 3 * MAX (Section 3.4).
+        for max_iters in (1, 10, 1_000, 1_000_000):
+            loop = assemble_loop(max_iters=max_iters)
+            assert loop.expected_instructions == 1 + 3 * max_iters
+
+    @given(n=st.integers(1, 10_000_000))
+    def test_model_holds_for_any_iteration_count(self, n):
+        assert assemble_loop(max_iters=n).expected_instructions == 1 + 3 * n
+
+    def test_header_and_body_split(self):
+        loop = assemble_loop(max_iters=7)
+        assert loop.header.work.instructions == 1   # movl $0, %eax
+        assert loop.body.work.instructions == 3     # addl, cmpl, jne
+        assert loop.trips == 7
+
+    def test_back_edge_is_taken(self):
+        loop = assemble_loop(max_iters=3)
+        assert loop.body.work.taken_branches == 1
+
+    def test_macro_substituted(self):
+        loop = assemble_loop(max_iters=42)
+        assert loop.trips == 42
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(AssemblerError, match="iteration"):
+            assemble_loop(max_iters=0)
+
+    def test_requires_single_label(self):
+        with pytest.raises(AssemblerError, match="label"):
+            assemble_loop("nop\naddl $1, %eax\n", max_iters=1)
+
+    def test_requires_terminating_branch(self):
+        source = ".loop:\naddl $1, %eax\n"
+        with pytest.raises(AssemblerError, match="branch"):
+            assemble_loop(source, max_iters=1)
+
+    def test_branch_must_target_the_label(self):
+        source = ".loop:\naddl $1, %eax\njne .elsewhere\n"
+        with pytest.raises(AssemblerError, match="target"):
+            assemble_loop(source, max_iters=1)
+
+    def test_custom_loop_shape(self):
+        source = """
+            movl $0, %ecx
+            movl $0, %eax
+        .top:
+            addl $2, %eax
+            subl $1, %ecx
+            cmpl $N, %eax
+            jne .top
+        """
+        loop = assemble_loop(source, max_iters=10, macro="N")
+        assert loop.header.work.instructions == 2
+        assert loop.body.work.instructions == 4
+        assert loop.expected_instructions == 2 + 4 * 10
+
+    def test_to_loop_round_trip(self):
+        assembled = assemble_loop(max_iters=100)
+        loop = assembled.to_loop()
+        assert loop.total_work() == assembled.expected_work()

@@ -1,0 +1,85 @@
+"""Unit tests for repro.isa.block."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.block import Block, Chunk, Loop, Program
+from repro.isa.instructions import Instr, InstrClass
+from repro.isa.work import WorkVector
+
+
+def chunk(n: int, label: str = "c") -> Chunk:
+    return Chunk(WorkVector(instructions=n), label=label)
+
+
+class TestChunk:
+    def test_default_size_estimate(self):
+        assert chunk(10).size_bytes == 35  # ~3.5 B/instr
+
+    def test_of_instructions_sums(self):
+        instrs = [
+            Instr("movl", InstrClass.MOV),
+            Instr("addl", InstrClass.ALU),
+            Instr("jne", InstrClass.BRANCH, taken=True),
+        ]
+        built = Chunk.of_instructions(instrs, label="loop-ish")
+        assert built.work.instructions == 3
+        assert built.work.taken_branches == 1
+        assert built.size_bytes == sum(i.size for i in instrs)
+
+
+class TestLoop:
+    def test_total_work_closed_form(self):
+        loop = Loop(body=chunk(3), trips=1000, header=chunk(1))
+        assert loop.total_work().instructions == 1 + 3 * 1000
+
+    def test_zero_trips(self):
+        loop = Loop(body=chunk(3), trips=0, header=chunk(1))
+        assert loop.total_work().instructions == 1
+
+    def test_negative_trips_rejected(self):
+        with pytest.raises(ValueError, match="trips"):
+            Loop(body=chunk(3), trips=-1)
+
+    def test_size_not_unrolled(self):
+        small = Loop(body=chunk(3), trips=10)
+        big = Loop(body=chunk(3), trips=10_000_000)
+        assert small.size_bytes == big.size_bytes
+
+    @given(trips=st.integers(0, 10_000), body_n=st.integers(1, 50),
+           header_n=st.integers(0, 10))
+    def test_total_matches_manual_sum(self, trips, body_n, header_n):
+        loop = Loop(body=chunk(body_n), trips=trips, header=chunk(header_n))
+        assert (
+            loop.total_work().instructions == header_n + body_n * trips
+        )
+
+
+class TestBlock:
+    def test_concatenation(self):
+        a = Block(items=(chunk(1),))
+        b = Block(items=(chunk(2),))
+        assert (a + b).total_work().instructions == 3
+        assert len(a + b) == 2
+
+    def test_append_returns_new(self):
+        empty = Block()
+        one = empty.append(chunk(5))
+        assert len(empty) == 0
+        assert len(one) == 1
+
+    def test_total_work_includes_loops(self):
+        block = Block(items=(chunk(2), Loop(body=chunk(3), trips=4)))
+        assert block.total_work().instructions == 2 + 12
+
+    def test_size_bytes_sums_items(self):
+        block = Block(items=(chunk(2), chunk(4)))
+        assert block.size_bytes == chunk(2).size_bytes + chunk(4).size_bytes
+
+
+class TestProgram:
+    def test_program_delegates(self):
+        program = Program("p", Block(items=(chunk(7),)), base_address=0x1000)
+        assert program.total_work().instructions == 7
+        assert program.size_bytes == chunk(7).size_bytes

@@ -1,0 +1,53 @@
+"""Unit tests for repro.isa.builder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.builder import CodeBuilder, user_code_chunk
+
+
+class TestCodeBuilder:
+    def test_alu_counts(self):
+        assert CodeBuilder().alu(5).build().work.instructions == 5
+
+    def test_mixed_path(self):
+        built = (
+            CodeBuilder("path").alu(4).load(2).store(1).branch(2, taken=1).build()
+        )
+        work = built.work
+        assert work.instructions == 9
+        assert work.loads == 2
+        assert work.stores == 1
+        assert work.branches == 2
+        assert work.taken_branches == 1
+        assert built.label == "path"
+
+    def test_call_and_ret_touch_stack(self):
+        work = CodeBuilder().call().ret().build().work
+        assert work.stores == 1  # call pushes
+        assert work.loads == 1   # ret pops
+        assert work.taken_branches == 2
+
+    def test_prologue_epilogue(self):
+        work = CodeBuilder().fn_prologue().fn_epilogue().build().work
+        assert work.instructions == 5
+
+    def test_branch_taken_validation(self):
+        with pytest.raises(ValueError, match="taken"):
+            CodeBuilder().branch(1, taken=2)
+
+    def test_size_accumulates(self):
+        assert CodeBuilder().alu(10).build().size_bytes == 30
+
+
+class TestUserCodeChunk:
+    @given(n=st.integers(0, 5000))
+    def test_exact_instruction_total(self, n):
+        # The accuracy study counts instructions; the helper must be exact.
+        assert user_code_chunk(n, "x").work.instructions == n
+
+    def test_has_memory_mix(self):
+        work = user_code_chunk(80, "x").work
+        assert work.loads == 10
+        assert work.stores == 10

@@ -1,0 +1,70 @@
+"""Unit tests for repro.isa.instructions."""
+
+import pytest
+
+from repro.isa.instructions import (
+    Instr,
+    InstrClass,
+    PRIVILEGED_CLASSES,
+    SERIALIZING_CLASSES,
+)
+
+
+class TestPrivilege:
+    @pytest.mark.parametrize("iclass", sorted(PRIVILEGED_CLASSES, key=lambda c: c.value))
+    def test_privileged_classes(self, iclass):
+        assert Instr("x", iclass).privileged
+
+    def test_rdpmc_not_statically_privileged(self):
+        # RDPMC's legality depends on CR4.PCE, enforced by the core.
+        assert not Instr("rdpmc", InstrClass.RDPMC).privileged
+
+    def test_alu_unprivileged(self):
+        assert not Instr("addl", InstrClass.ALU).privileged
+
+
+class TestWork:
+    def test_plain_alu(self):
+        work = Instr("addl", InstrClass.ALU).work()
+        assert work.instructions == 1
+        assert work.branches == 0
+
+    def test_untaken_branch(self):
+        work = Instr("jne", InstrClass.BRANCH).work()
+        assert work.branches == 1
+        assert work.taken_branches == 0
+
+    def test_taken_branch(self):
+        work = Instr("jne", InstrClass.BRANCH, taken=True).work()
+        assert work.taken_branches == 1
+
+    def test_call_pushes(self):
+        work = Instr("call", InstrClass.CALL).work()
+        assert work.stores == 1
+        assert work.taken_branches == 1
+
+    def test_ret_pops(self):
+        work = Instr("ret", InstrClass.RET).work()
+        assert work.loads == 1
+
+    def test_load_store(self):
+        assert Instr("movl", InstrClass.LOAD).work().loads == 1
+        assert Instr("movl", InstrClass.STORE).work().stores == 1
+
+    @pytest.mark.parametrize("iclass", sorted(SERIALIZING_CLASSES, key=lambda c: c.value))
+    def test_serializing_work(self, iclass):
+        assert Instr("x", iclass).work().serializing == 1
+
+
+class TestEncoding:
+    def test_default_sizes_positive(self):
+        for iclass in InstrClass:
+            assert Instr("x", iclass).size > 0
+
+    def test_explicit_size_kept(self):
+        assert Instr("movl", InstrClass.MOV, size=7).size == 7
+
+    def test_instr_is_frozen(self):
+        instr = Instr("addl", InstrClass.ALU)
+        with pytest.raises(AttributeError):
+            instr.mnemonic = "subl"

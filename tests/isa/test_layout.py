@@ -1,0 +1,65 @@
+"""Unit tests for repro.isa.layout."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.isa.layout import DEFAULT_TEXT_BASE, CodeLayout, CodeObject
+
+
+class TestPlacement:
+    def test_first_object_at_base(self):
+        layout = CodeLayout()
+        assert layout.place(CodeObject("a", 100)) == DEFAULT_TEXT_BASE
+
+    def test_sequential_alignment(self):
+        layout = CodeLayout(function_align=16)
+        layout.place(CodeObject("a", 10))
+        address = layout.place(CodeObject("b", 10))
+        assert address == DEFAULT_TEXT_BASE + 16
+        assert address % 16 == 0
+
+    def test_size_changes_shift_later_symbols(self):
+        # The mechanism behind the paper's Section 6.
+        small, big = CodeLayout(), CodeLayout()
+        small.place(CodeObject("harness", 100))
+        big.place(CodeObject("harness", 260))
+        a = small.place(CodeObject("bench", 10))
+        b = big.place(CodeObject("bench", 10))
+        assert a != b
+
+    def test_duplicate_name_rejected(self):
+        layout = CodeLayout()
+        layout.place(CodeObject("a", 4))
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            layout.place(CodeObject("a", 4))
+
+    def test_address_of_unknown(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            CodeLayout().address_of("ghost")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError, match="negative"):
+            CodeObject("bad", -1)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ConfigurationError, match="alignment"):
+            CodeLayout(function_align=0)
+
+    @given(sizes=st.lists(st.integers(0, 4096), min_size=1, max_size=20),
+           align=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    def test_no_overlap_and_aligned(self, sizes, align):
+        layout = CodeLayout(function_align=align)
+        placed = []
+        for index, size in enumerate(sizes):
+            address = layout.place(CodeObject(f"o{index}", size))
+            assert address % align == 0
+            placed.append((address, size))
+        for (a1, s1), (a2, _s2) in zip(placed, placed[1:]):
+            assert a2 >= a1 + s1
+
+    def test_end_address(self):
+        layout = CodeLayout(function_align=1)
+        layout.place(CodeObject("a", 10))
+        assert layout.end_address == DEFAULT_TEXT_BASE + 10

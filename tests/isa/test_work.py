@@ -1,0 +1,109 @@
+"""Unit tests for repro.isa.work."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.work import WorkVector
+
+
+def work_vectors() -> st.SearchStrategy[WorkVector]:
+    """Strategy producing valid work vectors."""
+    return st.builds(
+        lambda extra, branches, taken, loads, stores, ser: WorkVector(
+            instructions=extra + branches + ser,
+            branches=branches,
+            taken_branches=taken if taken <= branches else branches,
+            loads=loads,
+            stores=stores,
+            serializing=ser,
+        ),
+        extra=st.integers(0, 10_000),
+        branches=st.integers(0, 1_000),
+        taken=st.integers(0, 1_000),
+        loads=st.integers(0, 1_000),
+        stores=st.integers(0, 1_000),
+        ser=st.integers(0, 100),
+    )
+
+
+class TestConstruction:
+    def test_zero_is_empty(self):
+        assert WorkVector.zero().is_zero
+        assert WorkVector.zero().instructions == 0
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError, match="instructions"):
+            WorkVector(instructions=-1)
+
+    def test_taken_cannot_exceed_branches(self):
+        with pytest.raises(ValueError, match="taken_branches"):
+            WorkVector(instructions=5, branches=1, taken_branches=2)
+
+    def test_instructions_must_cover_branches(self):
+        with pytest.raises(ValueError, match="cover"):
+            WorkVector(instructions=1, branches=2)
+
+    @pytest.mark.parametrize(
+        "kind,field",
+        [
+            ("alu", None),
+            ("branch", "branches"),
+            ("taken_branch", "taken_branches"),
+            ("load", "loads"),
+            ("store", "stores"),
+            ("serializing", "serializing"),
+        ],
+    )
+    def test_single(self, kind, field):
+        work = WorkVector.single(kind)
+        assert work.instructions == 1
+        if field is not None:
+            assert getattr(work, field) == 1
+
+    def test_single_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown instruction kind"):
+            WorkVector.single("bogus")
+
+
+class TestAlgebra:
+    def test_addition_is_fieldwise(self):
+        a = WorkVector(instructions=10, branches=2, taken_branches=1, loads=3)
+        b = WorkVector(instructions=5, branches=1, taken_branches=1, stores=2)
+        total = a + b
+        assert total.instructions == 15
+        assert total.branches == 3
+        assert total.taken_branches == 2
+        assert total.loads == 3
+        assert total.stores == 2
+
+    def test_multiplication_repeats(self):
+        body = WorkVector(instructions=3, branches=1, taken_branches=1)
+        assert (body * 4).instructions == 12
+        assert (4 * body).branches == 4
+
+    def test_multiply_by_zero(self):
+        assert (WorkVector(instructions=7) * 0).is_zero
+
+    def test_negative_repeat_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            WorkVector(instructions=1) * (-1)
+
+    @given(a=work_vectors(), b=work_vectors())
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(a=work_vectors(), b=work_vectors(), c=work_vectors())
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(work=work_vectors(), n=st.integers(0, 50))
+    def test_repeat_equals_repeated_addition(self, work, n):
+        total = WorkVector.zero()
+        for _ in range(n):
+            total = total + work
+        assert total == work * n
+
+    @given(work=work_vectors())
+    def test_zero_is_identity(self, work):
+        assert work + WorkVector.zero() == work

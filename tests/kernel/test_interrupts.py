@@ -1,0 +1,120 @@
+"""Unit tests for repro.kernel.interrupts."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+
+
+def machine_no_io(**kwargs) -> Machine:
+    defaults = dict(processor="CD", kernel="perfctr", seed=3, io_interrupts=False)
+    defaults.update(kwargs)
+    return Machine(**defaults)
+
+
+def run_user_cycles(machine: Machine, cycles: float) -> None:
+    machine.core.retire(WorkVector.zero(), cycles=cycles)
+
+
+class TestTimerTicks:
+    def test_tick_fires_once_per_period(self):
+        machine = machine_no_io()
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        run_user_cycles(machine, 5.5 * period_cycles)
+        # The first tick lands at a random phase within the first period.
+        assert machine.controller.ticks_delivered in (5, 6)
+
+    def test_tick_work_lands_in_kernel_mode_counts(self):
+        machine = machine_no_io()
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.OS, True))
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        run_user_cycles(machine, 1.5 * period_cycles)
+        delivered = machine.controller.ticks_delivered
+        assert delivered >= 1
+        assert pmu.read(0) == delivered * machine.build.tick_instructions()
+
+    def test_tick_work_invisible_to_user_counter(self):
+        machine = machine_no_io()
+        machine.core.skid_probability = 0.0  # isolate the handler effect
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True))
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        run_user_cycles(machine, 3.5 * period_cycles)
+        assert pmu.read(0) == 0
+
+    def test_no_ticks_without_elapsed_time(self):
+        machine = machine_no_io()
+        assert machine.controller.ticks_delivered == 0
+
+    def test_masking_defers_delivery(self):
+        machine = machine_no_io()
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        with machine.core.masked_interrupts():
+            run_user_cycles(machine, 2.5 * period_cycles)
+            assert machine.controller.ticks_delivered == 0
+        # Delivery happens at the next unmasked retirement.
+        run_user_cycles(machine, 1.0)
+        assert machine.controller.ticks_delivered >= 2
+
+    def test_cycles_until_next_positive(self):
+        machine = machine_no_io()
+        horizon = machine.controller.cycles_until_next(machine.core)
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        assert horizon is not None
+        assert 0 <= horizon <= period_cycles
+
+    def test_disabled_controller_never_fires(self):
+        machine = machine_no_io()
+        machine.controller.enabled = False
+        period_cycles = machine.core.freq.current_hz / machine.build.hz
+        run_user_cycles(machine, 10 * period_cycles)
+        assert machine.controller.ticks_delivered == 0
+
+
+class TestIoInterrupts:
+    def test_io_interrupts_arrive_over_time(self):
+        machine = Machine(processor="CD", kernel="perfctr", seed=5,
+                          io_interrupts=True)
+        # Run one simulated second: expect roughly io_irq_rate_hz arrivals.
+        run_user_cycles(machine, machine.core.freq.current_hz * 1.0)
+        rate = machine.build.io_irq_rate_hz
+        assert 0 < machine.controller.io_delivered <= rate * 5
+
+    def test_io_disabled(self):
+        machine = machine_no_io()
+        run_user_cycles(machine, machine.core.freq.current_hz * 1.0)
+        assert machine.controller.io_delivered == 0
+
+    def test_io_handler_counts_as_kernel_error(self):
+        machine = Machine(processor="CD", kernel="perfctr", seed=5,
+                          io_interrupts=True)
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.OS, True))
+        run_user_cycles(machine, machine.core.freq.current_hz * 0.5)
+        ticks = machine.controller.ticks_delivered
+        assert pmu.read(0) > ticks * machine.build.tick_instructions() * 0.99
+
+
+class TestDeterminism:
+    def test_same_seed_same_ticks(self):
+        counts = []
+        for _ in range(2):
+            machine = Machine(processor="K8", kernel="perfmon", seed=42)
+            run_user_cycles(machine, 1e8)
+            counts.append(
+                (machine.controller.ticks_delivered,
+                 machine.controller.io_delivered,
+                 machine.core.pmu.read_tsc())
+            )
+        assert counts[0] == counts[1]
+
+    def test_different_seed_different_phase(self):
+        phases = set()
+        for seed in range(20):
+            machine = Machine(processor="K8", kernel="perfmon", seed=seed,
+                              io_interrupts=False)
+            phases.add(machine.controller.next_timer_s)
+        assert len(phases) > 15

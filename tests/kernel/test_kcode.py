@@ -1,0 +1,100 @@
+"""Unit tests for repro.kernel.kcode and repro.kernel.calibration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.kernel.calibration import (
+    KERNEL_BUILDS,
+    KernelBuildConfig,
+    PERFCTR_BUILD,
+    PERFMON_BUILD,
+    SkidConfig,
+    VANILLA_BUILD,
+)
+from repro.kernel.kcode import KernelCosts, kernel_chunk
+
+
+class TestKernelChunk:
+    @given(n=st.integers(0, 100_000))
+    def test_exact_instruction_total(self, n):
+        assert kernel_chunk(n, "x").work.instructions == n
+
+    def test_kernel_mix_present(self):
+        work = kernel_chunk(1000, "x").work
+        assert work.branches == 120
+        assert work.loads == 220
+        assert work.stores == 140
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot have"):
+            kernel_chunk(-1, "bad")
+
+    def test_label_preserved(self):
+        assert kernel_chunk(10, "kernel:foo").label == "kernel:foo"
+
+
+class TestKernelCosts:
+    def test_chunks_match_declared_sizes(self):
+        costs = KernelCosts()
+        assert costs.syscall_entry_chunk().work.instructions == costs.syscall_entry
+        assert costs.syscall_exit_chunk().work.instructions == costs.syscall_exit
+        assert costs.irq_entry_chunk().work.instructions == costs.irq_entry
+        assert costs.timer_tick_chunk().work.instructions == costs.timer_tick_body
+        assert costs.context_switch_chunk().work.instructions == costs.context_switch
+
+
+class TestBuilds:
+    def test_three_builds_registered(self):
+        assert set(KERNEL_BUILDS) == {"perfmon", "perfctr", "vanilla"}
+
+    def test_vanilla_has_no_extension_hooks(self):
+        assert VANILLA_BUILD.ext_tick_hook == 0
+        assert VANILLA_BUILD.ext_switch_hook == 0
+
+    def test_tick_instructions_compose(self):
+        build = PERFCTR_BUILD
+        expected = (
+            build.costs.irq_entry
+            + build.costs.timer_tick_body
+            + build.ext_tick_hook
+            + build.costs.irq_exit
+        )
+        assert build.tick_instructions() == expected
+
+    def test_builds_differ_in_hz(self):
+        # The two patched kernels are configured differently; this is a
+        # calibration choice documented in the module and DESIGN.md.
+        assert PERFMON_BUILD.hz != PERFCTR_BUILD.hz
+
+    def test_skid_for_unknown_processor_is_neutral(self):
+        skid = PERFMON_BUILD.skid_for("ZZ")
+        assert skid.probability == 0.0
+
+    def test_all_builds_have_skid_for_study_processors(self):
+        for build in (PERFMON_BUILD, PERFCTR_BUILD):
+            for key in ("PD", "CD", "K8"):
+                assert -1 <= build.skid_for(key).bias <= 1
+
+
+class TestValidation:
+    def test_bad_hz(self):
+        with pytest.raises(ConfigurationError, match="HZ"):
+            KernelBuildConfig(name="x", hz=0)
+
+    def test_bad_io_range(self):
+        with pytest.raises(ConfigurationError, match="io_handler"):
+            KernelBuildConfig(name="x", hz=100, io_handler_instructions=(10, 5))
+
+    def test_skid_probability_range(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            SkidConfig(probability=1.5, bias=0.0)
+
+    def test_skid_bias_range(self):
+        with pytest.raises(ConfigurationError, match="bias"):
+            SkidConfig(probability=0.5, bias=-2.0)
+
+    def test_skid_magnitude_range(self):
+        with pytest.raises(ConfigurationError, match="magnitude"):
+            SkidConfig(probability=0.5, bias=0.0, magnitude=-1)

@@ -1,0 +1,93 @@
+"""Unit tests for repro.kernel.scheduler and threads."""
+
+import pytest
+
+from repro.errors import MachineStateError
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+
+
+def ticks(machine: Machine, n: int) -> None:
+    period = machine.core.freq.current_hz / machine.build.hz
+    machine.core.retire(WorkVector.zero(), cycles=(n + 0.5) * period)
+
+
+class TestSpawn:
+    def test_main_thread_exists(self):
+        machine = Machine(io_interrupts=False)
+        assert machine.current_thread.name == "main"
+
+    def test_tids_unique(self):
+        machine = Machine(io_interrupts=False)
+        t1 = machine.scheduler.spawn("a")
+        t2 = machine.scheduler.spawn("b")
+        assert t1.tid != t2.tid
+
+    def test_bad_quantum(self):
+        with pytest.raises(MachineStateError, match="quantum"):
+            Machine(quantum_ticks=0)
+
+
+class TestRoundRobin:
+    def test_single_thread_never_switches(self):
+        machine = Machine(seed=1, io_interrupts=False, quantum_ticks=2)
+        ticks(machine, 20)
+        assert machine.scheduler.switches == 0
+
+    def test_two_threads_alternate(self):
+        machine = Machine(seed=1, io_interrupts=False, quantum_ticks=2)
+        other = machine.scheduler.spawn("worker")
+        ticks(machine, 4)
+        assert machine.scheduler.switches >= 1
+        assert machine.current_thread in (machine.main_thread, other)
+
+    def test_quantum_controls_switch_rate(self):
+        fast = Machine(seed=1, io_interrupts=False, quantum_ticks=1)
+        fast.scheduler.spawn("w")
+        slow = Machine(seed=1, io_interrupts=False, quantum_ticks=10)
+        slow.scheduler.spawn("w")
+        ticks(fast, 20)
+        ticks(slow, 20)
+        assert fast.scheduler.switches > slow.scheduler.switches
+
+    def test_exit_thread_switches_away(self):
+        machine = Machine(seed=1, io_interrupts=False, quantum_ticks=2)
+        other = machine.scheduler.spawn("worker")
+        machine.scheduler.exit_thread(machine.main_thread)
+        assert machine.current_thread is other
+
+    def test_exit_last_thread(self):
+        machine = Machine(seed=1, io_interrupts=False)
+        machine.scheduler.exit_thread(machine.main_thread)
+        with pytest.raises(MachineStateError, match="no runnable"):
+            machine.current_thread
+
+
+class TestSwitchListeners:
+    def test_listener_called_with_both_threads(self):
+        machine = Machine(seed=1, io_interrupts=False, quantum_ticks=1)
+        other = machine.scheduler.spawn("worker")
+        calls = []
+        machine.scheduler.add_switch_listener(
+            lambda prev, nxt: calls.append((prev.name, nxt.name))
+        )
+        ticks(machine, 2)
+        assert calls
+        assert calls[0][0] != calls[0][1]
+
+    def test_switch_retires_kernel_work(self):
+        machine = Machine(seed=1, io_interrupts=False, quantum_ticks=1)
+        machine.scheduler.spawn("worker")
+        from repro.cpu.events import Event, PrivFilter
+        from repro.cpu.pmu import CounterConfig
+
+        # Use the last counter so perfctr's own hooks don't disturb it.
+        idx = machine.core.pmu.n_programmable - 1
+        machine.core.pmu.program(
+            idx, CounterConfig(Event.INSTR_RETIRED, PrivFilter.OS, True)
+        )
+        baseline_ticks = 3
+        ticks(machine, baseline_ticks)
+        counted = machine.core.pmu.read(idx)
+        floor = baseline_ticks * machine.build.tick_instructions()
+        assert counted >= floor + machine.build.costs.context_switch

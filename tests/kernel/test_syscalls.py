@@ -1,0 +1,113 @@
+"""Unit tests for repro.kernel.syscalls and the Machine round trip."""
+
+import pytest
+
+from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.pmu import CounterConfig
+from repro.errors import ConfigurationError, MachineStateError, SyscallError
+from repro.kernel.syscalls import SyscallTable
+from repro.kernel.system import Machine
+
+
+class TestSyscallTable:
+    def test_register_and_dispatch(self):
+        table = SyscallTable()
+        table.register(400, "do_thing", lambda x: x + 1)
+        assert table.dispatch(400, 41) == 42
+        assert table.invocations[400] == 1
+
+    def test_duplicate_number_rejected(self):
+        table = SyscallTable()
+        table.register(400, "a", lambda: None)
+        with pytest.raises(SyscallError, match="already registered"):
+            table.register(400, "b", lambda: None)
+
+    def test_unknown_number(self):
+        with pytest.raises(SyscallError, match="unknown syscall"):
+            SyscallTable().dispatch(999)
+
+    def test_name_lookup(self):
+        table = SyscallTable()
+        table.register(7, "seven", lambda: None)
+        assert table.name_of(7) == "seven"
+        assert table.registered() == {7: "seven"}
+
+
+class TestMachineSyscall:
+    def test_round_trip_returns_handler_value(self):
+        machine = Machine(io_interrupts=False)
+        machine.syscalls.register(500, "echo", lambda v: v * 2)
+        assert machine.syscall(500, 21) == 42
+
+    def test_mode_restored_after_syscall(self):
+        machine = Machine(io_interrupts=False)
+        machine.syscalls.register(500, "noop", lambda: None)
+        machine.syscall(500)
+        assert machine.core.mode is PrivLevel.USER
+
+    def test_mode_restored_after_handler_failure(self):
+        machine = Machine(io_interrupts=False)
+
+        def boom():
+            raise SyscallError("nope")
+
+        machine.syscalls.register(501, "boom", boom)
+        with pytest.raises(SyscallError):
+            machine.syscall(501)
+        assert machine.core.mode is PrivLevel.USER
+
+    def test_nested_syscall_rejected(self):
+        machine = Machine(io_interrupts=False)
+        machine.syscalls.register(502, "inner", lambda: None)
+        machine.syscalls.register(
+            503, "outer", lambda: machine.syscall(502)
+        )
+        with pytest.raises(MachineStateError, match="kernel mode"):
+            machine.syscall(503)
+
+    def test_entry_exit_paths_visible_to_os_counter(self):
+        machine = Machine(kernel="vanilla", io_interrupts=False)
+        machine.syscalls.register(504, "noop", lambda: None)
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.OS, True))
+        machine.syscall(504)
+        costs = machine.build.costs
+        # entry + exit + the sysexit instruction
+        assert pmu.read(0) == costs.syscall_entry + costs.syscall_exit + 1
+
+    def test_user_counter_sees_only_trap_instruction(self):
+        machine = Machine(kernel="vanilla", io_interrupts=False)
+        machine.syscalls.register(505, "noop", lambda: None)
+        pmu = machine.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR, True))
+        machine.syscall(505)
+        assert pmu.read(0) == 1  # the sysenter retires at user level
+
+
+class TestMachineConstruction:
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            Machine(kernel="solaris")
+
+    def test_unknown_processor(self):
+        with pytest.raises(ConfigurationError, match="unknown processor"):
+            Machine(processor="G5")
+
+    @pytest.mark.parametrize(
+        "kernel,ext_name",
+        [("perfctr", "perfctr"), ("perfmon", "perfmon"), ("vanilla", None)],
+    )
+    def test_extension_installed(self, kernel, ext_name):
+        machine = Machine(kernel=kernel, io_interrupts=False)
+        if ext_name is None:
+            assert machine.extension is None
+        else:
+            assert machine.extension.name == ext_name
+
+    def test_boots_in_user_mode(self):
+        assert Machine(io_interrupts=False).core.mode is PrivLevel.USER
+
+    def test_properties(self):
+        machine = Machine(processor="K8", kernel="perfmon", io_interrupts=False)
+        assert machine.processor_key == "K8"
+        assert machine.kernel_name == "perfmon"

@@ -1,0 +1,73 @@
+"""Dedicated tests for Machine construction variants."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.cpu.frequency import Governor
+from repro.cpu.models import microarch
+from repro.errors import ConfigurationError
+from repro.kernel.calibration import PERFCTR_BUILD, VANILLA_BUILD
+from repro.kernel.system import Machine
+
+
+class TestCustomBuilds:
+    def test_custom_build_instance_accepted(self):
+        build = replace(PERFCTR_BUILD, name="perfctr-custom", hz=500)
+        machine = Machine(kernel=build, io_interrupts=False)
+        assert machine.build.hz == 500
+        assert machine.kernel_name == "perfctr-custom"
+
+    def test_custom_perfctr_build_installs_extension(self):
+        build = replace(PERFCTR_BUILD, name="perfctr-hz100", hz=100)
+        machine = Machine(kernel=build, io_interrupts=False)
+        assert machine.extension is not None
+        assert machine.substrate_name == "perfctr"
+
+    def test_custom_vanilla_build_has_no_extension(self):
+        build = replace(VANILLA_BUILD, name="vanilla-x")
+        machine = Machine(kernel=build, io_interrupts=False)
+        assert machine.extension is None
+        assert machine.substrate_name is None
+
+
+class TestCustomProcessors:
+    def test_microarch_instance_accepted(self):
+        flat = replace(microarch("K8"), alias_penalties=(0.0,))
+        machine = Machine(processor=flat, kernel="perfmon",
+                          io_interrupts=False)
+        assert machine.uarch.alias_penalties == (0.0,)
+        assert machine.processor_key == "K8"
+
+    def test_skid_follows_uarch_key(self):
+        machine = Machine(processor=microarch("PD"), kernel="perfctr",
+                          io_interrupts=False)
+        expected = machine.build.skid_for("PD")
+        assert machine.core.skid_bias == expected.bias
+        assert machine.core.skid_magnitude == expected.magnitude
+
+
+class TestBootOptions:
+    def test_loop_warmup_flag(self):
+        warm = Machine(io_interrupts=False, loop_warmup=True)
+        cold = Machine(io_interrupts=False, loop_warmup=False)
+        assert warm.core.loop_warmup_cycles > 0
+        assert cold.core.loop_warmup_cycles == 0.0
+
+    def test_governor_forwarded(self):
+        machine = Machine(processor="PD", governor=Governor.POWERSAVE,
+                          io_interrupts=False)
+        assert machine.core.freq.current_hz == min(
+            machine.uarch.p_states_hz()
+        )
+
+    @pytest.mark.parametrize(
+        "kernel,expected", [("perfctr", "perfctr"), ("perfmon", "perfmon"),
+                            ("vanilla", None)]
+    )
+    def test_substrate_name(self, kernel, expected):
+        assert Machine(kernel=kernel, io_interrupts=False).substrate_name == expected
+
+    def test_unknown_kernel_string_still_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            Machine(kernel="hurd")
