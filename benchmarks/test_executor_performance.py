@@ -1,0 +1,91 @@
+"""Benches of the execution engine (plan → executor → cache).
+
+Timings of a mid-size factorial sweep under each execution strategy:
+serial, process-pool parallel, and cache-warm replay.  They guard the
+two claims the engine makes — parallelism helps on multi-core hosts
+(``reproduce figure1 --jobs 4`` vs ``--jobs 1``), and a warm cache makes
+re-runs nearly free — without ever changing results, which
+``tests/exec/test_executor.py`` proves separately.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import Mode
+from repro.core.sweep import SweepSpec
+from repro.exec import ParallelExecutor, ResultCache, SerialExecutor
+
+
+def mid_size_plan(base_seed: int = 0):
+    """~1400 null measurements — figure-1 scale."""
+    return SweepSpec(
+        processors=("PD", "CD", "K8"),
+        modes=(Mode.USER, Mode.USER_KERNEL),
+        repeats=3,
+        base_seed=base_seed,
+        io_interrupts=False,
+    ).plan()
+
+
+def test_serial_sweep(benchmark):
+    plan = mid_size_plan()
+    table = benchmark.pedantic(
+        SerialExecutor(cache=None).run, args=(plan,), rounds=3, iterations=1
+    )
+    assert len(table) == len(plan)
+
+
+def test_parallel_sweep(benchmark):
+    plan = mid_size_plan()
+    executor = ParallelExecutor(max_workers=4, cache=None)
+    table = benchmark.pedantic(
+        executor.run, args=(plan,), rounds=3, iterations=1
+    )
+    assert len(table) == len(plan)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel speedup needs more than one core",
+)
+def test_parallel_is_measurably_faster_than_serial():
+    """The --jobs 4 vs --jobs 1 contrast from the CLI, timed directly."""
+    plan = mid_size_plan(base_seed=1)
+    start = time.perf_counter()
+    serial = SerialExecutor(cache=None).run(plan)
+    serial_s = time.perf_counter() - start
+
+    executor = ParallelExecutor(max_workers=4, cache=None)
+    start = time.perf_counter()
+    parallel = executor.run(plan)
+    parallel_s = time.perf_counter() - start
+
+    assert serial.to_csv() == parallel.to_csv()
+    assert parallel_s < serial_s
+
+
+def test_cold_cache_sweep(benchmark):
+    """Cache enabled but empty every round: pure store overhead."""
+    plan = mid_size_plan(base_seed=2)
+
+    def run_cold():
+        return SerialExecutor(cache=ResultCache()).run(plan)
+
+    table = benchmark.pedantic(run_cold, rounds=3, iterations=1)
+    assert len(table) == len(plan)
+
+
+def test_warm_cache_sweep(benchmark):
+    """Every result already cached: replay must be nearly free."""
+    plan = mid_size_plan(base_seed=2)
+    cache = ResultCache()
+    SerialExecutor(cache=cache).run(plan)  # populate
+
+    executor = SerialExecutor(cache=cache)
+    table = benchmark.pedantic(
+        executor.run, args=(plan,), rounds=3, iterations=1
+    )
+    assert len(table) == len(plan)
+    assert cache.stats.hits >= len(plan)

@@ -19,7 +19,7 @@ WORK_CHUNK = 100_000
 def main() -> None:
     machine = Machine(processor="K8", kernel="perfctr", seed=17,
                       io_interrupts=False, quantum_ticks=1)
-    other = machine.scheduler.spawn("unmonitored-worker")
+    machine.scheduler.spawn("unmonitored-worker")
 
     lib = LibPerfctr(machine)
     lib.open()

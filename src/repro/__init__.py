@@ -56,25 +56,47 @@ from repro.kernel import Machine
 
 __version__ = "1.0.0"
 
+# Imported after __version__ because cache keys embed the version.
+from repro.exec import (  # noqa: E402
+    BenchmarkSpec,
+    LoopSweepSpec,
+    MeasurementJob,
+    MeasurementPlan,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    get_executor,
+    set_default_jobs,
+)
+
 __all__ = [
+    "BenchmarkSpec",
     "Event",
     "LoopBenchmark",
+    "LoopSweepSpec",
     "Machine",
     "MeasurementConfig",
+    "MeasurementJob",
+    "MeasurementPlan",
     "MeasurementResult",
     "Mode",
     "NullBenchmark",
     "OptLevel",
+    "ParallelExecutor",
     "Pattern",
     "PrivFilter",
     "ReproError",
+    "ResultCache",
     "ResultTable",
+    "SerialExecutor",
     "StridedLoadBenchmark",
     "SweepSpec",
     "anova_n_way",
     "box_summary",
     "fit_line",
+    "get_executor",
     "run_measurement",
     "run_sweep",
+    "set_default_jobs",
     "__version__",
 ]

@@ -4,9 +4,14 @@ Usage::
 
     python -m repro list
     python -m repro reproduce figure4
-    python -m repro reproduce all --repeats 2
+    python -m repro reproduce all --repeats 2 --jobs 4
+    python -m repro reproduce figure1 --cache-dir .repro-cache
     python -m repro measure --processor K8 --infra pm --pattern rr \
         --mode user --loop 100000
+
+``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
+processes (results are bit-identical to a serial run), ``--no-cache`` to
+bypass the result cache, and ``--cache-dir`` to persist results on disk.
 """
 
 from __future__ import annotations
@@ -19,6 +24,8 @@ from typing import Sequence
 from repro.core.benchmarks import LoopBenchmark, NullBenchmark
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
+from repro.errors import ConfigurationError
+from repro.exec import configure_default_cache, resolve_jobs, set_default_jobs
 from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS, EXTENSIONS
 
 _PATTERNS_BY_SHORT = {p.short: p for p in Pattern}
@@ -50,6 +57,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument(
         "--seed", type=int, default=0, help="base seed for the sweep"
+    )
+    reproduce.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for measurement plans (default: REPRO_JOBS "
+            "or 1; results are identical for any value)"
+        ),
+    )
+    reproduce.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the in-memory/on-disk result cache",
+    )
+    reproduce.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist measurement results under DIR (content-addressed)",
     )
 
     measure = sub.add_parser(
@@ -176,6 +198,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "reproduce":
+        try:
+            set_default_jobs(args.jobs)
+            resolve_jobs()  # surface a bad REPRO_JOBS before running
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.no_cache or args.cache_dir:
+            configure_default_cache(
+                enabled=not args.no_cache, disk_dir=args.cache_dir
+            )
         return _cmd_reproduce(args.artifact, args.repeats, args.seed)
     if args.command == "measure":
         return _cmd_measure(args)

@@ -134,9 +134,6 @@ class StridedLoadBenchmark(Benchmark):
         header = Chunk(
             WorkVector(instructions=2), label="strided-header", size_bytes=10
         )
-        per_element = WorkVector(
-            instructions=4, branches=1, taken_branches=1, loads=1
-        )
         # Group elements into line-sized periods: one miss per period.
         period = max(1, line_bytes // stride_bytes)
         if stride_bytes >= line_bytes:

@@ -1,26 +1,32 @@
 """Factorial sweeps over the study's configuration space.
 
-``run_sweep`` is what regenerates the paper's figures: it enumerates a
-cartesian product of factors, skips the combinations that cannot exist
-(PAPI high level × read patterns; more counters than a processor has;
-TSC-off outside direct perfctr), runs each with ``repeats`` differently
-seeded machines, and collects everything into a
-:class:`~repro.analysis.table.ResultTable`.
+:func:`iter_configs` is the single source of truth for the study's
+factor space: it enumerates a cartesian product of factors and skips
+the combinations that cannot exist (PAPI high level × read patterns;
+more counters than a processor has; TSC-off outside direct perfctr),
+deriving a stable per-cell seed for each.
+
+Execution lives in :mod:`repro.exec`: :meth:`SweepSpec.plan` turns a
+spec into a declarative :class:`~repro.exec.plan.MeasurementPlan`, and
+:func:`run_sweep` remains as the one-call convenience that plans the
+sweep and runs it on the currently configured executor.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.analysis.table import ResultTable
-from repro.core.benchmarks import Benchmark, NullBenchmark
-from repro.core.compiler import OptLevel
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
-from repro.core.measurement import run_measurement
+from repro.core.compiler import OptLevel
 from repro.cpu.models import ALL_PROCESSORS
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.executor import Executor
+    from repro.exec.plan import BenchmarkSpec, MeasurementPlan
 
 
 @dataclass(frozen=True)
@@ -41,6 +47,12 @@ class SweepSpec:
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ConfigurationError(f"repeats must be >= 1, got {self.repeats}")
+
+    def plan(self, benchmark: "BenchmarkSpec | None" = None) -> "MeasurementPlan":
+        """This sweep as a declarative plan (one job per configuration)."""
+        from repro.exec.plan import sweep_plan
+
+        return sweep_plan(self, benchmark)
 
 
 def config_seed(base_seed: int, *factors: object) -> int:
@@ -86,32 +98,16 @@ def iter_configs(spec: SweepSpec) -> Iterator[MeasurementConfig]:
 
 def run_sweep(
     spec: SweepSpec,
-    benchmark_factory: Callable[[], Benchmark] = NullBenchmark,
+    benchmark: "BenchmarkSpec | None" = None,
     progress: Callable[[int], None] | None = None,
+    executor: "Executor | None" = None,
 ) -> ResultTable:
-    """Run every configuration of the sweep; one table row each."""
-    table = ResultTable()
-    benchmark = benchmark_factory()
-    for index, config in enumerate(iter_configs(spec)):
-        result = run_measurement(config, benchmark)
-        table.append(
-            {
-                "processor": config.processor,
-                "infra": config.infra,
-                "pattern": config.pattern.short,
-                "mode": config.mode.value,
-                "opt": config.opt_level.value,
-                "n_counters": config.n_counters,
-                "tsc": config.tsc,
-                "seed": config.seed,
-                "benchmark": result.benchmark_name,
-                "measured": result.measured,
-                "expected": result.expected,
-                "error": result.error,
-                "ticks": result.ticks,
-                "address": result.benchmark_address,
-            }
-        )
-        if progress is not None:
-            progress(index)
-    return table
+    """Run every configuration of the sweep; one table row each.
+
+    Convenience wrapper over the plan/executor split: equivalent to
+    ``(executor or get_executor()).run(spec.plan(benchmark))``.
+    """
+    from repro.exec.executor import get_executor
+
+    runner = executor if executor is not None else get_executor()
+    return runner.run(spec.plan(benchmark), progress=progress)

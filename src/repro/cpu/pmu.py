@@ -15,7 +15,7 @@ is the job of the kernel extensions (:mod:`repro.perfctr`,
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable
 
 from repro.cpu.events import Event, PrivFilter, PrivLevel

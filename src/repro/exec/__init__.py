@@ -1,0 +1,75 @@
+"""The measurement execution engine: plans, executors, result cache.
+
+Three layers, replacing the hand-rolled loops the experiments used to
+carry individually:
+
+* **plan** (:mod:`repro.exec.plan`) — declarative descriptions of what
+  to measure: :class:`BenchmarkSpec`, :class:`MeasurementJob`,
+  :class:`MeasurementPlan`, and the builders :func:`sweep_plan` /
+  :class:`LoopSweepSpec`;
+* **executor** (:mod:`repro.exec.executor`) — :class:`SerialExecutor`
+  and the process-pool :class:`ParallelExecutor` behind a common
+  :class:`Executor` interface, selected by :func:`get_executor`
+  (``--jobs`` / ``REPRO_JOBS``), with identical results guaranteed by
+  per-job seeding;
+* **cache** (:mod:`repro.exec.cache`) — a content-addressed
+  :class:`ResultCache` (in-memory LRU + optional ``.repro-cache/``
+  disk store) keyed on (config, benchmark identity, seed, code
+  version), so overlapping sweeps share rows instead of recomputing
+  them.
+
+Typical use::
+
+    from repro.core.sweep import SweepSpec
+    from repro.exec import get_executor
+
+    table = get_executor(jobs=4).run(SweepSpec(repeats=2).plan())
+"""
+
+from repro.exec.cache import (
+    CacheStats,
+    ResultCache,
+    code_version,
+    configure_default_cache,
+    default_cache,
+    stable_token,
+)
+from repro.exec.executor import (
+    Executor,
+    Job,
+    ParallelExecutor,
+    SerialExecutor,
+    get_executor,
+    resolve_jobs,
+    set_default_jobs,
+)
+from repro.exec.plan import (
+    LOOP_SIZES,
+    BenchmarkSpec,
+    LoopSweepSpec,
+    MeasurementJob,
+    MeasurementPlan,
+    sweep_plan,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "CacheStats",
+    "Executor",
+    "Job",
+    "LOOP_SIZES",
+    "LoopSweepSpec",
+    "MeasurementJob",
+    "MeasurementPlan",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "code_version",
+    "configure_default_cache",
+    "default_cache",
+    "get_executor",
+    "resolve_jobs",
+    "set_default_jobs",
+    "stable_token",
+    "sweep_plan",
+]

@@ -1,0 +1,205 @@
+"""The executor layer: running plans serially or across processes.
+
+An :class:`Executor` takes jobs (usually a whole
+:class:`~repro.exec.plan.MeasurementPlan`) and returns their results in
+plan order.  Two implementations:
+
+* :class:`SerialExecutor` — one process, jobs in order;
+* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out.
+
+Both are **deterministic and interchangeable**: every job carries its
+complete seed (derived per configuration by ``config_seed``), each
+measurement boots its own machine, and results are reassembled in plan
+order — so serial, parallel, cached, and uncached runs produce
+byte-identical tables.  ``tests/exec/test_executor.py`` proves this.
+
+The executor consults the shared :mod:`result cache <repro.exec.cache>`
+before running anything: jobs whose content address is already known
+are never re-executed.
+
+Worker-count resolution, in precedence order: an explicit argument,
+:func:`set_default_jobs` (the CLI's ``--jobs``), the ``REPRO_JOBS``
+environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
+
+from repro.analysis.table import ResultTable
+from repro.errors import ConfigurationError
+from repro.exec.cache import ResultCache, default_cache
+from repro.exec.plan import MeasurementPlan
+
+#: Sentinel: "use the process-wide default cache" (pass None to disable).
+_DEFAULT = object()
+
+
+@runtime_checkable
+class Job(Protocol):
+    """Anything an executor can run: measurement jobs, ablation probes…
+
+    ``execute`` must be a pure function of the job's own (picklable)
+    state, and the result must be picklable.  Implement ``cache_token``
+    to opt into result caching; omit it (or return None) to always run.
+    """
+
+    def execute(self) -> Any:  # pragma: no cover - protocol
+        ...
+
+
+def _execute_job(job: Job) -> Any:
+    """Module-level worker entry point (picklable by reference)."""
+    return job.execute()
+
+
+def _token_of(job: Job) -> str | None:
+    token_fn = getattr(job, "cache_token", None)
+    return token_fn() if callable(token_fn) else None
+
+
+class Executor(abc.ABC):
+    """Common engine: cache partition, execution, reassembly."""
+
+    def __init__(self, cache: "ResultCache | None | object" = _DEFAULT) -> None:
+        self.cache = default_cache() if cache is _DEFAULT else cache
+
+    @abc.abstractmethod
+    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
+        """Run jobs, returning results in the given order."""
+
+    def map(
+        self,
+        jobs: Iterable[Job],
+        progress: Callable[[int], None] | None = None,
+    ) -> list[Any]:
+        """Results for every job, in order, reusing cached results.
+
+        ``progress`` is called with each job's plan index once its
+        result is available (all indices, in order).
+        """
+        jobs = list(jobs)
+        results: list[Any] = [None] * len(jobs)
+        pending: list[int] = []
+        tokens: list[str | None] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            token = _token_of(job) if self.cache is not None else None
+            tokens[index] = token
+            cached = self.cache.get(token) if token is not None else None
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if pending:
+            fresh = self._execute([jobs[i] for i in pending])
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if self.cache is not None and tokens[index] is not None:
+                    self.cache.put(tokens[index], result)
+        if progress is not None:
+            for index in range(len(jobs)):
+                progress(index)
+        return results
+
+    def run(
+        self,
+        plan: MeasurementPlan,
+        progress: Callable[[int], None] | None = None,
+    ) -> ResultTable:
+        """Execute a plan and tabulate its rows (in plan order)."""
+        return plan.table(self.map(plan.jobs, progress=progress))
+
+
+class SerialExecutor(Executor):
+    """Runs every job in the coordinating process, in plan order."""
+
+    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
+        return [job.execute() for job in jobs]
+
+
+class ParallelExecutor(Executor):
+    """Fans jobs out over a process pool.
+
+    Results are identical to :class:`SerialExecutor`'s because every
+    job is fully seeded and boots its own machine; only wall-clock time
+    differs.  Small batches fall back to in-process execution so the
+    pool's startup cost is never paid for a handful of jobs.
+    """
+
+    #: Below this many jobs the pool costs more than it saves.
+    MIN_BATCH = 8
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache: "ResultCache | None | object" = _DEFAULT,
+        chunksize: int | None = None,
+    ) -> None:
+        super().__init__(cache)
+        workers = resolve_jobs(max_workers)
+        if workers <= 1:
+            workers = os.cpu_count() or 2
+        self.max_workers = workers
+        self.chunksize = chunksize
+
+    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
+        if len(jobs) < max(self.MIN_BATCH, 2):
+            return [job.execute() for job in jobs]
+        workers = min(self.max_workers, len(jobs))
+        chunk = self.chunksize or max(1, len(jobs) // (workers * 4))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_job, jobs, chunksize=chunk))
+
+
+# -- worker-count resolution ----------------------------------------------
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process-wide worker count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(explicit: int | None = None) -> int:
+    """Worker count: explicit arg > set_default_jobs > $REPRO_JOBS > 1."""
+    for candidate in (explicit, _default_jobs):
+        if candidate is not None:
+            if candidate < 1:
+                raise ConfigurationError(
+                    f"jobs must be >= 1, got {candidate}"
+                )
+            return candidate
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ConfigurationError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return 1
+
+
+def get_executor(
+    jobs: int | None = None,
+    cache: "ResultCache | None | object" = _DEFAULT,
+) -> Executor:
+    """The executor the current settings call for.
+
+    ``jobs == 1`` (the default) gives the serial executor; anything
+    higher a process pool of that size.
+    """
+    n = resolve_jobs(jobs)
+    if n <= 1:
+        return SerialExecutor(cache=cache)
+    return ParallelExecutor(max_workers=n, cache=cache)

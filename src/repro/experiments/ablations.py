@@ -12,15 +12,14 @@ corresponding paper result follows it:
 
 from __future__ import annotations
 
-from dataclasses import replace
-
-import numpy as np
+from dataclasses import dataclass, replace
 
 from repro.analysis.regression import LinearFit, fit_line
 from repro.core.benchmarks import LoopBenchmark
 from repro.core.sweep import config_seed
 from repro.cpu.events import Event, PrivFilter
 from repro.cpu.models import microarch
+from repro.exec import get_executor, stable_token
 from repro.kernel.calibration import PERFCTR_BUILD, KernelBuildConfig
 from repro.kernel.system import Machine
 from repro.perfctr.libperfctr import LibPerfctr
@@ -41,6 +40,32 @@ def _loop_error(
     return measured - benchmark.expected_instructions
 
 
+@dataclass(frozen=True)
+class _SlopeJob:
+    """One loop-error measurement under an ablated kernel build."""
+
+    build: KernelBuildConfig
+    priv: PrivFilter
+    size: int
+    seed: int
+    processor: str
+
+    def execute(self) -> int:
+        machine = Machine(
+            processor=self.processor,
+            kernel=self.build,
+            seed=self.seed,
+            io_interrupts=False,
+        )
+        return _loop_error(machine, self.size, self.priv)
+
+    def cache_token(self) -> str:
+        return stable_token(
+            "ablation-slope", repr(self.build), self.priv.value,
+            self.size, self.seed, self.processor,
+        )
+
+
 def _slope_for_build(
     build: KernelBuildConfig,
     priv: PrivFilter,
@@ -48,18 +73,17 @@ def _slope_for_build(
     base_seed: int,
     processor: str = "CD",
 ) -> LinearFit:
-    xs, ys = [], []
-    for size in _SIZES:
-        for repeat in range(repeats):
-            machine = Machine(
-                processor=processor,
-                kernel=build,
-                seed=config_seed(base_seed, build.name, size, repeat),
-                io_interrupts=False,
-            )
-            xs.append(size)
-            ys.append(_loop_error(machine, size, priv))
-    return fit_line(xs, ys)
+    jobs = [
+        _SlopeJob(
+            build=build, priv=priv, size=size,
+            seed=config_seed(base_seed, build.name, size, repeat),
+            processor=processor,
+        )
+        for size in _SIZES
+        for repeat in range(repeats)
+    ]
+    errors = get_executor().map(jobs)
+    return fit_line([job.size for job in jobs], errors)
 
 
 def duration_slope_vs_hz(
@@ -102,6 +126,40 @@ def skid_ablation(
     return {"with_skid": with_skid, "without_skid": without}
 
 
+@dataclass(frozen=True)
+class _PlacementJob:
+    """One loop CPI at an address offset, with or without BTB aliasing."""
+
+    label: str
+    offset: int
+    seed: int
+
+    def execute(self) -> float:
+        uarch = microarch("K8")
+        if self.label == "flat":
+            uarch = replace(uarch, alias_penalties=(0.0,))
+        machine = Machine(
+            processor=uarch,
+            kernel="perfctr",
+            seed=self.seed,
+            io_interrupts=False,
+            loop_warmup=False,
+        )
+        machine.controller.enabled = False
+        lib = LibPerfctr(machine)
+        lib.open()
+        lib.control(((Event.CYCLES, PrivFilter.ALL),), tsc_on=True)
+        before = lib.read().pmcs[0]
+        LoopBenchmark(100_000).run(machine, address=0x0804_9000 + self.offset)
+        after = lib.read().pmcs[0]
+        return round((after - before) / 100_000, 1)
+
+    def cache_token(self) -> str:
+        return stable_token(
+            "ablation-placement", self.label, self.offset, self.seed
+        )
+
+
 def placement_ablation(base_seed: int = 0) -> dict[str, tuple[float, ...]]:
     """K8 loop CPIs with the BTB-alias model on vs flattened.
 
@@ -110,25 +168,15 @@ def placement_ablation(base_seed: int = 0) -> dict[str, tuple[float, ...]]:
     sole source of the c=2i / c=3i split.
     """
     results: dict[str, tuple[float, ...]] = {}
-    flat = replace(microarch("K8"), alias_penalties=(0.0,))
-    for label, uarch in (("aliasing", microarch("K8")), ("flat", flat)):
-        cpis = []
+    for label in ("aliasing", "flat"):
         # Sweep addresses the way different binaries would place the loop.
-        for offset in range(0, 64 * 16, 16):
-            machine = Machine(
-                processor=uarch,
-                kernel="perfctr",
+        jobs = [
+            _PlacementJob(
+                label=label, offset=offset,
                 seed=config_seed(base_seed, label, offset),
-                io_interrupts=False,
-                loop_warmup=False,
             )
-            machine.controller.enabled = False
-            lib = LibPerfctr(machine)
-            lib.open()
-            lib.control(((Event.CYCLES, PrivFilter.ALL),), tsc_on=True)
-            before = lib.read().pmcs[0]
-            LoopBenchmark(100_000).run(machine, address=0x0804_9000 + offset)
-            after = lib.read().pmcs[0]
-            cpis.append(round((after - before) / 100_000, 1))
+            for offset in range(0, 64 * 16, 16)
+        ]
+        cpis = get_executor().map(jobs)
         results[label] = tuple(sorted(set(cpis)))
     return results

@@ -5,15 +5,12 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.analysis.table import ResultTable
-from repro.core.benchmarks import LoopBenchmark
 from repro.core.compiler import OptLevel
-from repro.core.config import MeasurementConfig, Mode, Pattern
-from repro.core.measurement import run_measurement
-from repro.core.sweep import config_seed
+from repro.core.config import Mode, Pattern
 from repro.cpu.events import Event
+from repro.exec import LOOP_SIZES, LoopSweepSpec, get_executor
 
-#: Loop sizes the paper's Section 5/6 figures sweep (up to one million).
-LOOP_SIZES = (1, 25_000, 50_000, 75_000, 100_000, 250_000, 500_000, 750_000, 1_000_000)
+__all__ = ["LOOP_SIZES", "fmt", "loop_error_rows"]
 
 
 def loop_error_rows(
@@ -29,51 +26,21 @@ def loop_error_rows(
 ) -> ResultTable:
     """Measure the loop benchmark across sizes; one row per run.
 
-    This is the common engine behind Figures 7–12: the same loop, a
-    range of iteration counts, and differently seeded machines per
-    repeat so interrupt phases vary as they would across real runs.
+    Thin wrapper over :class:`repro.exec.LoopSweepSpec` — the common
+    engine behind Figures 7–12 — run on the configured executor.
     """
-    table = ResultTable()
-    benchmarks = {size: LoopBenchmark(size) for size in sizes}
-    for processor in processors:
-        for infra in infras:
-            for opt in opt_levels:
-                for size, benchmark in benchmarks.items():
-                    for repeat in range(repeats):
-                        seed = config_seed(
-                            base_seed, processor, infra, mode.value,
-                            opt.value, size, repeat, primary_event.value,
-                        )
-                        config = MeasurementConfig(
-                            processor=processor,
-                            infra=infra,
-                            pattern=pattern,
-                            mode=mode,
-                            opt_level=opt,
-                            primary_event=primary_event,
-                            seed=seed,
-                        )
-                        result = run_measurement(config, benchmark)
-                        table.append(
-                            {
-                                "processor": processor,
-                                "infra": infra,
-                                "pattern": pattern.short,
-                                "mode": mode.value,
-                                "opt": opt.value,
-                                "size": size,
-                                "repeat": repeat,
-                                "measured": result.measured,
-                                "expected": result.expected,
-                                "error": (
-                                    result.error
-                                    if result.expected is not None
-                                    else None
-                                ),
-                                "address": result.benchmark_address,
-                            }
-                        )
-    return table
+    spec = LoopSweepSpec(
+        processors=tuple(processors),
+        infras=tuple(infras),
+        mode=mode,
+        sizes=tuple(sizes),
+        repeats=repeats,
+        pattern=pattern,
+        opt_levels=tuple(opt_levels),
+        primary_event=primary_event,
+        base_seed=base_seed,
+    )
+    return get_executor().run(spec.plan())
 
 
 def fmt(value: float, digits: int = 1) -> str:

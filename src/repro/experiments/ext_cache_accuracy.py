@@ -24,49 +24,53 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.table import ResultTable
-from repro.core.benchmarks import StridedLoadBenchmark
 from repro.core.config import MeasurementConfig, Mode, Pattern
-from repro.core.measurement import run_measurement
 from repro.core.sweep import config_seed
 from repro.cpu.events import Event
+from repro.exec import BenchmarkSpec, MeasurementJob, MeasurementPlan, get_executor
 from repro.experiments.base import ExperimentResult
 
 STRIDES = (4, 16, 64, 128)
 ELEMENTS = 1_000_000
 
 
+def _row(job, result):
+    assert result.expected is not None
+    tags = dict(job.tags)
+    return {
+        "stride": tags["stride"],
+        "event": tags["event"],
+        "expected": result.expected,
+        "measured": result.measured,
+        "error": result.error,
+        "relative_error": (
+            result.error / result.expected
+            if result.expected
+            else float("inf")
+        ),
+    }
+
+
 def run(repeats: int = 5, base_seed: int = 0) -> ExperimentResult:
     """Instruction-count vs miss-count accuracy across strides."""
-    table = ResultTable()
-    for stride in STRIDES:
-        benchmark = StridedLoadBenchmark(ELEMENTS, stride_bytes=stride)
-        for event in (Event.INSTR_RETIRED, Event.DCACHE_MISSES):
-            for repeat in range(repeats):
-                config = MeasurementConfig(
-                    processor="K8",
-                    infra="pc",
-                    pattern=Pattern.START_READ,
-                    mode=Mode.USER_KERNEL,
-                    primary_event=event,
-                    seed=config_seed(base_seed, stride, event.value, repeat),
-                )
-                result = run_measurement(config, benchmark)
-                assert result.expected is not None
-                table.append(
-                    {
-                        "stride": stride,
-                        "event": event.value,
-                        "expected": result.expected,
-                        "measured": result.measured,
-                        "error": result.error,
-                        "relative_error": (
-                            result.error / result.expected
-                            if result.expected
-                            else float("inf")
-                        ),
-                    }
-                )
+    jobs = tuple(
+        MeasurementJob(
+            config=MeasurementConfig(
+                processor="K8",
+                infra="pc",
+                pattern=Pattern.START_READ,
+                mode=Mode.USER_KERNEL,
+                primary_event=event,
+                seed=config_seed(base_seed, stride, event.value, repeat),
+            ),
+            benchmark=BenchmarkSpec.strided(ELEMENTS, stride_bytes=stride),
+            tags=(("stride", stride), ("event", event.value)),
+        )
+        for stride in STRIDES
+        for event in (Event.INSTR_RETIRED, Event.DCACHE_MISSES)
+        for repeat in range(repeats)
+    )
+    table = get_executor().run(MeasurementPlan(jobs=jobs, row_builder=_row))
 
     lines = [
         f"{'stride':>6} {'event':<16} {'expected':>10} "

@@ -12,12 +12,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.table import ResultTable
-from repro.core.benchmarks import LoopBenchmark
 from repro.core.compensation import calibrate, compensated_error
 from repro.core.config import MeasurementConfig, Mode, Pattern
-from repro.core.measurement import run_measurement
 from repro.core.sweep import config_seed
+from repro.exec import BenchmarkSpec, MeasurementJob, MeasurementPlan, get_executor
 from repro.experiments.base import ExperimentResult
 
 INFRAS = ("pm", "pc", "PLpm", "PLpc")
@@ -26,32 +24,52 @@ SIZES = (10_000, 1_000_000)
 
 def run(repeats: int = 6, base_seed: int = 0) -> ExperimentResult:
     """Raw vs compensated error per infrastructure and mode."""
-    table = ResultTable()
+    # Calibration is adaptive (each probe depends on the config under
+    # test), so it stays sequential; the measurement grid is planned.
+    models = {}
+    jobs = []
     for infra in INFRAS:
         for mode in (Mode.USER, Mode.USER_KERNEL):
             base_config = MeasurementConfig(
                 processor="K8", infra=infra, pattern=Pattern.START_READ,
                 mode=mode, seed=0,
             )
-            model = calibrate(base_config, n_probes=9, base_seed=base_seed)
+            models[(infra, mode.value)] = calibrate(
+                base_config, n_probes=9, base_seed=base_seed
+            )
             for size in SIZES:
-                benchmark = LoopBenchmark(size)
                 for repeat in range(repeats):
                     seed = config_seed(base_seed, infra, mode.value, size, repeat)
-                    config = MeasurementConfig(
-                        processor="K8", infra=infra,
-                        pattern=Pattern.START_READ, mode=mode, seed=seed,
+                    jobs.append(
+                        MeasurementJob(
+                            config=MeasurementConfig(
+                                processor="K8", infra=infra,
+                                pattern=Pattern.START_READ, mode=mode,
+                                seed=seed,
+                            ),
+                            benchmark=BenchmarkSpec.loop(size),
+                            tags=(
+                                ("infra", infra),
+                                ("mode", mode.value),
+                                ("size", size),
+                            ),
+                        )
                     )
-                    result = run_measurement(config, benchmark)
-                    table.append(
-                        {
-                            "infra": infra,
-                            "mode": mode.value,
-                            "size": size,
-                            "raw_error": result.error,
-                            "residual": compensated_error(result, model),
-                        }
-                    )
+
+    def _row(job, result):
+        tags = dict(job.tags)
+        model = models[(tags["infra"], tags["mode"])]
+        return {
+            "infra": tags["infra"],
+            "mode": tags["mode"],
+            "size": tags["size"],
+            "raw_error": result.error,
+            "residual": compensated_error(result, model),
+        }
+
+    table = get_executor().run(
+        MeasurementPlan(jobs=tuple(jobs), row_builder=_row)
+    )
 
     lines = [
         f"{'infra':<6} {'mode':<12} {'size':>9} {'raw |err|':>10} "

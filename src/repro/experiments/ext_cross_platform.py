@@ -15,49 +15,48 @@ are platform-invariant:
 
 from __future__ import annotations
 
-from repro.analysis.table import ResultTable
-from repro.core.benchmarks import LoopBenchmark, NullBenchmark
 from repro.core.config import MeasurementConfig, Mode, Pattern
-from repro.core.measurement import run_measurement
-from repro.core.microsuite import BranchPatternBenchmark, DependencyChainBenchmark
 from repro.core.sweep import config_seed
+from repro.exec import BenchmarkSpec, MeasurementJob, MeasurementPlan, get_executor
 from repro.experiments.base import ExperimentResult
 
 PLATFORMS = ("PD", "CD", "K8", "P3")
 SUITE = (
-    ("null", NullBenchmark),
-    ("loop", lambda: LoopBenchmark(100_000)),
-    ("chain", lambda: DependencyChainBenchmark(50_000)),
-    ("branches", lambda: BranchPatternBenchmark(50_000)),
+    ("null", BenchmarkSpec.null()),
+    ("loop", BenchmarkSpec.loop(100_000)),
+    ("chain", BenchmarkSpec.chain(50_000)),
+    ("branches", BenchmarkSpec.branches(50_000)),
 )
 
 
 def run(base_seed: int = 0) -> ExperimentResult:
     """The portable validation suite across four platforms."""
-    table = ResultTable()
-    for platform in PLATFORMS:
-        for infra in ("pm", "pc", "PLpm", "PHpm"):
-            for bench_name, factory in SUITE:
-                benchmark = factory()
-                config = MeasurementConfig(
-                    processor=platform,
-                    infra=infra,
-                    pattern=Pattern.START_READ,
-                    mode=Mode.USER,
-                    seed=config_seed(base_seed, platform, infra, bench_name),
-                    io_interrupts=False,
-                )
-                result = run_measurement(config, benchmark)
-                table.append(
-                    {
-                        "platform": platform,
-                        "infra": infra,
-                        "benchmark": bench_name,
-                        "expected": result.expected,
-                        "measured": result.measured,
-                        "error": result.error,
-                    }
-                )
+    jobs = tuple(
+        MeasurementJob(
+            config=MeasurementConfig(
+                processor=platform,
+                infra=infra,
+                pattern=Pattern.START_READ,
+                mode=Mode.USER,
+                seed=config_seed(base_seed, platform, infra, bench_name),
+                io_interrupts=False,
+            ),
+            benchmark=spec,
+            tags=(
+                ("platform", platform),
+                ("infra", infra),
+                ("benchmark", bench_name),
+            ),
+        )
+        for platform in PLATFORMS
+        for infra in ("pm", "pc", "PLpm", "PHpm")
+        for bench_name, spec in SUITE
+    )
+    table = get_executor().run(
+        MeasurementPlan(
+            jobs=jobs, result_fields=("expected", "measured", "error")
+        )
+    )
 
     lines = [
         f"{'platform':<9} {'infra':<6} "

@@ -10,12 +10,15 @@ governor produces the variability the paper warns about.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.analysis.table import ResultTable
 from repro.core.benchmarks import StridedLoadBenchmark
 from repro.cpu.events import Event, PrivFilter
 from repro.cpu.frequency import Governor
+from repro.exec import get_executor, stable_token
 from repro.experiments.base import ExperimentResult
 from repro.isa.work import WorkVector
 from repro.kernel.system import Machine
@@ -26,32 +29,46 @@ ELEMENTS = 2_000_000
 WARMUP_SECONDS = 0.5
 
 
-def _cycles_once(governor: Governor, seed: int) -> int:
-    machine = Machine(processor="PD", kernel="perfctr", seed=seed,
-                      governor=governor)
-    machine.core.retire(
-        WorkVector.zero(),
-        cycles=WARMUP_SECONDS * machine.core.freq.current_hz,
-    )
-    lib = LibPerfctr(machine)
-    lib.open()
-    lib.control(((Event.CYCLES, PrivFilter.ALL),), tsc_on=True)
-    StridedLoadBenchmark(ELEMENTS).run(machine, address=0x0804_9000)
-    return lib.read().pmcs[0]
+@dataclass(frozen=True)
+class _GovernorJob:
+    """One cycle measurement of the strided loop under a governor."""
+
+    governor: Governor
+    run: int
+    seed: int
+
+    def execute(self) -> dict:
+        machine = Machine(processor="PD", kernel="perfctr", seed=self.seed,
+                          governor=self.governor)
+        machine.core.retire(
+            WorkVector.zero(),
+            cycles=WARMUP_SECONDS * machine.core.freq.current_hz,
+        )
+        lib = LibPerfctr(machine)
+        lib.open()
+        lib.control(((Event.CYCLES, PrivFilter.ALL),), tsc_on=True)
+        StridedLoadBenchmark(ELEMENTS).run(machine, address=0x0804_9000)
+        return {
+            "governor": self.governor.value,
+            "run": self.run,
+            "cycles": lib.read().pmcs[0],
+        }
+
+    def cache_token(self) -> str:
+        return stable_token(
+            "governor-cycles", self.governor.value, self.run, self.seed
+        )
 
 
 def run(runs: int = 10, base_seed: int = 0) -> ExperimentResult:
     """Run-to-run cycle spread per governor."""
-    table = ResultTable()
-    for governor in GOVERNORS:
-        for index in range(runs):
-            table.append(
-                {
-                    "governor": governor.value,
-                    "run": index,
-                    "cycles": _cycles_once(governor, base_seed + 100 + index),
-                }
-            )
+    jobs = [
+        _GovernorJob(governor=governor, run=index,
+                     seed=base_seed + 100 + index)
+        for governor in GOVERNORS
+        for index in range(runs)
+    ]
+    table = ResultTable.from_rows(get_executor().map(jobs))
 
     lines = [f"{'governor':<13} {'mean cycles':>13} {'spread':>8}"]
     summary: dict = {}

@@ -14,9 +14,11 @@ time-slicing two event groups.  Two findings:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis.table import ResultTable
-from repro.core.benchmarks import Benchmark, LoopBenchmark, StridedLoadBenchmark
 from repro.cpu.events import Event, PrivFilter
+from repro.exec import BenchmarkSpec, get_executor, stable_token
 from repro.experiments.base import ExperimentResult
 from repro.kernel.system import Machine
 from repro.papi.multiplex import run_multiplexed
@@ -29,10 +31,10 @@ EVENTS = (
 )
 
 
-def _truth(phases: list[Benchmark]) -> dict[Event, int]:
+def _truth(phases: tuple[BenchmarkSpec, ...]) -> dict[Event, int]:
     totals: dict[Event, int] = {event: 0 for event in EVENTS}
     for phase in phases:
-        work = phase.expected_work()
+        work = phase.build().expected_work()
         totals[Event.INSTR_RETIRED] += work.instructions
         totals[Event.BRANCHES_RETIRED] += work.branches
         totals[Event.LOADS_RETIRED] += work.loads
@@ -40,13 +42,48 @@ def _truth(phases: list[Benchmark]) -> dict[Event, int]:
     return totals
 
 
+@dataclass(frozen=True)
+class _MultiplexJob:
+    """One multiplexed measurement over a phase sequence."""
+
+    case: str
+    phases: tuple[BenchmarkSpec, ...]
+    slices: int
+    seed: int
+
+    def execute(self) -> dict[str, float]:
+        machine = Machine(
+            processor="CD", kernel="perfctr", seed=self.seed,
+            io_interrupts=False,
+        )
+        result = run_multiplexed(
+            machine, EVENTS, [spec.build() for spec in self.phases],
+            priv=PrivFilter.USR, slices_per_phase=self.slices,
+        )
+        return {event.value: result.estimate(event) for event in EVENTS}
+
+    def cache_token(self) -> str:
+        return stable_token(
+            "multiplex", self.case,
+            *(spec.identity for spec in self.phases),
+            self.slices, self.seed,
+        )
+
+
 def run(base_seed: int = 0) -> ExperimentResult:
     """Multiplexed estimates vs ground truth across slice granularities."""
+    phased = (BenchmarkSpec.loop(600_000), BenchmarkSpec.strided(450_000))
     cases = [
-        ("uniform", [StridedLoadBenchmark(1_200_000)], 8),
-        ("phased/coarse", [LoopBenchmark(600_000), StridedLoadBenchmark(450_000)], 1),
-        ("phased/fine", [LoopBenchmark(600_000), StridedLoadBenchmark(450_000)], 8),
+        ("uniform", (BenchmarkSpec.strided(1_200_000),), 8),
+        ("phased/coarse", phased, 1),
+        ("phased/fine", phased, 8),
     ]
+    jobs = [
+        _MultiplexJob(case=name, phases=phases, slices=slices,
+                      seed=base_seed + 11)
+        for name, phases, slices in cases
+    ]
+    estimates = get_executor().map(jobs)
 
     table = ResultTable()
     summary: dict = {}
@@ -54,18 +91,10 @@ def run(base_seed: int = 0) -> ExperimentResult:
         f"{'case':<14} {'event':<18} {'truth':>12} {'estimate':>14} "
         f"{'rel. error':>10}"
     ]
-    for name, phases, slices in cases:
-        machine = Machine(
-            processor="CD", kernel="perfctr", seed=base_seed + 11,
-            io_interrupts=False,
-        )
-        result = run_multiplexed(
-            machine, EVENTS, phases, priv=PrivFilter.USR,
-            slices_per_phase=slices,
-        )
+    for (name, phases, _slices), estimate_by_event in zip(cases, estimates):
         truth = _truth(phases)
         for event in EVENTS:
-            estimate = result.estimate(event)
+            estimate = estimate_by_event[event.value]
             true = truth[event]
             rel = (estimate - true) / true if true else 0.0
             table.append(

@@ -10,9 +10,12 @@ concrete.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis.table import ResultTable
 from repro.core.benchmarks import LoopBenchmark
 from repro.cpu.events import Event, PrivFilter
+from repro.exec import get_executor, stable_token
 from repro.experiments.base import ExperimentResult
 from repro.kernel.system import Machine
 from repro.perfctr.libperfctr import LibPerfctr
@@ -22,38 +25,53 @@ PERIODS = (0, 1_000_000, 250_000, 50_000)  # 0 = no sampling
 ITERATIONS = 1_000_000
 
 
-def _measure_with_sampling(period: int, seed: int) -> tuple[int, int]:
-    """Returns (instruction error, samples taken)."""
-    machine = Machine(processor="K8", kernel="perfctr", seed=seed,
-                      io_interrupts=False)
-    lib = LibPerfctr(machine)
-    lib.open()
-    lib.control(((Event.INSTR_RETIRED, PrivFilter.ALL),), tsc_on=True)
+@dataclass(frozen=True)
+class _SamplingJob:
+    """One counting-mode measurement with a concurrent sampler."""
 
-    profiler = None
-    if period:
-        profiler = SamplingProfiler(
-            machine, event=Event.CYCLES, period=period, counter_index=3
-        )
-        profiler.start()
+    period: int
+    seed: int
 
-    benchmark = LoopBenchmark(ITERATIONS)
-    before = lib.read().pmcs[0]
-    benchmark.run(machine, address=0x0804_9000)
-    after = lib.read().pmcs[0]
-    if profiler is not None:
-        profiler.stop()
+    def execute(self) -> dict:
+        machine = Machine(processor="K8", kernel="perfctr", seed=self.seed,
+                          io_interrupts=False)
+        lib = LibPerfctr(machine)
+        lib.open()
+        lib.control(((Event.INSTR_RETIRED, PrivFilter.ALL),), tsc_on=True)
 
-    # Error relative to a fixed baseline: what the window would have
-    # contained without sampling is benchmark + read-access cost; we
-    # report measured - expected as usual.
-    error = (after - before) - benchmark.expected_instructions
-    samples = profiler.n_samples if profiler else 0
-    return error, samples
+        profiler = None
+        if self.period:
+            profiler = SamplingProfiler(
+                machine, event=Event.CYCLES, period=self.period,
+                counter_index=3,
+            )
+            profiler.start()
+
+        benchmark = LoopBenchmark(ITERATIONS)
+        before = lib.read().pmcs[0]
+        benchmark.run(machine, address=0x0804_9000)
+        after = lib.read().pmcs[0]
+        if profiler is not None:
+            profiler.stop()
+
+        # Error relative to a fixed baseline: what the window would have
+        # contained without sampling is benchmark + read-access cost; we
+        # report measured - expected as usual.
+        return {
+            "error": (after - before) - benchmark.expected_instructions,
+            "samples": profiler.n_samples if profiler else 0,
+        }
+
+    def cache_token(self) -> str:
+        return stable_token("sampling-perturbation", self.period, self.seed)
 
 
 def run(base_seed: int = 0) -> ExperimentResult:
     """Instruction-count error vs sampling period."""
+    jobs = [_SamplingJob(period=period, seed=base_seed + 3)
+            for period in PERIODS]
+    results = get_executor().map(jobs)
+
     table = ResultTable()
     lines = [
         f"{'period':>10} {'samples':>8} {'u+k error':>10} "
@@ -61,8 +79,8 @@ def run(base_seed: int = 0) -> ExperimentResult:
     ]
     summary: dict = {}
     baseline_error = None
-    for period in PERIODS:
-        error, samples = _measure_with_sampling(period, base_seed + 3)
+    for period, result in zip(PERIODS, results):
+        error, samples = result["error"], result["samples"]
         if period == 0:
             baseline_error = error
         per_sample = (

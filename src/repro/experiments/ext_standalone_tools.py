@@ -10,11 +10,14 @@ benchmark.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.analysis.table import ResultTable
 from repro.core.benchmarks import LoopBenchmark
 from repro.core.config import MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
 from repro.core.sweep import config_seed
+from repro.exec import get_executor, stable_token
 from repro.experiments.base import ExperimentResult
 from repro.tools.standalone import make_tool
 
@@ -22,28 +25,42 @@ TOOLS = ("perfex", "pfmon", "papiex")
 SIZES = (300, 3_000, 30_000, 300_000, 3_000_000)
 
 
+@dataclass(frozen=True)
+class _ToolJob:
+    """One whole-process tool run — a generic (non-measurement) job."""
+
+    tool: str
+    size: int
+    seed: int
+
+    def execute(self) -> dict:
+        tool = make_tool(
+            self.tool, processor="CD", seed=self.seed, io_interrupts=False
+        )
+        report = tool.run(LoopBenchmark(self.size), mode=Mode.USER_KERNEL)
+        return {
+            "tool": self.tool,
+            "iterations": self.size,
+            "expected": report.expected,
+            "measured": report.measured,
+            "relative_error_pct": report.relative_error_percent,
+        }
+
+    def cache_token(self) -> str:
+        return stable_token("standalone-tool", self.tool, self.size, self.seed)
+
+
 def run(base_seed: int = 0) -> ExperimentResult:
     """Relative error of whole-process vs fine-grained measurement."""
-    table = ResultTable()
-    for tool_name in TOOLS:
-        for size in SIZES:
-            benchmark = LoopBenchmark(size)
-            tool = make_tool(
-                tool_name,
-                processor="CD",
-                seed=config_seed(base_seed, tool_name, size),
-                io_interrupts=False,
-            )
-            report = tool.run(benchmark, mode=Mode.USER_KERNEL)
-            table.append(
-                {
-                    "tool": tool_name,
-                    "iterations": size,
-                    "expected": report.expected,
-                    "measured": report.measured,
-                    "relative_error_pct": report.relative_error_percent,
-                }
-            )
+    jobs = [
+        _ToolJob(
+            tool=tool_name, size=size,
+            seed=config_seed(base_seed, tool_name, size),
+        )
+        for tool_name in TOOLS
+        for size in SIZES
+    ]
+    table = ResultTable.from_rows(get_executor().map(jobs))
 
     # The fine-grained harness on the smallest benchmark, for contrast.
     fine_config = MeasurementConfig(

@@ -14,7 +14,8 @@ from repro.analysis.report import render_violin
 from repro.analysis.stats import violin_summary
 from repro.core.config import Mode
 from repro.core.compiler import OptLevel
-from repro.core.sweep import SweepSpec, run_sweep
+from repro.core.sweep import SweepSpec
+from repro.exec import get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
 from repro.experiments.common import fmt
@@ -31,7 +32,7 @@ def run(repeats: int = 3, base_seed: int = 0) -> ExperimentResult:
         repeats=repeats,
         base_seed=base_seed,
     )
-    table = run_sweep(spec)
+    table = get_executor().run(spec.plan())
 
     summary: dict = {"n_measurements": len(table)}
     lines = [f"{len(table)} null-benchmark measurements"]

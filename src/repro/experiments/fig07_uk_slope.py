@@ -14,9 +14,9 @@ from __future__ import annotations
 from repro.analysis.regression import fit_line
 from repro.analysis.table import ResultTable
 from repro.core.config import INFRASTRUCTURES, Mode
+from repro.exec import LOOP_SIZES, LoopSweepSpec, get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import LOOP_SIZES, loop_error_rows
 
 
 def run(
@@ -27,7 +27,7 @@ def run(
     processors: tuple[str, ...] = ("PD", "CD", "K8"),
 ) -> ExperimentResult:
     """Fit error-vs-iterations lines for each infra × processor."""
-    table = loop_error_rows(
+    spec = LoopSweepSpec(
         processors=processors,
         infras=infras,
         mode=Mode.USER_KERNEL,
@@ -35,6 +35,7 @@ def run(
         repeats=repeats,
         base_seed=base_seed,
     )
+    table = get_executor().run(spec.plan())
 
     slopes = ResultTable()
     lines = [f"{'infra':<5} " + " ".join(f"{p:>12}" for p in processors)]

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from repro.analysis.regression import fit_line
 from repro.core.config import INFRASTRUCTURES, Mode
+from repro.exec import LOOP_SIZES, LoopSweepSpec, get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import LOOP_SIZES, loop_error_rows
 
 
 def run(
@@ -23,7 +23,7 @@ def run(
     processors: tuple[str, ...] = ("PD", "CD", "K8"),
 ) -> ExperimentResult:
     """Fit user-mode error-vs-iterations lines per infra × processor."""
-    table = loop_error_rows(
+    spec = LoopSweepSpec(
         processors=processors,
         infras=infras,
         mode=Mode.USER,
@@ -31,6 +31,7 @@ def run(
         repeats=repeats,
         base_seed=base_seed,
     )
+    table = get_executor().run(spec.plan())
 
     summary: dict = {}
     lines = [f"{'infra':<5} " + " ".join(f"{p:>13}" for p in processors)]

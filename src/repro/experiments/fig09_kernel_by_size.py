@@ -17,9 +17,10 @@ from repro.analysis.regression import fit_line
 from repro.analysis.stats import box_summary
 from repro.core.config import Mode
 from repro.core.compiler import OptLevel
+from repro.exec import LOOP_SIZES, LoopSweepSpec, get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import LOOP_SIZES, fmt, loop_error_rows
+from repro.experiments.common import fmt
 
 
 def run(
@@ -28,7 +29,7 @@ def run(
     sizes: tuple[int, ...] = LOOP_SIZES,
 ) -> ExperimentResult:
     """Many kernel-only runs of pc on CD, per loop size."""
-    table = loop_error_rows(
+    spec = LoopSweepSpec(
         processors=("CD",),
         infras=("pc",),
         mode=Mode.KERNEL,
@@ -37,6 +38,7 @@ def run(
         opt_levels=tuple(OptLevel),
         base_seed=base_seed,
     )
+    table = get_executor().run(spec.plan())
 
     lines = [f"{'loop size':>10} {'mean':>9} {'median':>9} {'q3':>9} {'max':>9}"]
     means: dict[int, float] = {}

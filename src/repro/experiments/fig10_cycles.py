@@ -9,18 +9,43 @@ placement drives branch-prediction/fetch behaviour.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.table import ResultTable
 from repro.core.config import Mode, Pattern
 from repro.core.compiler import OptLevel
 from repro.cpu.events import Event
+from repro.exec import LoopSweepSpec, MeasurementPlan, get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import loop_error_rows
 
 #: Sizes for the cycle scatter (the paper plots up to one million).
 CYCLE_SIZES = (100_000, 250_000, 500_000, 750_000, 1_000_000)
+
+
+def cycle_plan(
+    processors: tuple[str, ...],
+    infras: tuple[str, ...],
+    sizes: tuple[int, ...],
+    repeats: int,
+    base_seed: int,
+) -> MeasurementPlan:
+    """Plan CYCLES measurements for every pattern × opt (the placement
+    spread), as one combined plan so the executor sees all jobs at once."""
+    return MeasurementPlan.concat(
+        [
+            LoopSweepSpec(
+                processors=processors,
+                infras=infras,
+                mode=Mode.USER_KERNEL,
+                sizes=sizes,
+                repeats=repeats,
+                pattern=pattern,
+                opt_levels=tuple(OptLevel),
+                primary_event=Event.CYCLES,
+                base_seed=base_seed,
+            ).plan()
+            for pattern in Pattern
+        ]
+    )
 
 
 def gather_cycles(
@@ -31,22 +56,9 @@ def gather_cycles(
     base_seed: int,
 ) -> ResultTable:
     """Measure CYCLES for every pattern × opt (the placement spread)."""
-    tables = []
-    for pattern in Pattern:
-        tables.append(
-            loop_error_rows(
-                processors=processors,
-                infras=infras,
-                mode=Mode.USER_KERNEL,
-                sizes=sizes,
-                repeats=repeats,
-                pattern=pattern,
-                opt_levels=tuple(OptLevel),
-                primary_event=Event.CYCLES,
-                base_seed=base_seed,
-            )
-        )
-    return ResultTable.concat(tables)
+    return get_executor().run(
+        cycle_plan(processors, infras, sizes, repeats, base_seed)
+    )
 
 
 def run(

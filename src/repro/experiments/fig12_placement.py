@@ -11,13 +11,11 @@ BTB alias classes.
 from __future__ import annotations
 
 from repro.analysis.regression import fit_line
-from repro.core.config import Mode, Pattern
+from repro.core.config import Pattern
 from repro.core.compiler import OptLevel
-from repro.cpu.events import Event
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
-from repro.experiments.common import loop_error_rows
-from repro.experiments.fig10_cycles import CYCLE_SIZES
+from repro.experiments.fig10_cycles import CYCLE_SIZES, gather_cycles
 
 
 def run(
@@ -26,23 +24,12 @@ def run(
     sizes: tuple[int, ...] = CYCLE_SIZES,
 ) -> ExperimentResult:
     """Fit a cycles-vs-iterations slope per (pattern, opt) cell on K8/pm."""
+    table = gather_cycles(("K8",), ("pm",), sizes, repeats, base_seed)
+
     cells: dict[tuple[str, str], float] = {}
-    tables = []
     for pattern in Pattern:
-        table = loop_error_rows(
-            processors=("K8",),
-            infras=("pm",),
-            mode=Mode.USER_KERNEL,
-            sizes=sizes,
-            repeats=repeats,
-            pattern=pattern,
-            opt_levels=tuple(OptLevel),
-            primary_event=Event.CYCLES,
-            base_seed=base_seed,
-        )
-        tables.append(table)
         for opt in OptLevel:
-            sub = table.where(opt=opt.value)
+            sub = table.where(pattern=pattern.short, opt=opt.value)
             fit = fit_line(
                 sub.values("size").astype(float),
                 sub.values("measured").astype(float),
@@ -85,12 +72,10 @@ def run(
         "combination of pattern and opt level fixes the placement "
         f"(interaction present: {summary['interaction_present']})"
     )
-    from repro.analysis.table import ResultTable
-
     return ExperimentResult(
         experiment_id="figure12",
         title="Cycles by loop size, by pattern x optimization (K8, pm)",
-        data=ResultTable.concat(tables),
+        data=table,
         summary=summary,
         paper=dict(paper_data.FIGURE11),
         report_lines=lines,

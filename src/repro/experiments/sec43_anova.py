@@ -13,7 +13,8 @@ from __future__ import annotations
 from repro.analysis.anova import anova_n_way
 from repro.core.config import Mode, Pattern
 from repro.core.compiler import OptLevel
-from repro.core.sweep import SweepSpec, run_sweep
+from repro.core.sweep import SweepSpec
+from repro.exec import get_executor
 from repro.experiments import paper_data
 from repro.experiments.base import ExperimentResult
 
@@ -30,7 +31,7 @@ def run(repeats: int = 4, base_seed: int = 0, alpha: float = 1e-6) -> Experiment
         repeats=repeats,
         base_seed=base_seed,
     )
-    table = run_sweep(spec)
+    table = get_executor().run(spec.plan())
 
     factors = {
         "processor": table.column("processor"),

@@ -13,7 +13,7 @@ Tracing is strictly an observer: it never changes what retires.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cpu.events import PrivLevel
 from repro.isa.work import WorkVector

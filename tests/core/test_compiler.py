@@ -2,8 +2,6 @@
 
 import itertools
 
-import pytest
-
 from repro.core.compiler import DEFAULT_GCC, GccModel, OptLevel
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Pattern
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import Mode, Pattern
+from repro.core.config import Mode
 from repro.core.guidelines import SUSPICIOUS_EVENTS, Recommendation, advise
 from repro.cpu.events import Event
 from repro.cpu.frequency import Governor

@@ -1,7 +1,6 @@
 """Core × frequency-policy interactions (the ondemand mechanics)."""
 
 import numpy as np
-import pytest
 
 from repro.cpu.core import Core
 from repro.cpu.events import Event, PrivFilter

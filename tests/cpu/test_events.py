@@ -1,7 +1,5 @@
 """Unit tests for repro.cpu.events."""
 
-import pytest
-
 from repro.cpu.events import Event, PrivFilter, PrivLevel, events_from_work
 from repro.isa.work import WorkVector
 

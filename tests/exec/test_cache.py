@@ -1,0 +1,129 @@
+"""Unit tests for the content-addressed result cache (repro.exec.cache)."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec.cache import (
+    ResultCache,
+    code_version,
+    configure_default_cache,
+    default_cache,
+    stable_token,
+)
+
+
+class TestStableToken:
+    def test_same_factors_same_token(self):
+        assert stable_token("a", 1, True) == stable_token("a", 1, True)
+
+    def test_any_factor_difference_changes_token(self):
+        base = stable_token("a", 1)
+        assert stable_token("a", 2) != base
+        assert stable_token("b", 1) != base
+        assert stable_token("a", 1, None) != base
+
+    def test_code_version_is_mixed_in(self, monkeypatch):
+        before = stable_token("a")
+        monkeypatch.setattr(
+            "repro.exec.cache.code_version", lambda: "other-version"
+        )
+        assert stable_token("a") != before
+
+    def test_code_version_names_package_and_schema(self):
+        assert code_version().startswith("repro-")
+        assert "/schema-" in code_version()
+
+
+class TestMemoryTier:
+    def test_round_trip_and_stats(self):
+        cache = ResultCache()
+        token = stable_token("x")
+        assert cache.get(token) is None
+        cache.put(token, {"value": 41})
+        assert cache.get(token) == {"value": 41}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("t1", 1)
+        cache.put("t2", 2)
+        cache.put("t3", 3)
+        assert len(cache) == 2
+        assert cache.get("t1") is None
+        assert cache.get("t3") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("t1", 1)
+        cache.put("t2", 2)
+        cache.get("t1")  # t1 is now most recent; t2 must evict first
+        cache.put("t3", 3)
+        assert cache.get("t1") == 1
+        assert cache.get("t2") is None
+
+    def test_clear_drops_memory(self):
+        cache = ResultCache()
+        cache.put("t", 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_entries"):
+            ResultCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path)
+        token = stable_token("disk")
+        writer.put(token, [1, 2, 3])
+
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get(token) == [1, 2, 3]
+        assert reader.stats.disk_hits == 1
+        # Promoted to memory: the second read no longer touches disk.
+        assert reader.get(token) == [1, 2, 3]
+        assert reader.stats.disk_hits == 1
+
+    def test_store_is_content_addressed_by_token_prefix(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        token = stable_token("layout")
+        cache.put(token, "value")
+        path = tmp_path / token[:2] / f"{token[2:]}.pkl"
+        assert path.is_file()
+        with path.open("rb") as handle:
+            assert pickle.load(handle) == "value"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        token = stable_token("corrupt")
+        cache.put(token, "good")
+        (tmp_path / token[:2] / f"{token[2:]}.pkl").write_bytes(b"not pickle")
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert fresh.get(token) is None
+
+    def test_memory_only_never_touches_disk(self, tmp_path):
+        cache = ResultCache()
+        cache.put(stable_token("mem"), "value")
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDefaultCache:
+    @pytest.fixture(autouse=True)
+    def _restore_default(self):
+        yield
+        configure_default_cache(enabled=True)
+
+    def test_configure_disables_and_reenables(self):
+        assert configure_default_cache(enabled=False) is None
+        assert default_cache() is None
+        cache = configure_default_cache(enabled=True)
+        assert default_cache() is cache
+
+    def test_configure_sets_disk_dir(self, tmp_path):
+        cache = configure_default_cache(disk_dir=tmp_path / "store")
+        assert cache.disk_dir == tmp_path / "store"

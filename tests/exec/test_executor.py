@@ -1,0 +1,144 @@
+"""The executor layer's central promise: serial ≡ parallel ≡ cached.
+
+Every job carries its complete seed and boots its own machine, so the
+execution strategy must not be observable in the results.  These tests
+compare the rendered CSV byte-for-byte.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.config import Mode, Pattern
+from repro.core.sweep import SweepSpec
+from repro.errors import ConfigurationError
+from repro.exec import (
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    get_executor,
+    resolve_jobs,
+    set_default_jobs,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_jobs(monkeypatch):
+    """Isolate worker-count resolution from the session's environment."""
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    set_default_jobs(None)
+    yield
+    set_default_jobs(None)
+
+
+def small_plan(base_seed: int = 0):
+    """A real factorial sweep, big enough to engage the process pool."""
+    return SweepSpec(
+        processors=("CD",),
+        infras=("pm", "pc"),
+        patterns=(Pattern.START_READ, Pattern.READ_READ),
+        modes=(Mode.USER, Mode.USER_KERNEL),
+        repeats=2,
+        base_seed=base_seed,
+        io_interrupts=False,
+    ).plan()
+
+
+@dataclass(frozen=True)
+class SquareJob:
+    """A minimal generic job: execute() only, no cache_token()."""
+
+    n: int
+
+    def execute(self) -> int:
+        return self.n * self.n
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_tables_are_byte_identical(self):
+        plan = small_plan()
+        assert len(plan) >= ParallelExecutor.MIN_BATCH
+        serial = SerialExecutor(cache=None).run(plan)
+        parallel = ParallelExecutor(max_workers=2, cache=None).run(plan)
+        assert serial.to_csv() == parallel.to_csv()
+
+    def test_cached_rerun_is_byte_identical_and_all_hits(self):
+        cache = ResultCache()
+        plan = small_plan(base_seed=1)
+        first = SerialExecutor(cache=cache).run(plan)
+        assert cache.stats.stores == len(plan)
+        second = SerialExecutor(cache=cache).run(plan)
+        assert first.to_csv() == second.to_csv()
+        assert cache.stats.hits == len(plan)
+
+    def test_parallel_run_populates_cache_serial_run_reuses(self):
+        cache = ResultCache()
+        plan = small_plan(base_seed=2)
+        parallel = ParallelExecutor(max_workers=2, cache=cache).run(plan)
+        serial = SerialExecutor(cache=cache).run(plan)
+        assert parallel.to_csv() == serial.to_csv()
+        assert cache.stats.misses == len(plan)
+        assert cache.stats.hits == len(plan)
+
+
+class TestExecutorMechanics:
+    def test_progress_reports_every_index_in_order(self):
+        plan = small_plan(base_seed=3)
+        seen: list[int] = []
+        SerialExecutor(cache=None).run(plan, progress=seen.append)
+        assert seen == list(range(len(plan)))
+
+    def test_generic_jobs_without_cache_token(self):
+        jobs = [SquareJob(n) for n in range(12)]
+        assert SerialExecutor(cache=ResultCache()).map(jobs) == [
+            n * n for n in range(12)
+        ]
+
+    def test_parallel_maps_generic_jobs(self):
+        jobs = [SquareJob(n) for n in range(20)]
+        executor = ParallelExecutor(max_workers=2, cache=None)
+        assert executor.map(jobs) == [n * n for n in range(20)]
+
+    def test_small_batches_run_inline(self):
+        executor = ParallelExecutor(max_workers=2, cache=None)
+        jobs = [SquareJob(n) for n in range(ParallelExecutor.MIN_BATCH - 1)]
+        # Inline fallback: no pool spawned, results still correct.
+        assert executor._execute(jobs) == [job.n * job.n for job in jobs]
+
+
+class TestWorkerResolution:
+    def test_default_is_serial(self):
+        assert resolve_jobs() == 1
+        assert isinstance(get_executor(), SerialExecutor)
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        set_default_jobs(2)
+        assert resolve_jobs(4) == 4
+
+    def test_set_default_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "8")
+        set_default_jobs(2)
+        assert resolve_jobs() == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs() == 3
+        assert isinstance(get_executor(), ParallelExecutor)
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0)
+        with pytest.raises(ConfigurationError):
+            set_default_jobs(-1)
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ConfigurationError):
+            resolve_jobs()
+
+    def test_get_executor_picks_parallel(self):
+        executor = get_executor(jobs=4)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.max_workers == 4

@@ -7,8 +7,6 @@ and with it a thread switch — into the middle of a fast read and check
 the library retries rather than returning a torn value.
 """
 
-import pytest
-
 from repro.cpu.events import Event, PrivFilter
 from repro.isa.work import WorkVector
 from repro.kernel.system import Machine

@@ -4,7 +4,6 @@ These encode relationships that must hold for *any* configuration —
 the kind of structural truths the paper's methodology relies on.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,5 @@
 """Tests for repro.trace — retirement tracing and error attribution."""
 
-import pytest
-
 from repro.core import (
     LoopBenchmark,
     MeasurementConfig,

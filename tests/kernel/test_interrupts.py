@@ -1,8 +1,6 @@
 """Unit tests for repro.kernel.interrupts."""
 
-import pytest
-
-from repro.cpu.events import Event, PrivFilter, PrivLevel
+from repro.cpu.events import Event, PrivFilter
 from repro.cpu.pmu import CounterConfig
 from repro.isa.work import WorkVector
 from repro.kernel.system import Machine

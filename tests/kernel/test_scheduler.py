@@ -66,7 +66,7 @@ class TestRoundRobin:
 class TestSwitchListeners:
     def test_listener_called_with_both_threads(self):
         machine = Machine(seed=1, io_interrupts=False, quantum_ticks=1)
-        other = machine.scheduler.spawn("worker")
+        machine.scheduler.spawn("worker")
         calls = []
         machine.scheduler.add_switch_listener(
             lambda prev, nxt: calls.append((prev.name, nxt.name))

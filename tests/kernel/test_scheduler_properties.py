@@ -1,11 +1,9 @@
 """Property tests of scheduling fairness and counter conservation."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cpu.events import Event, PrivFilter
-from repro.cpu.pmu import CounterConfig
 from repro.isa.work import WorkVector
 from repro.kernel.system import Machine
 
