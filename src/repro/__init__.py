@@ -34,6 +34,9 @@ Subpackages:
   contribution).
 * :mod:`repro.analysis` — box/violin summaries, regression, ANOVA.
 * :mod:`repro.experiments` — one module per paper table/figure.
+* :mod:`repro.service` — the engine as a long-lived asyncio service:
+  job queue with backpressure, in-flight dedup, metrics endpoint
+  (``repro serve`` / ``repro submit`` / ``repro status``).
 """
 
 from repro.analysis import ResultTable, anova_n_way, box_summary, fit_line
@@ -54,11 +57,12 @@ from repro.cpu import Event, PrivFilter
 from repro.errors import ReproError
 from repro.kernel import Machine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Imported after __version__ because cache keys embed the version.
 from repro.exec import (  # noqa: E402
     BenchmarkSpec,
+    ExecutorStats,
     LoopSweepSpec,
     MeasurementJob,
     MeasurementPlan,
@@ -72,6 +76,7 @@ from repro.exec import (  # noqa: E402
 __all__ = [
     "BenchmarkSpec",
     "Event",
+    "ExecutorStats",
     "LoopBenchmark",
     "LoopSweepSpec",
     "Machine",

@@ -2,22 +2,28 @@
 
 Usage::
 
-    python -m repro list
+    python -m repro list [--json]
     python -m repro reproduce figure4
     python -m repro reproduce all --repeats 2 --jobs 4
     python -m repro reproduce figure1 --cache-dir .repro-cache
     python -m repro measure --processor K8 --infra pm --pattern rr \
         --mode user --loop 100000
+    python -m repro serve --port 7471 --workers 2
+    python -m repro submit figure4 --repeats 1 --wait
+    python -m repro status job-1-abcdef01 / --metrics / --health
 
 ``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
 processes (results are bit-identical to a serial run), ``--no-cache`` to
 bypass the result cache, and ``--cache-dir`` to persist results on disk.
+``serve`` exposes the same engine as a long-lived service speaking the
+line-delimited JSON protocol of :mod:`repro.service`; ``submit`` and
+``status`` are thin clients for it.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
+import json
 import sys
 from typing import Sequence
 
@@ -26,7 +32,14 @@ from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
 from repro.errors import ConfigurationError
 from repro.exec import configure_default_cache, resolve_jobs, set_default_jobs
-from repro.experiments import ALL_EXPERIMENTS, EXPERIMENTS, EXTENSIONS
+from repro.exec.cache import default_cache
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    EXPERIMENTS,
+    EXTENSIONS,
+    artifact_catalog,
+    run_artifact,
+)
 
 _PATTERNS_BY_SHORT = {p.short: p for p in Pattern}
 _MODES = {m.value: m for m in Mode}
@@ -42,7 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the runnable paper artifacts")
+    list_cmd = sub.add_parser("list", help="list the runnable paper artifacts")
+    list_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit artifact ids + descriptions as JSON (machine-readable)",
+    )
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate one paper artifact (or 'all')"
@@ -112,10 +129,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "selftest",
         help="fast end-to-end check that the paper's results reproduce",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the measurement service (line-delimited JSON protocol)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7471)
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent job slots (each runs one plan/artifact at a time)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="queued-job bound; submissions beyond it are rejected "
+             "with a retry-after hint",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request server-side handler timeout",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit one artifact to a running service"
+    )
+    submit.add_argument("artifact", help="artifact id from 'repro list'")
+    submit.add_argument("--repeats", type=int, default=None)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--priority", type=int, default=5, help="0 (urgent) .. 9 (batch)"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7471)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until done and print the report (byte-identical to "
+             "'repro reproduce' of the same artifact and seed)",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="--wait polling deadline",
+    )
+
+    status = sub.add_parser(
+        "status", help="query a running service: job state, health, metrics"
+    )
+    status.add_argument(
+        "job", nargs="?", default=None, help="job id returned by submit"
+    )
+    status.add_argument(
+        "--metrics", action="store_true",
+        help="print the service's Prometheus-style metrics text",
+    )
+    status.add_argument(
+        "--health", action="store_true",
+        help="print the service's health summary as JSON",
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=7471)
     return parser
 
 
-def _cmd_list() -> int:
+def _cmd_list(as_json: bool = False) -> int:
+    if as_json:
+        print(json.dumps({"artifacts": artifact_catalog()}, indent=2))
+        return 0
     print("paper artifacts:")
     for artifact in EXPERIMENTS:
         print(f"  {artifact}")
@@ -125,32 +203,53 @@ def _cmd_list() -> int:
     return 0
 
 
-def _run_artifact(artifact: str, repeats: int | None, seed: int) -> int:
-    runner = ALL_EXPERIMENTS[artifact]
-    kwargs: dict = {}
-    signature = inspect.signature(runner)
-    if repeats is not None and "repeats" in signature.parameters:
-        kwargs["repeats"] = repeats
-    if "base_seed" in signature.parameters:
-        kwargs["base_seed"] = seed
-    result = runner(**kwargs)
-    print(result.report())
-    for note in result.notes:
+def _print_artifact_text(report: str, notes: Sequence[str]) -> None:
+    """The canonical artifact rendering, shared by reproduce and submit
+    so a served result prints byte-identically to a local run."""
+    print(report)
+    for note in notes:
         print(f"note: {note}")
     print()
+
+
+def _run_artifact(artifact: str, repeats: int | None, seed: int) -> int:
+    result = run_artifact(artifact, repeats=repeats, seed=seed)
+    _print_artifact_text(result.report(), result.notes)
     return 0
 
 
+def _print_cache_summary(before: "tuple[int, int, int] | None") -> None:
+    """One stderr line of cache accounting for this invocation."""
+    cache = default_cache()
+    if cache is None or before is None:
+        return
+    hits, misses, disk = before
+    stats = cache.stats
+    print(
+        f"cache: {stats.hits - hits} hits / {stats.misses - misses} misses "
+        f"({stats.disk_hits - disk} disk)",
+        file=sys.stderr,
+    )
+
+
 def _cmd_reproduce(artifact: str, repeats: int | None, seed: int) -> int:
+    cache = default_cache()
+    before = (
+        (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
+        if cache is not None else None
+    )
     if artifact == "all":
         for name in ALL_EXPERIMENTS:
             _run_artifact(name, repeats, seed)
+        _print_cache_summary(before)
         return 0
     if artifact not in ALL_EXPERIMENTS:
         known = ", ".join(ALL_EXPERIMENTS)
         print(f"unknown artifact {artifact!r}; known: {known}", file=sys.stderr)
         return 2
-    return _run_artifact(artifact, repeats, seed)
+    code = _run_artifact(artifact, repeats, seed)
+    _print_cache_summary(before)
+    return code
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -192,11 +291,85 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import run_service
+
+    return run_service(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout,
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError, submit_with_retry
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            job = submit_with_retry(
+                client,
+                artifact=args.artifact,
+                repeats=args.repeats,
+                seed=args.seed,
+                priority=args.priority,
+            )
+            if not args.wait:
+                print(f"submitted {job['id']} ({job['state']})")
+                return 0
+            result = client.wait(job["id"], timeout=args.timeout)
+            _print_artifact_text(result["report"], result.get("notes", ()))
+            return 0
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    if not (args.job or args.metrics or args.health):
+        print("error: give a job id, --metrics, or --health", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.metrics:
+                sys.stdout.write(client.metrics())
+            if args.health:
+                print(json.dumps(client.health(), indent=2, sort_keys=True))
+            if args.job:
+                print(json.dumps(client.status(args.job), indent=2,
+                                 sort_keys=True))
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach service at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        return _cmd_list()
+        return _cmd_list(as_json=args.json)
+    if args.command in ("reproduce", "submit") and (
+        args.repeats is not None and args.repeats < 1
+    ):
+        print(f"error: repeats must be >= 1, got {args.repeats}",
+              file=sys.stderr)
+        return 2
     if args.command == "reproduce":
         try:
             set_default_jobs(args.jobs)
@@ -219,4 +392,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         results = run_selftest()
         print(render(results))
         return 0 if all(r.passed for r in results) else 1
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "status":
+        return _cmd_status(args)
     raise AssertionError(f"unhandled command {args.command!r}")

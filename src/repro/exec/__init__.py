@@ -36,6 +36,7 @@ from repro.exec.cache import (
 )
 from repro.exec.executor import (
     Executor,
+    ExecutorStats,
     Job,
     ParallelExecutor,
     SerialExecutor,
@@ -56,6 +57,7 @@ __all__ = [
     "BenchmarkSpec",
     "CacheStats",
     "Executor",
+    "ExecutorStats",
     "Job",
     "LOOP_SIZES",
     "LoopSweepSpec",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import abc
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis.table import ResultTable
@@ -61,11 +62,28 @@ def _token_of(job: Job) -> str | None:
     return token_fn() if callable(token_fn) else None
 
 
+@dataclass
+class ExecutorStats:
+    """Per-executor accounting: how much work the cache absorbed.
+
+    ``jobs`` counts everything mapped through this executor,
+    ``cache_hits`` the jobs answered from the result cache, and
+    ``executed`` the jobs that actually ran.  The service layer
+    surfaces these (and the CLI prints the cache side after
+    ``reproduce``), so the split is part of the public engine API.
+    """
+
+    jobs: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+
 class Executor(abc.ABC):
     """Common engine: cache partition, execution, reassembly."""
 
     def __init__(self, cache: "ResultCache | None | object" = _DEFAULT) -> None:
         self.cache = default_cache() if cache is _DEFAULT else cache
+        self.stats = ExecutorStats()
 
     @abc.abstractmethod
     def _execute(self, jobs: Sequence[Job]) -> list[Any]:
@@ -82,6 +100,7 @@ class Executor(abc.ABC):
         result is available (all indices, in order).
         """
         jobs = list(jobs)
+        self.stats.jobs += len(jobs)
         results: list[Any] = [None] * len(jobs)
         pending: list[int] = []
         tokens: list[str | None] = [None] * len(jobs)
@@ -91,8 +110,10 @@ class Executor(abc.ABC):
             cached = self.cache.get(token) if token is not None else None
             if cached is not None:
                 results[index] = cached
+                self.stats.cache_hits += 1
             else:
                 pending.append(index)
+        self.stats.executed += len(pending)
         if pending:
             fresh = self._execute([jobs[i] for i in pending])
             for index, result in zip(pending, fresh):

@@ -216,6 +216,29 @@ class MeasurementPlan:
             for job, result in zip(self.jobs, results)
         )
 
+    def cache_token(self) -> str:
+        """A content address for the whole plan.
+
+        Built from the member jobs' own cache tokens plus the row
+        recipe, so two independently constructed but identical plans
+        (e.g. the same sweep submitted by two service clients) share
+        one address — which is what lets the service scheduler coalesce
+        them in flight.  Plans with a ``row_builder`` closure fall back
+        to the builder's qualified name (closures cannot be hashed
+        portably).
+        """
+        builder = (
+            getattr(self.row_builder, "__qualname__", repr(self.row_builder))
+            if self.row_builder is not None
+            else None
+        )
+        return stable_token(
+            "plan",
+            ",".join(self.result_fields),
+            builder,
+            *(job.cache_token() for job in self.jobs),
+        )
+
     @classmethod
     def concat(cls, plans: Sequence["MeasurementPlan"]) -> "MeasurementPlan":
         """Join plans that share a row recipe into one (ordered) plan."""

@@ -68,4 +68,55 @@ EXTENSIONS = {
 #: every runnable artifact
 ALL_EXPERIMENTS = {**EXPERIMENTS, **EXTENSIONS}
 
-__all__ = ["ALL_EXPERIMENTS", "EXPERIMENTS", "EXTENSIONS", "ExperimentResult"]
+
+def run_artifact(
+    artifact: str, repeats: "int | None" = None, seed: int = 0
+) -> ExperimentResult:
+    """Run one registered artifact by id — the single entry point the
+    CLI *and* the measurement service share, so both produce identical
+    results for identical (artifact, repeats, seed).
+
+    ``repeats``/``seed`` are forwarded only to runners that take them
+    (structural artifacts like figure2 are parameterless).
+    """
+    import inspect
+
+    runner = ALL_EXPERIMENTS[artifact]
+    signature = inspect.signature(runner)
+    kwargs: dict = {}
+    if repeats is not None and "repeats" in signature.parameters:
+        kwargs["repeats"] = repeats
+    if "base_seed" in signature.parameters:
+        kwargs["base_seed"] = seed
+    return runner(**kwargs)
+
+
+def artifact_catalog() -> "list[dict[str, str]]":
+    """Ids + descriptions of every runnable artifact, as plain data.
+
+    The description is the first line of the experiment module's
+    docstring.  This feeds ``repro list --json`` and the service's
+    ``list`` request, so external tooling never scrapes text output.
+    """
+    import inspect
+
+    catalog = []
+    for name, runner in ALL_EXPERIMENTS.items():
+        module = inspect.getmodule(runner)
+        doc = (module.__doc__ or "").strip().splitlines()
+        catalog.append({
+            "id": name,
+            "kind": "extension" if name in EXTENSIONS else "paper",
+            "description": doc[0].rstrip(".") if doc else "",
+        })
+    return catalog
+
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "EXPERIMENTS",
+    "EXTENSIONS",
+    "ExperimentResult",
+    "artifact_catalog",
+    "run_artifact",
+]

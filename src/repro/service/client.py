@@ -1,0 +1,221 @@
+"""A blocking client for the measurement service.
+
+One socket, newline-delimited JSON both ways, strictly
+request/response — the client the ``repro submit`` / ``repro status``
+subcommands (and any external tool) build on.  Server-side errors
+surface as :class:`ServiceError` carrying the structured code; the
+``queue-full`` code additionally carries the server's ``retry_after``
+hint, which :func:`submit_with_retry` turns into a bounded backoff
+loop.
+
+The client reconnects transparently if the server dropped the
+connection between calls (the protocol is stateless per connection,
+so this is always safe).
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+import uuid
+from typing import Any, Mapping
+
+from repro.service import protocol
+from repro.service.protocol import PROTOCOL_VERSION, Response
+from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
+
+
+class ServiceError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(
+        self, code: str, message: str, retry_after: float | None = None
+    ) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking line-protocol client (context-manager friendly)."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = 30.0,
+        client_id: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_id = client_id or f"cli-{uuid.uuid4().hex[:8]}"
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+
+    # -- connection management --------------------------------------------
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _roundtrip(self, wire: Mapping[str, Any]) -> Response:
+        if self._file is None:
+            self._connect()
+        line = protocol.encode_line(wire)
+        try:
+            self._file.write(line)
+            self._file.flush()
+            answer = self._file.readline()
+        except (OSError, BrokenPipeError):
+            # One transparent reconnect: the previous connection went
+            # away between calls (server restart, idle timeout, ...).
+            self.close()
+            self._connect()
+            self._file.write(line)
+            self._file.flush()
+            answer = self._file.readline()
+        if not answer:
+            self.close()
+            raise ServiceError(
+                protocol.E_INTERNAL, "server closed the connection mid-request"
+            )
+        return protocol.parse_response(answer)
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One raw request; returns the success payload or raises."""
+        wire: dict[str, Any] = {
+            "v": PROTOCOL_VERSION, "op": op, "client": self.client_id,
+        }
+        wire.update(fields)
+        response = self._roundtrip(wire)
+        if not response.ok:
+            error = dict(response.error or {})
+            raise ServiceError(
+                error.get("code", protocol.E_INTERNAL),
+                error.get("message", "unknown server error"),
+                error.get("retry_after"),
+            )
+        return dict(response.payload)
+
+    # -- operations --------------------------------------------------------
+
+    def submit_artifact(
+        self,
+        artifact: str,
+        repeats: int | None = None,
+        seed: int = 0,
+        priority: int = protocol.DEFAULT_PRIORITY,
+    ) -> dict[str, Any]:
+        """Submit a registered artifact; returns the job snapshot."""
+        fields: dict[str, Any] = {
+            "kind": "artifact", "artifact": artifact,
+            "seed": seed, "priority": priority,
+        }
+        if repeats is not None:
+            fields["repeats"] = repeats
+        payload = self.call("submit", **fields)
+        return payload["job"]
+
+    def submit_plan(
+        self,
+        plan: Mapping[str, Any],
+        priority: int = protocol.DEFAULT_PRIORITY,
+    ) -> dict[str, Any]:
+        """Submit a declarative measurement plan; returns the snapshot."""
+        payload = self.call(
+            "submit", kind="plan", plan=dict(plan), priority=priority
+        )
+        return payload["job"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.call("status", job=job_id)["job"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.call("result", job=job_id)["result"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.call("cancel", job=job_id)["job"]
+
+    def health(self) -> dict[str, Any]:
+        return self.call("health")
+
+    def metrics(self) -> str:
+        return self.call("metrics")["text"]
+
+    def list_artifacts(self) -> list[dict[str, Any]]:
+        return self.call("list")["artifacts"]
+
+    def wait(
+        self, job_id: str, timeout: float = 600.0, poll: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the job finishes; returns its result payload.
+
+        Raises :class:`ServiceError` if the job failed or was
+        cancelled, and :class:`TimeoutError` past ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        interval = poll
+        while True:
+            job = self.status(job_id)
+            state = job["state"]
+            if state == "done":
+                return self.result(job_id)
+            if state in ("failed", "cancelled"):
+                raise ServiceError(
+                    protocol.E_CONFLICT,
+                    f"job {job_id} {state}: {job.get('error', 'no detail')}",
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout}s"
+                )
+            time.sleep(interval)
+            interval = min(interval * 1.5, 1.0)  # ease off long jobs
+
+
+def submit_with_retry(
+    client: ServiceClient,
+    *,
+    artifact: str,
+    repeats: int | None = None,
+    seed: int = 0,
+    priority: int = protocol.DEFAULT_PRIORITY,
+    attempts: int = 5,
+) -> dict[str, Any]:
+    """Submit, honouring ``queue-full`` backpressure up to ``attempts``."""
+    for attempt in range(attempts):
+        try:
+            return client.submit_artifact(
+                artifact, repeats=repeats, seed=seed, priority=priority
+            )
+        except ServiceError as exc:
+            if exc.code != protocol.E_QUEUE_FULL or attempt == attempts - 1:
+                raise
+            time.sleep(exc.retry_after or 0.1)
+    raise AssertionError("unreachable")

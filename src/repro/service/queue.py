@@ -1,0 +1,148 @@
+"""A bounded priority queue with backpressure and client fairness.
+
+The queue is the service's admission-control point, and its behaviour
+is the contract the protocol's ``queue-full`` error documents:
+
+* **bounded** — at most ``max_depth`` queued items; a full queue
+  *rejects* new work with :class:`QueueFull` carrying a ``retry_after``
+  hint, rather than buffering without limit (the client backs off; the
+  server never falls over from queue growth);
+* **priority** — items carry a small-int priority (0 most urgent);
+  lower classes always drain first;
+* **fair** — inside one priority class, clients are served
+  round-robin, so a client that dumps 100 jobs cannot starve one that
+  submits a single job at the same priority; per client, order stays
+  FIFO.
+
+The queue is a plain (single-threaded) data structure: the scheduler
+mutates it only from the event loop, so there is no locking — an
+``asyncio.Event`` in the scheduler provides the wake-up edge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Iterator
+
+from repro.service.protocol import MAX_PRIORITY, MIN_PRIORITY
+
+
+class QueueFull(Exception):
+    """Admission rejected; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, max_depth: int, retry_after: float) -> None:
+        super().__init__(
+            f"queue is full ({depth}/{max_depth} jobs); "
+            f"retry in {retry_after:.2f}s"
+        )
+        self.depth = depth
+        self.max_depth = max_depth
+        self.retry_after = retry_after
+
+
+class JobQueue:
+    """Bounded, priority-classed, client-fair FIFO of scheduler items."""
+
+    #: Base of the retry hint; scaled up as the queue saturates.
+    RETRY_AFTER_BASE = 0.1
+    RETRY_AFTER_SPAN = 0.9
+
+    def __init__(self, max_depth: int = 256) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        # priority class -> (client -> FIFO deque); the OrderedDict's
+        # key order IS the round-robin rotation inside the class.
+        self._classes: dict[int, OrderedDict[str, deque[Any]]] = {}
+        self._size = 0
+        self.rejected = 0
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def depth(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Any]:
+        """Queued items, in the order ``pop`` would currently serve them."""
+        snapshot = JobQueue(self.max_depth)
+        for priority, clients in sorted(self._classes.items()):
+            snapshot._classes[priority] = OrderedDict(
+                (client, deque(items)) for client, items in clients.items()
+            )
+            snapshot._size += sum(len(items) for items in clients.values())
+        while True:
+            item = snapshot.pop()
+            if item is None:
+                return
+            yield item
+
+    def retry_after_hint(self) -> float:
+        """Suggested client backoff, scaling with saturation."""
+        fraction = min(1.0, self._size / self.max_depth)
+        return round(self.RETRY_AFTER_BASE + self.RETRY_AFTER_SPAN * fraction, 3)
+
+    # -- admission --------------------------------------------------------
+
+    def push(self, item: Any, *, client: str = "anon", priority: int = 5) -> None:
+        """Admit one item, or raise :class:`QueueFull`."""
+        if not (MIN_PRIORITY <= priority <= MAX_PRIORITY):
+            raise ValueError(
+                f"priority must be in [{MIN_PRIORITY}, {MAX_PRIORITY}], "
+                f"got {priority}"
+            )
+        if self._size >= self.max_depth:
+            self.rejected += 1
+            raise QueueFull(self._size, self.max_depth, self.retry_after_hint())
+        clients = self._classes.setdefault(priority, OrderedDict())
+        clients.setdefault(client, deque()).append(item)
+        self._size += 1
+
+    # -- service ----------------------------------------------------------
+
+    def pop(self) -> Any | None:
+        """The next item by (priority, round-robin, FIFO), or None.
+
+        The served client rotates to the back of its class, so equal
+        priority work interleaves across clients.
+        """
+        if not self._size:
+            return None
+        priority = min(p for p, c in self._classes.items() if c)
+        clients = self._classes[priority]
+        client, items = next(iter(clients.items()))
+        item = items.popleft()
+        # Rotate: next pop in this class serves a different client.
+        clients.move_to_end(client)
+        if not items:
+            del clients[client]
+        if not clients:
+            del self._classes[priority]
+        self._size -= 1
+        return item
+
+    def remove(self, item: Any) -> bool:
+        """Withdraw one queued item (identity match); True if found."""
+        for priority, clients in list(self._classes.items()):
+            for client, items in list(clients.items()):
+                try:
+                    items.remove(item)
+                except ValueError:
+                    continue
+                if not items:
+                    del clients[client]
+                if not clients:
+                    del self._classes[priority]
+                self._size -= 1
+                return True
+        return False
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything still queued (shutdown path)."""
+        drained = list(self)
+        self._classes.clear()
+        self._size = 0
+        return drained

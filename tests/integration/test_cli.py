@@ -12,6 +12,16 @@ class TestList:
         assert "figure4" in out
         assert "ext:sampling" in out
 
+    def test_list_json(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        by_id = {a["id"]: a for a in data["artifacts"]}
+        assert by_id["figure4"]["kind"] == "paper"
+        assert by_id["figure4"]["description"]
+        assert by_id["ext:sampling"]["kind"] == "extension"
+
 
 class TestReproduce:
     def test_reproduce_table1(self, capsys):
@@ -26,6 +36,26 @@ class TestReproduce:
     def test_unknown_artifact(self, capsys):
         assert main(["reproduce", "figure99"]) == 2
         assert "unknown artifact" in capsys.readouterr().err
+
+    def test_invalid_repeats_rejected(self, capsys):
+        assert main(["reproduce", "figure4", "--repeats", "0"]) == 2
+        assert "repeats must be >= 1" in capsys.readouterr().err
+        assert main(["reproduce", "figure4", "--repeats", "-3"]) == 2
+        assert "repeats must be >= 1" in capsys.readouterr().err
+
+    def test_invalid_repeats_rejected_for_submit_too(self, capsys):
+        # validated before any connection is attempted
+        assert main(["submit", "figure4", "--repeats", "0"]) == 2
+        assert "repeats must be >= 1" in capsys.readouterr().err
+
+    def test_cache_summary_line_on_stderr(self, capsys):
+        from repro.exec import configure_default_cache
+
+        configure_default_cache(enabled=True)
+        assert main(["reproduce", "figure4", "--repeats", "1"]) == 0
+        err = capsys.readouterr().err
+        assert err.startswith("cache: ")
+        assert "hits" in err and "misses" in err and "disk" in err
 
 
 class TestMeasure:

@@ -1,0 +1,162 @@
+"""Protocol round-trips, validation, and version negotiation."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    CancelRequest,
+    HealthRequest,
+    ListRequest,
+    MetricsRequest,
+    ProtocolError,
+    Response,
+    ResultRequest,
+    StatusRequest,
+    SubmitRequest,
+    encode_line,
+    parse_request,
+    parse_response,
+)
+
+
+def roundtrip(request):
+    return parse_request(encode_line(request))
+
+
+class TestRequestRoundTrip:
+    def test_submit_artifact(self):
+        request = SubmitRequest(
+            client="c1", artifact="figure4", repeats=2, seed=7, priority=3
+        )
+        assert roundtrip(request) == request
+
+    def test_submit_plan(self):
+        request = SubmitRequest(
+            kind="plan",
+            plan={"jobs": [{"config": {"processor": "CD"}}]},
+        )
+        back = roundtrip(request)
+        assert back.kind == "plan"
+        assert back.plan == {"jobs": [{"config": {"processor": "CD"}}]}
+
+    @pytest.mark.parametrize(
+        "cls", [StatusRequest, ResultRequest, CancelRequest]
+    )
+    def test_job_requests(self, cls):
+        request = cls(client="me", job_id="job-1-abc")
+        back = roundtrip(request)
+        assert back == request
+        assert back.job_id == "job-1-abc"
+
+    @pytest.mark.parametrize(
+        "cls", [HealthRequest, MetricsRequest, ListRequest]
+    )
+    def test_bare_requests(self, cls):
+        assert roundtrip(cls()) == cls()
+
+    def test_wire_is_one_json_line(self):
+        line = encode_line(SubmitRequest(artifact="table1"))
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        data = json.loads(line)
+        assert data["v"] == PROTOCOL_VERSION
+        assert data["op"] == "submit"
+
+
+class TestRequestValidation:
+    def test_submit_requires_artifact(self):
+        with pytest.raises(ProtocolError) as err:
+            SubmitRequest(artifact=None)
+        assert err.value.code == "bad-request"
+
+    def test_submit_rejects_bad_kind(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest(kind="mystery", artifact="x")
+
+    def test_submit_rejects_bad_priority(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest(artifact="x", priority=10)
+
+    def test_submit_rejects_bad_repeats(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest(artifact="x", repeats=0)
+
+    def test_job_request_requires_id(self):
+        with pytest.raises(ProtocolError):
+            StatusRequest(job_id="")
+
+    def test_non_json_line(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(b"not json at all\n")
+        assert err.value.code == "bad-request"
+
+    def test_non_object_line(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"[1, 2, 3]\n")
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps({"v": PROTOCOL_VERSION}).encode())
+        assert "op" in err.value.message
+
+    def test_unknown_op(self):
+        line = json.dumps({"v": PROTOCOL_VERSION, "op": "launch"}).encode()
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == "unknown-op"
+
+    def test_wrong_field_type(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION, "op": "submit", "artifact": 42}
+        ).encode()
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == "bad-request"
+
+
+class TestVersioning:
+    def test_newer_version_rejected(self):
+        line = json.dumps(
+            {"v": PROTOCOL_VERSION + 1, "op": "health"}
+        ).encode()
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == "unsupported-version"
+        assert str(PROTOCOL_VERSION) in err.value.message
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(json.dumps({"op": "health"}).encode())
+        assert err.value.code == "bad-request"
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request(json.dumps({"v": "1", "op": "health"}).encode())
+
+
+class TestResponse:
+    def test_success_roundtrip(self):
+        response = Response.success("status", job={"id": "j1", "state": "done"})
+        back = parse_response(encode_line(response))
+        assert back.ok
+        assert back.op == "status"
+        assert back.payload["job"]["id"] == "j1"
+
+    def test_failure_roundtrip(self):
+        response = Response.failure(
+            "submit", "queue-full", "full", retry_after=0.5
+        )
+        back = parse_response(encode_line(response))
+        assert not back.ok
+        assert back.error["code"] == "queue-full"
+        assert back.error["retry_after"] == 0.5
+
+    def test_failure_without_retry_after(self):
+        response = Response.failure("x", "internal", "boom")
+        assert "retry_after" not in response.to_wire()["error"]
+
+    def test_malformed_response_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_response(json.dumps({"v": PROTOCOL_VERSION}).encode())

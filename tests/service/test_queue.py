@@ -1,0 +1,106 @@
+"""Backpressure, priority ordering, and client fairness of JobQueue."""
+
+import pytest
+
+from repro.service.queue import JobQueue, QueueFull
+
+
+class TestBackpressure:
+    def test_bounded_admission(self):
+        queue = JobQueue(max_depth=2)
+        queue.push("a")
+        queue.push("b")
+        with pytest.raises(QueueFull) as err:
+            queue.push("c")
+        assert err.value.retry_after > 0
+        assert err.value.depth == 2
+        assert queue.rejected == 1
+        assert len(queue) == 2  # the rejected item was not admitted
+
+    def test_admission_resumes_after_pop(self):
+        queue = JobQueue(max_depth=1)
+        queue.push("a")
+        with pytest.raises(QueueFull):
+            queue.push("b")
+        assert queue.pop() == "a"
+        queue.push("b")  # no raise
+        assert queue.pop() == "b"
+
+    def test_retry_after_scales_with_saturation(self):
+        queue = JobQueue(max_depth=10)
+        empty_hint = queue.retry_after_hint()
+        for index in range(10):
+            queue.push(index)
+        assert queue.retry_after_hint() > empty_hint
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+        queue = JobQueue()
+        with pytest.raises(ValueError):
+            queue.push("x", priority=99)
+
+
+class TestOrdering:
+    def test_fifo_within_one_client(self):
+        queue = JobQueue()
+        for index in range(5):
+            queue.push(index, client="solo")
+        assert [queue.pop() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_priority_classes_drain_in_order(self):
+        queue = JobQueue()
+        queue.push("batch", priority=9)
+        queue.push("normal", priority=5)
+        queue.push("urgent", priority=0)
+        assert queue.pop() == "urgent"
+        assert queue.pop() == "normal"
+        assert queue.pop() == "batch"
+
+    def test_round_robin_across_clients(self):
+        queue = JobQueue()
+        for index in range(4):
+            queue.push(f"a{index}", client="alice")
+        for index in range(2):
+            queue.push(f"b{index}", client="bob")
+        served = [queue.pop() for _ in range(6)]
+        # bob's two jobs are not starved behind alice's four
+        assert served == ["a0", "b0", "a1", "b1", "a2", "a3"]
+
+    def test_fairness_is_per_priority_class(self):
+        queue = JobQueue()
+        queue.push("a-low", client="alice", priority=9)
+        queue.push("b-high", client="bob", priority=0)
+        queue.push("a-high", client="alice", priority=0)
+        assert [queue.pop() for _ in range(3)] == ["b-high", "a-high", "a-low"]
+
+    def test_pop_empty_returns_none(self):
+        assert JobQueue().pop() is None
+
+    def test_iteration_matches_pop_order(self):
+        queue = JobQueue()
+        queue.push("a0", client="alice")
+        queue.push("b0", client="bob")
+        queue.push("a1", client="alice")
+        order = list(queue)
+        assert len(queue) == 3  # iteration does not consume
+        assert order == [queue.pop(), queue.pop(), queue.pop()]
+
+
+class TestWithdrawal:
+    def test_remove_queued_item(self):
+        queue = JobQueue()
+        queue.push("a")
+        queue.push("b")
+        assert queue.remove("a")
+        assert not queue.remove("a")
+        assert queue.pop() == "b"
+        assert len(queue) == 0
+
+    def test_drain_empties_in_service_order(self):
+        queue = JobQueue()
+        queue.push("late", priority=9)
+        queue.push("early", priority=0)
+        assert queue.drain() == ["early", "late"]
+        assert len(queue) == 0
+        assert queue.pop() is None
