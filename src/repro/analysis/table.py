@@ -205,11 +205,13 @@ class ResultTable:
         is parsed as CSV text.
         """
         path = Path(str(source)) if str(source) else None
-        text = (
-            path.read_text()
-            if path is not None and path.is_file()
-            else str(source)
-        )
+        try:
+            is_file = path is not None and path.is_file()
+        except (OSError, ValueError):
+            # CSV text long enough to overflow a filename (ENAMETOOLONG)
+            # or containing NULs is certainly not a path.
+            is_file = False
+        text = path.read_text() if is_file else str(source)
         reader = csv.reader(io.StringIO(text))
         try:
             header = next(reader)

@@ -11,6 +11,8 @@ Usage::
     python -m repro serve --port 7471 --workers 2
     python -m repro submit figure4 --repeats 1 --wait
     python -m repro status job-1-abcdef01 / --metrics / --health
+    python -m repro trace figure4 --repeats 1 --trace-out trace.json
+    python -m repro metrics
 
 ``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
 processes (results are bit-identical to a serial run), ``--no-cache`` to
@@ -18,11 +20,20 @@ bypass the result cache, and ``--cache-dir`` to persist results on disk.
 ``serve`` exposes the same engine as a long-lived service speaking the
 line-delimited JSON protocol of :mod:`repro.service`; ``submit`` and
 ``status`` are thin clients for it.
+
+Observability (:mod:`repro.obs`): ``trace`` runs an artifact with
+tracing on and prints the per-layer time/retirement breakdown;
+``--trace-out`` (on ``trace``, ``reproduce`` and ``serve``) writes a
+Chrome ``trace_event`` JSON loadable in Perfetto; ``metrics`` dumps
+the process-wide unified registry; the top-level ``--log-json`` flag
+(or ``REPRO_LOG``) turns on line-delimited JSON logs on stderr —
+stdout stays machine-readable throughout.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from typing import Sequence
@@ -52,6 +63,11 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Accuracy of Performance Counter "
             "Measurements' (ISPASS 2009)"
         ),
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit line-delimited JSON logs on stderr (REPRO_LOG=PATH "
+             "appends to a file instead)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -89,6 +105,37 @@ def _build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persist measurement results under DIR (content-addressed)",
+    )
+    reproduce.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="record spans for this run and write a Chrome trace_event "
+             "JSON to PATH (artifact output is unchanged)",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one artifact with tracing on; print the per-layer "
+             "time/retirement breakdown",
+    )
+    trace.add_argument(
+        "artifact", help="artifact id from 'repro list'"
+    )
+    trace.add_argument("--repeats", type=int, default=None)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (spans cross the pool boundary)",
+    )
+    trace.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write the Chrome trace_event JSON to PATH "
+             "(load it in Perfetto or chrome://tracing)",
+    )
+
+    sub.add_parser(
+        "metrics",
+        help="print this process's unified metrics registry "
+             "(Prometheus text format)",
     )
 
     measure = sub.add_parser(
@@ -148,6 +195,16 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--request-timeout", type=float, default=60.0, metavar="SECONDS",
         help="per-request server-side handler timeout",
+    )
+    serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the service's Chrome trace_event JSON to PATH on "
+             "graceful shutdown",
+    )
+    serve.add_argument(
+        "--slow-job-threshold", type=float, default=30.0, metavar="SECONDS",
+        help="warn (structured log + metric) when a job runs longer than "
+             "this; 0 disables the watchdog",
     )
 
     submit = sub.add_parser(
@@ -232,24 +289,88 @@ def _print_cache_summary(before: "tuple[int, int, int] | None") -> None:
     )
 
 
-def _cmd_reproduce(artifact: str, repeats: int | None, seed: int) -> int:
+def _cmd_reproduce(
+    artifact: str,
+    repeats: int | None,
+    seed: int,
+    trace_out: str | None = None,
+) -> int:
+    from repro import obs
+    from repro.obs.export import write_chrome_trace
+
     cache = default_cache()
     before = (
         (cache.stats.hits, cache.stats.misses, cache.stats.disk_hits)
         if cache is not None else None
     )
-    if artifact == "all":
-        for name in ALL_EXPERIMENTS:
-            _run_artifact(name, repeats, seed)
-        _print_cache_summary(before)
-        return 0
-    if artifact not in ALL_EXPERIMENTS:
+    if artifact != "all" and artifact not in ALL_EXPERIMENTS:
         known = ", ".join(ALL_EXPERIMENTS)
         print(f"unknown artifact {artifact!r}; known: {known}", file=sys.stderr)
         return 2
-    code = _run_artifact(artifact, repeats, seed)
+    names = list(ALL_EXPERIMENTS) if artifact == "all" else [artifact]
+    collector = obs.TraceCollector() if trace_out is not None else None
+    code = 0
+    with contextlib.ExitStack() as stack:
+        if collector is not None:
+            stack.enter_context(obs.activate(collector))
+            stack.enter_context(
+                obs.span("reproduce", category="cli", artifact=artifact,
+                         seed=seed)
+            )
+        for name in names:
+            code = _run_artifact(name, repeats, seed) or code
     _print_cache_summary(before)
+    if collector is not None:
+        write_chrome_trace(trace_out, collector)
+        print(
+            f"trace: {len(collector)} span(s) written to {trace_out}",
+            file=sys.stderr,
+        )
     return code
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one artifact under a fresh collector; print the breakdown.
+
+    Retirement tracing is enabled so measurement spans carry simulated
+    instruction counts; the artifact's own report is suppressed — this
+    subcommand answers "where did the time go", not "what was measured".
+    """
+    from repro import obs
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.report import render_layer_table
+
+    if args.artifact not in ALL_EXPERIMENTS:
+        known = ", ".join(ALL_EXPERIMENTS)
+        print(f"unknown artifact {args.artifact!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    collector = obs.TraceCollector()
+    with obs.activate(collector), obs.enable_retirements():
+        with obs.span(
+            "artifact", category="cli",
+            artifact=args.artifact, repeats=args.repeats, seed=args.seed,
+        ) as sp:
+            result = run_artifact(
+                args.artifact, repeats=args.repeats, seed=args.seed
+            )
+            sp.set(notes=len(result.notes))
+    print(f"trace of {args.artifact} (seed {args.seed}):")
+    print(render_layer_table(collector.spans))
+    if args.trace_out is not None:
+        write_chrome_trace(args.trace_out, collector)
+        print(
+            f"trace: {len(collector)} span(s) written to {args.trace_out}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics() -> int:
+    from repro.obs.metrics import default_registry
+
+    sys.stdout.write(default_registry().render())
+    return 0
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
@@ -300,12 +421,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_depth=args.queue_depth,
         request_timeout=args.request_timeout,
+        trace_out=args.trace_out,
+        slow_job_threshold=(
+            args.slow_job_threshold if args.slow_job_threshold > 0 else None
+        ),
     )
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.service import ServiceClient, ServiceError, submit_with_retry
 
+    # The trace id is minted here, where the work enters the system;
+    # the service threads it through queue, scheduler, executor and
+    # measurement spans.  Reported on stderr: stdout's one-line
+    # acknowledgement is machine-readable and stays stable.
+    trace_id = obs.new_trace_id()
     try:
         with ServiceClient(args.host, args.port) as client:
             job = submit_with_retry(
@@ -314,6 +445,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                 repeats=args.repeats,
                 seed=args.seed,
                 priority=args.priority,
+                trace_id=trace_id,
+            )
+            print(
+                f"trace: {job.get('trace_id', trace_id)}", file=sys.stderr
             )
             if not args.wait:
                 print(f"submitted {job['id']} ({job['state']})")
@@ -362,26 +497,37 @@ def _cmd_status(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.log_json:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(enabled=True)
     if args.command == "list":
         return _cmd_list(as_json=args.json)
-    if args.command in ("reproduce", "submit") and (
+    if args.command in ("reproduce", "submit", "trace") and (
         args.repeats is not None and args.repeats < 1
     ):
         print(f"error: repeats must be >= 1, got {args.repeats}",
               file=sys.stderr)
         return 2
-    if args.command == "reproduce":
+    if args.command in ("reproduce", "trace"):
         try:
             set_default_jobs(args.jobs)
             resolve_jobs()  # surface a bad REPRO_JOBS before running
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "reproduce":
         if args.no_cache or args.cache_dir:
             configure_default_cache(
                 enabled=not args.no_cache, disk_dir=args.cache_dir
             )
-        return _cmd_reproduce(args.artifact, args.repeats, args.seed)
+        return _cmd_reproduce(
+            args.artifact, args.repeats, args.seed, trace_out=args.trace_out
+        )
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics()
     if args.command == "measure":
         return _cmd_measure(args)
     if args.command == "advise":

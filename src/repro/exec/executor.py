@@ -30,6 +30,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
+from repro import obs
 from repro.analysis.table import ResultTable
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache, default_cache
@@ -57,6 +58,36 @@ def _execute_job(job: Job) -> Any:
     return job.execute()
 
 
+def _job_attributes(job: Job, index: int) -> dict[str, Any]:
+    """JSON-safe span attributes identifying one job."""
+    attributes: dict[str, Any] = {"index": index}
+    tags = getattr(job, "tags", None)
+    if tags:
+        attributes.update((str(key), value) for key, value in tags)
+    return attributes
+
+
+def _run_job(job: Job, index: int) -> Any:
+    """Execute one job under a per-job span (no-op when tracing is off)."""
+    with obs.span("job", category="executor", **_job_attributes(job, index)):
+        return job.execute()
+
+
+def _execute_job_traced(item: "tuple[Job, int, dict[str, Any]]") -> Any:
+    """Worker entry point when a trace is active in the coordinator.
+
+    Rebuilds an ephemeral collector from the pickled carrier so the
+    worker's spans parent onto the coordinator's ``executor.map`` span
+    (ids survive pickling verbatim), then ships the finished spans
+    back next to the result.
+    """
+    job, index, carrier_data = item
+    collector, context, retirements = obs.collector_from_carrier(carrier_data)
+    with obs.activate(collector, context=context, retirements=retirements):
+        result = _run_job(job, index)
+    return result, collector.wire()
+
+
 def _token_of(job: Job) -> str | None:
     token_fn = getattr(job, "cache_token", None)
     return token_fn() if callable(token_fn) else None
@@ -78,6 +109,11 @@ class ExecutorStats:
     executed: int = 0
 
 
+#: Process-lifetime aggregate over every executor instance, read by the
+#: unified metrics registry (``repro_executor_*`` gauges).
+GLOBAL_STATS = ExecutorStats()
+
+
 class Executor(abc.ABC):
     """Common engine: cache partition, execution, reassembly."""
 
@@ -86,8 +122,12 @@ class Executor(abc.ABC):
         self.stats = ExecutorStats()
 
     @abc.abstractmethod
-    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
-        """Run jobs, returning results in the given order."""
+    def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
+        """Run jobs, returning results in the given order.
+
+        ``indices`` are the jobs' positions in the original mapping,
+        used to label per-job trace spans.
+        """
 
     def map(
         self,
@@ -101,25 +141,35 @@ class Executor(abc.ABC):
         """
         jobs = list(jobs)
         self.stats.jobs += len(jobs)
-        results: list[Any] = [None] * len(jobs)
-        pending: list[int] = []
-        tokens: list[str | None] = [None] * len(jobs)
-        for index, job in enumerate(jobs):
-            token = _token_of(job) if self.cache is not None else None
-            tokens[index] = token
-            cached = self.cache.get(token) if token is not None else None
-            if cached is not None:
-                results[index] = cached
-                self.stats.cache_hits += 1
-            else:
-                pending.append(index)
-        self.stats.executed += len(pending)
-        if pending:
-            fresh = self._execute([jobs[i] for i in pending])
-            for index, result in zip(pending, fresh):
-                results[index] = result
-                if self.cache is not None and tokens[index] is not None:
-                    self.cache.put(tokens[index], result)
+        GLOBAL_STATS.jobs += len(jobs)
+        with obs.span("executor.map", category="executor") as sp:
+            results: list[Any] = [None] * len(jobs)
+            pending: list[int] = []
+            tokens: list[str | None] = [None] * len(jobs)
+            for index, job in enumerate(jobs):
+                token = _token_of(job) if self.cache is not None else None
+                tokens[index] = token
+                cached = self.cache.get(token) if token is not None else None
+                if cached is not None:
+                    results[index] = cached
+                    self.stats.cache_hits += 1
+                    GLOBAL_STATS.cache_hits += 1
+                else:
+                    pending.append(index)
+            self.stats.executed += len(pending)
+            GLOBAL_STATS.executed += len(pending)
+            sp.set(
+                executor=type(self).__name__,
+                jobs=len(jobs),
+                cache_hits=len(jobs) - len(pending),
+                executed=len(pending),
+            )
+            if pending:
+                fresh = self._execute([jobs[i] for i in pending], pending)
+                for index, result in zip(pending, fresh):
+                    results[index] = result
+                    if self.cache is not None and tokens[index] is not None:
+                        self.cache.put(tokens[index], result)
         if progress is not None:
             for index in range(len(jobs)):
                 progress(index)
@@ -137,8 +187,8 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """Runs every job in the coordinating process, in plan order."""
 
-    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
-        return [job.execute() for job in jobs]
+    def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
+        return [_run_job(job, index) for job, index in zip(jobs, indices)]
 
 
 class ParallelExecutor(Executor):
@@ -166,13 +216,25 @@ class ParallelExecutor(Executor):
         self.max_workers = workers
         self.chunksize = chunksize
 
-    def _execute(self, jobs: Sequence[Job]) -> list[Any]:
+    def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
         if len(jobs) < max(self.MIN_BATCH, 2):
-            return [job.execute() for job in jobs]
+            return [_run_job(job, index) for job, index in zip(jobs, indices)]
         workers = min(self.max_workers, len(jobs))
         chunk = self.chunksize or max(1, len(jobs) // (workers * 4))
+        carrier = obs.carrier()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_job, jobs, chunksize=chunk))
+            if carrier is None:
+                return list(pool.map(_execute_job, jobs, chunksize=chunk))
+            collector = obs.current_collector()
+            results: list[Any] = []
+            for result, wires in pool.map(
+                _execute_job_traced,
+                [(job, index, carrier) for job, index in zip(jobs, indices)],
+                chunksize=chunk,
+            ):
+                collector.absorb(wires)
+                results.append(result)
+            return results
 
 
 # -- worker-count resolution ----------------------------------------------

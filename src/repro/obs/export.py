@@ -1,0 +1,184 @@
+"""Chrome ``trace_event`` export: open a run in Perfetto.
+
+Spans from a :class:`~repro.obs.spans.TraceCollector` serialize to the
+Chrome tracing JSON object format — complete (``"ph": "X"``) events
+with microsecond ``ts``/``dur``, one lane per (pid, tid), span
+attributes under ``args`` — which ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  ``repro reproduce --trace-out``
+and ``repro trace`` write these files; ``repro serve --trace-out``
+writes one on graceful shutdown.
+
+:func:`validate_chrome_trace` is the checker CI runs (``python -m
+repro.obs.export trace.json``): well-formed JSON object, events sorted
+by ``ts``, every ``B`` matched by an ``E`` on the same lane, complete
+events with non-negative durations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.spans import Span, TraceCollector
+
+#: Export format version, recorded in the file's ``otherData``.
+EXPORT_VERSION = 1
+
+
+def chrome_trace_events(spans: Iterable[Span]) -> list[dict[str, Any]]:
+    """Complete ("X") events for finished spans, sorted by timestamp."""
+    events = []
+    for span in spans:
+        if span.end_us is None:
+            continue
+        args: dict[str, Any] = dict(span.attributes)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.duration_us,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": args,
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["ts"] + e["dur"]))
+    return events
+
+
+def to_chrome_trace(collector: TraceCollector) -> dict[str, Any]:
+    """The Chrome tracing JSON object for everything collected."""
+    return {
+        "traceEvents": chrome_trace_events(collector.spans),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "version": EXPORT_VERSION,
+            "timebase_epoch_unix": collector.timebase.epoch,
+            "spans_started": collector.started,
+            "spans_dropped": collector.dropped,
+        },
+    }
+
+
+def write_chrome_trace(path: "str | Path", collector: TraceCollector) -> Path:
+    """Write the trace file; returns the resolved path."""
+    path = Path(path)
+    payload = to_chrome_trace(collector)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+# -- validation ------------------------------------------------------------
+
+_DURATION_PHASES = frozenset("BE")
+_TIMED_PHASES = frozenset("XBEiI")
+
+
+def validate_chrome_trace(data: Any) -> list[str]:
+    """Problems with a Chrome tracing JSON object; empty means valid.
+
+    Checks the subset this exporter (and CI) relies on: the
+    ``traceEvents`` array exists, events carry ``name``/``ph``/``ts``,
+    timestamps are sorted non-decreasing, ``X`` events have
+    non-negative ``dur``, and ``B``/``E`` pairs match per (pid, tid).
+    """
+    problems: list[str] = []
+    if not isinstance(data, Mapping):
+        return [f"trace must be a JSON object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+        return ["trace has no 'traceEvents' array"]
+    last_ts: float | None = None
+    open_stacks: dict[tuple[Any, Any], list[str]] = {}
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where}: event is not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            problems.append(f"{where}: missing 'ph'")
+            continue
+        if phase == "M":  # metadata events carry no timing
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: missing 'name'")
+        ts = event.get("ts")
+        if phase in _TIMED_PHASES:
+            if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+                problems.append(f"{where}: missing numeric 'ts'")
+                continue
+            if last_ts is not None and ts < last_ts:
+                problems.append(
+                    f"{where}: ts {ts} goes backwards (previous {last_ts})"
+                )
+            last_ts = ts
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                problems.append(f"{where}: 'X' event needs 'dur' >= 0")
+        if phase in _DURATION_PHASES:
+            lane = (event.get("pid"), event.get("tid"))
+            stack = open_stacks.setdefault(lane, [])
+            if phase == "B":
+                stack.append(str(event.get("name")))
+            else:  # "E"
+                if not stack:
+                    problems.append(f"{where}: 'E' with no open 'B' on lane")
+                else:
+                    stack.pop()
+    for lane, stack in open_stacks.items():
+        if stack:
+            problems.append(
+                f"lane pid={lane[0]} tid={lane[1]} has unclosed 'B' "
+                f"events: {stack}"
+            )
+    return problems
+
+
+def validate_trace_file(path: "str | Path") -> list[str]:
+    """Problems with a trace file on disk; empty means valid."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc.msg}"]
+    return validate_chrome_trace(data)
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """``python -m repro.obs.export trace.json`` — validate trace files."""
+    paths = list(sys.argv[1:] if argv is None else argv)
+    if not paths:
+        print("usage: python -m repro.obs.export TRACE.json [...]",
+              file=sys.stderr)
+        return 2
+    failed = False
+    for path in paths:
+        problems = validate_trace_file(path)
+        if problems:
+            failed = True
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            events = json.loads(Path(path).read_text())["traceEvents"]
+            print(f"{path}: valid Chrome trace ({len(events)} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

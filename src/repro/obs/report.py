@@ -1,0 +1,98 @@
+"""Per-layer breakdown: where a run's wall time (and retirements) went.
+
+``repro trace <artifact>`` runs an artifact with tracing on and prints
+the table this module builds: one row per layer (span category), with
+the layer's *self* time — span duration minus the duration of its
+direct children, so the rows sum to the traced wall time instead of
+double-counting nested layers — plus simulated instruction
+retirements where measurement spans recorded them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.obs.spans import Span
+
+#: Render order, outermost layer first; unknown categories follow.
+LAYER_ORDER = (
+    "cli", "service", "queue", "scheduler", "executor", "measurement",
+)
+
+
+@dataclass
+class LayerRow:
+    """One layer's aggregate in the breakdown table."""
+
+    layer: str
+    spans: int = 0
+    self_us: int = 0
+    instructions: int = 0
+
+
+def self_times_us(spans: Sequence[Span]) -> dict[str, int]:
+    """Self time per span id: duration minus direct children's."""
+    own: dict[str, int] = {}
+    for span in spans:
+        own[span.span_id] = span.duration_us
+    for span in spans:
+        if span.parent_id in own:
+            own[span.parent_id] -= span.duration_us
+    return {span_id: max(0, us) for span_id, us in own.items()}
+
+
+def total_us(spans: Sequence[Span]) -> int:
+    """Traced wall time: the durations of the root spans."""
+    ids = {span.span_id for span in spans}
+    return sum(
+        span.duration_us for span in spans if span.parent_id not in ids
+    )
+
+
+def layer_breakdown(spans: Iterable[Span]) -> list[LayerRow]:
+    """Aggregate spans into per-layer rows, in :data:`LAYER_ORDER`."""
+    spans = list(spans)
+    own = self_times_us(spans)
+    rows: dict[str, LayerRow] = {}
+    for span in spans:
+        row = rows.get(span.category)
+        if row is None:
+            row = rows[span.category] = LayerRow(layer=span.category)
+        row.spans += 1
+        row.self_us += own[span.span_id]
+        instructions = span.attributes.get("instructions")
+        if isinstance(instructions, int) and not isinstance(instructions, bool):
+            row.instructions += instructions
+    order = {layer: index for index, layer in enumerate(LAYER_ORDER)}
+    return sorted(
+        rows.values(),
+        key=lambda row: (order.get(row.layer, len(order)), row.layer),
+    )
+
+
+def render_layer_table(spans: Iterable[Span]) -> str:
+    """The printable per-layer time/retirement breakdown."""
+    spans = list(spans)
+    rows = layer_breakdown(spans)
+    wall_us = total_us(spans)
+    accounted = sum(row.self_us for row in rows)
+    lines = [
+        f"{'layer':<13} {'spans':>6} {'time (s)':>10} {'share':>7} "
+        f"{'instructions':>13}"
+    ]
+    for row in rows:
+        share = (row.self_us / wall_us * 100.0) if wall_us else 0.0
+        instructions = f"{row.instructions:,}" if row.instructions else "-"
+        lines.append(
+            f"{row.layer:<13} {row.spans:>6} {row.self_us / 1e6:>10.4f} "
+            f"{share:>6.1f}% {instructions:>13}"
+        )
+    total_instr = sum(row.instructions for row in rows)
+    share = (accounted / wall_us * 100.0) if wall_us else 0.0
+    lines.append(
+        f"{'total':<13} {len(spans):>6} {accounted / 1e6:>10.4f} "
+        f"{share:>6.1f}% {(f'{total_instr:,}' if total_instr else '-'):>13}"
+    )
+    lines.append(f"traced wall time: {wall_us / 1e6:.4f} s")
+    return "\n".join(lines)

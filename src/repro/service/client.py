@@ -131,14 +131,21 @@ class ServiceClient:
         repeats: int | None = None,
         seed: int = 0,
         priority: int = protocol.DEFAULT_PRIORITY,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
-        """Submit a registered artifact; returns the job snapshot."""
+        """Submit a registered artifact; returns the job snapshot.
+
+        Pass ``trace_id`` to correlate the served execution's spans
+        with the caller's own telemetry (see :mod:`repro.obs`).
+        """
         fields: dict[str, Any] = {
             "kind": "artifact", "artifact": artifact,
             "seed": seed, "priority": priority,
         }
         if repeats is not None:
             fields["repeats"] = repeats
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
         payload = self.call("submit", **fields)
         return payload["job"]
 
@@ -146,11 +153,15 @@ class ServiceClient:
         self,
         plan: Mapping[str, Any],
         priority: int = protocol.DEFAULT_PRIORITY,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         """Submit a declarative measurement plan; returns the snapshot."""
-        payload = self.call(
-            "submit", kind="plan", plan=dict(plan), priority=priority
-        )
+        fields: dict[str, Any] = {
+            "kind": "plan", "plan": dict(plan), "priority": priority,
+        }
+        if trace_id is not None:
+            fields["trace_id"] = trace_id
+        payload = self.call("submit", **fields)
         return payload["job"]
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -207,12 +218,17 @@ def submit_with_retry(
     seed: int = 0,
     priority: int = protocol.DEFAULT_PRIORITY,
     attempts: int = 5,
+    trace_id: str | None = None,
 ) -> dict[str, Any]:
     """Submit, honouring ``queue-full`` backpressure up to ``attempts``."""
     for attempt in range(attempts):
         try:
             return client.submit_artifact(
-                artifact, repeats=repeats, seed=seed, priority=priority
+                artifact,
+                repeats=repeats,
+                seed=seed,
+                priority=priority,
+                trace_id=trace_id,
             )
         except ServiceError as exc:
             if exc.code != protocol.E_QUEUE_FULL or attempt == attempts - 1:

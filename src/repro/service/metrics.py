@@ -1,246 +1,34 @@
-"""Service metrics: counters, gauges, histograms, Prometheus text.
+"""Compatibility shim: the metrics layer moved to :mod:`repro.obs.metrics`.
 
-A tiny, dependency-free metrics layer with the semantics scrapers
-expect: monotonic counters (``*_total``), point-in-time gauges
-(optionally computed by callback at render time, which is how cache
-statistics from :class:`~repro.exec.cache.CacheStats` are wired in
-without polling), and cumulative-bucket latency histograms.
-
-``MetricsRegistry.render()`` produces the Prometheus text exposition
-format (``# HELP`` / ``# TYPE`` then samples), served by the
-``metrics`` protocol request and the ``repro status --metrics``
-subcommand.  Instruments are plain objects: ``inc``/``set``/``observe``
-are O(1) and safe to call from the event loop's hot path.
+The service's counters/gauges/histograms grew into the whole stack's
+unified telemetry registry (executor, cache and span accounting live
+in the same inventory now), so the implementation was promoted out of
+the service package.  Import from :mod:`repro.obs.metrics` in new
+code; everything previously importable from here still is.
 """
 
-from __future__ import annotations
-
-import bisect
-from typing import Callable, Iterable
-
-_NAME_OK = frozenset(
-    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+from repro.obs.metrics import (  # noqa: F401
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramFamily,
+    MetricsRegistry,
+    build_service_registry,
+    build_unified_registry,
+    default_registry,
+    reset_default_registry,
 )
 
-#: Default latency buckets (seconds) — sub-ms cache hits to minute-long
-#: paper-scale sweeps.
-DEFAULT_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0)
-
-
-def _check_name(name: str) -> str:
-    if not name or not set(name) <= _NAME_OK or name[0].isdigit():
-        raise ValueError(f"invalid metric name {name!r}")
-    return name
-
-
-def _format_value(value: float) -> str:
-    if value != value:  # NaN
-        return "NaN"
-    if value == float("inf"):
-        return "+Inf"
-    if isinstance(value, bool):
-        return str(int(value))
-    if isinstance(value, int) or float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-class Counter:
-    """A monotonically increasing count."""
-
-    kind = "counter"
-
-    def __init__(self, name: str, help: str) -> None:
-        self.name = _check_name(name)
-        self.help = help
-        self.value = 0.0
-
-    def inc(self, amount: float = 1.0) -> None:
-        if amount < 0:
-            raise ValueError(f"counters only go up; got {amount}")
-        self.value += amount
-
-    def samples(self) -> Iterable[tuple[str, float]]:
-        yield self.name, self.value
-
-
-class Gauge:
-    """A settable level, or a callback evaluated at render time."""
-
-    kind = "gauge"
-
-    def __init__(
-        self, name: str, help: str, fn: Callable[[], float] | None = None
-    ) -> None:
-        self.name = _check_name(name)
-        self.help = help
-        self.fn = fn
-        self.value = 0.0
-
-    def set(self, value: float) -> None:
-        self.value = float(value)
-
-    def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
-
-    def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
-
-    def samples(self) -> Iterable[tuple[str, float]]:
-        value = self.value if self.fn is None else float(self.fn())
-        yield self.name, value
-
-
-class Histogram:
-    """Cumulative-bucket distribution (Prometheus ``le`` convention)."""
-
-    kind = "histogram"
-
-    def __init__(
-        self,
-        name: str,
-        help: str,
-        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
-    ) -> None:
-        self.name = _check_name(name)
-        self.help = help
-        if not buckets or tuple(sorted(buckets)) != tuple(buckets):
-            raise ValueError(f"buckets must be sorted and non-empty: {buckets}")
-        self.buckets = tuple(float(b) for b in buckets)
-        self.counts = [0] * len(self.buckets)  # per-bucket (non-cumulative)
-        self.count = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        index = bisect.bisect_left(self.buckets, value)
-        if index < len(self.counts):
-            self.counts[index] += 1
-
-    def samples(self) -> Iterable[tuple[str, float]]:
-        cumulative = 0
-        for bound, count in zip(self.buckets, self.counts):
-            cumulative += count
-            yield f'{self.name}_bucket{{le="{_format_value(bound)}"}}', cumulative
-        yield f'{self.name}_bucket{{le="+Inf"}}', self.count
-        yield f"{self.name}_sum", self.sum
-        yield f"{self.name}_count", self.count
-
-
-class MetricsRegistry:
-    """A named set of instruments with a text exposition."""
-
-    def __init__(self) -> None:
-        self._instruments: dict[str, "Counter | Gauge | Histogram"] = {}
-
-    def _register(self, instrument):
-        if instrument.name in self._instruments:
-            raise ValueError(f"metric {instrument.name!r} already registered")
-        self._instruments[instrument.name] = instrument
-        return instrument
-
-    def counter(self, name: str, help: str) -> Counter:
-        return self._register(Counter(name, help))
-
-    def gauge(
-        self, name: str, help: str, fn: Callable[[], float] | None = None
-    ) -> Gauge:
-        return self._register(Gauge(name, help, fn))
-
-    def histogram(
-        self, name: str, help: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
-    ) -> Histogram:
-        return self._register(Histogram(name, help, buckets))
-
-    def get(self, name: str) -> "Counter | Gauge | Histogram | None":
-        return self._instruments.get(name)
-
-    def render(self) -> str:
-        """Prometheus text exposition of every registered instrument."""
-        lines: list[str] = []
-        for instrument in self._instruments.values():
-            lines.append(f"# HELP {instrument.name} {instrument.help}")
-            lines.append(f"# TYPE {instrument.name} {instrument.kind}")
-            for sample_name, value in instrument.samples():
-                lines.append(f"{sample_name} {_format_value(value)}")
-        return "\n".join(lines) + "\n"
-
-
-def build_service_registry(
-    queue_depth: Callable[[], int] | None = None,
-    running: Callable[[], int] | None = None,
-) -> MetricsRegistry:
-    """The service's standard instrument set, cache stats included.
-
-    Cache gauges read the process-wide default cache's
-    :class:`~repro.exec.cache.CacheStats` at render time, so the cache
-    hit *rate* a scraper sees always reflects everything the engine has
-    done — including work that predates the service (e.g. warm-up runs).
-    """
-    from repro.exec.cache import default_cache
-
-    registry = MetricsRegistry()
-    registry.counter(
-        "repro_requests_total", "Protocol requests handled, any op."
-    )
-    registry.counter(
-        "repro_request_errors_total", "Requests answered with an error."
-    )
-    registry.counter("repro_jobs_submitted_total", "Jobs admitted to the queue.")
-    registry.counter(
-        "repro_jobs_coalesced_total",
-        "Submissions deduplicated onto an in-flight identical job.",
-    )
-    registry.counter("repro_jobs_completed_total", "Jobs finished successfully.")
-    registry.counter("repro_jobs_failed_total", "Jobs that raised an error.")
-    registry.counter("repro_jobs_cancelled_total", "Jobs cancelled while queued.")
-    registry.counter(
-        "repro_queue_rejected_total", "Submissions rejected by backpressure."
-    )
-    registry.gauge(
-        "repro_queue_depth", "Jobs currently waiting in the queue.",
-        fn=queue_depth,
-    )
-    registry.gauge(
-        "repro_jobs_running", "Jobs currently executing.", fn=running
-    )
-    registry.histogram(
-        "repro_job_duration_seconds", "Wall-clock job execution time."
-    )
-    registry.histogram(
-        "repro_queue_wait_seconds", "Time from admission to execution start."
-    )
-
-    def _stat(name: str) -> Callable[[], float]:
-        def read() -> float:
-            cache = default_cache()
-            return float(getattr(cache.stats, name)) if cache else 0.0
-        return read
-
-    def _hit_rate() -> float:
-        cache = default_cache()
-        if cache is None or not cache.stats.lookups:
-            return 0.0
-        return cache.stats.hits / cache.stats.lookups
-
-    registry.gauge(
-        "repro_cache_hits", "Result-cache hits (memory or disk).",
-        fn=_stat("hits"),
-    )
-    registry.gauge(
-        "repro_cache_misses", "Result-cache misses.", fn=_stat("misses")
-    )
-    registry.gauge(
-        "repro_cache_disk_hits", "Result-cache hits served from disk.",
-        fn=_stat("disk_hits"),
-    )
-    registry.gauge(
-        "repro_cache_stores", "Results written to the cache.",
-        fn=_stat("stores"),
-    )
-    registry.gauge(
-        "repro_cache_hit_rate", "hits / lookups of the result cache (0..1).",
-        fn=_hit_rate,
-    )
-    return registry
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "build_service_registry",
+    "build_unified_registry",
+    "default_registry",
+    "reset_default_registry",
+]

@@ -34,8 +34,10 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro import obs
 from repro.errors import ReproError
 from repro.exec.cache import stable_token
+from repro.obs.logging import StructuredLogger, get_logger
 from repro.service import metrics as metrics_mod
 from repro.service.protocol import DEFAULT_PRIORITY
 from repro.service.queue import JobQueue
@@ -79,6 +81,16 @@ class JobRecord:
     error: str | None = None
     #: How many submissions this record absorbed beyond the first.
     coalesced: int = 0
+    #: Trace identity minted at (first) submission; queue-wait and
+    #: execution spans parent onto it.
+    trace: "obs.TraceContext | None" = None
+    #: Collector-timebase timestamp of admission (for the retroactive
+    #: queue-wait span).
+    enqueued_us: int | None = None
+    #: Artifact label for the per-artifact duration histogram, if any.
+    artifact: str | None = None
+    #: The slow-job watchdog warns once per record.
+    warned_slow: bool = False
     done_event: asyncio.Event = field(default_factory=asyncio.Event)
 
     def snapshot(self) -> dict[str, Any]:
@@ -93,6 +105,8 @@ class JobRecord:
             "coalesced": self.coalesced,
             "age_seconds": round(now - self.submitted_at, 6),
         }
+        if self.trace is not None:
+            info["trace_id"] = self.trace.trace_id
         if self.started_at is not None:
             end = self.finished_at if self.finished_at is not None else now
             info["run_seconds"] = round(end - self.started_at, 6)
@@ -131,19 +145,36 @@ class Scheduler:
         queue: JobQueue | None = None,
         workers: int = 1,
         registry: "metrics_mod.MetricsRegistry | None" = None,
+        collector: "obs.TraceCollector | None" = None,
+        logger: StructuredLogger | None = None,
+        slow_job_threshold: float | None = 30.0,
+        slow_check_interval: float | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if slow_job_threshold is not None and slow_job_threshold <= 0:
+            raise ValueError(
+                f"slow_job_threshold must be > 0, got {slow_job_threshold}"
+            )
         self.queue = queue if queue is not None else JobQueue()
         self.workers = workers
         self.stats = SchedulerStats()
         self.registry = registry
+        self.collector = collector
+        self.logger = logger if logger is not None else get_logger()
+        self.slow_job_threshold = slow_job_threshold
+        self.slow_check_interval = (
+            slow_check_interval
+            if slow_check_interval is not None
+            else max(0.5, (slow_job_threshold or 30.0) / 5.0)
+        )
         self._jobs: dict[str, JobRecord] = {}
         self._inflight: dict[str, JobRecord] = {}  # token -> queued/running
         self._running = 0
         self._closing = False
         self._wake = asyncio.Event()
         self._tasks: list[asyncio.Task] = []
+        self._watchdog_task: asyncio.Task | None = None
         self._seq = itertools.count(1)
 
     # -- metrics helpers --------------------------------------------------
@@ -180,8 +211,17 @@ class Scheduler:
         run: Callable[[], Mapping[str, Any]],
         client: str = "anon",
         priority: int = DEFAULT_PRIORITY,
+        trace_id: str | None = None,
+        artifact: str | None = None,
     ) -> tuple[JobRecord, bool]:
         """Admit (or coalesce) one job; returns (record, coalesced).
+
+        ``trace_id`` is the client's distributed-tracing id, if it sent
+        one; otherwise a fresh id is minted here.  Every submission —
+        including a coalesced one — records its own ``job.submit``
+        span; a coalesced submission's span points at the record that
+        absorbed it, so one execution span ends up linked to N
+        submission spans.
 
         Raises :class:`~repro.service.queue.QueueFull` under
         backpressure and :class:`SchedulerClosed` during shutdown.
@@ -193,6 +233,25 @@ class Scheduler:
             existing.coalesced += 1
             self.stats.coalesced += 1
             self._count("repro_jobs_coalesced_total")
+            if self.collector is not None:
+                now = self.collector.now_us()
+                self.collector.add_span(
+                    "job.submit", "service", now, now,
+                    trace_id=trace_id,
+                    attributes={
+                        "job": existing.id,
+                        "client": client,
+                        "coalesced": True,
+                        "execution_trace_id": (
+                            existing.trace.trace_id
+                            if existing.trace is not None
+                            else None
+                        ),
+                    },
+                )
+            self.logger.info(
+                "job.coalesced", job=existing.id, client=client, kind=kind
+            )
             return existing, True
         record = JobRecord(
             id=f"job-{next(self._seq)}-{uuid.uuid4().hex[:8]}",
@@ -202,7 +261,23 @@ class Scheduler:
             client=client,
             priority=priority,
             run=run,
+            artifact=artifact,
         )
+        if self.collector is not None:
+            now = self.collector.now_us()
+            submit_span = self.collector.add_span(
+                "job.submit", "service", now, now,
+                trace_id=trace_id,
+                attributes={
+                    "job": record.id,
+                    "client": client,
+                    "kind": kind,
+                    "coalesced": False,
+                },
+            )
+            # Queue-wait and execution spans parent onto the submission.
+            record.trace = submit_span.context
+            record.enqueued_us = now
         try:
             self.queue.push(record, client=client, priority=priority)
         except Exception:
@@ -212,6 +287,14 @@ class Scheduler:
         self._inflight[token] = record
         self.stats.submitted += 1
         self._count("repro_jobs_submitted_total")
+        self.logger.info(
+            "job.submitted",
+            job=record.id,
+            client=client,
+            kind=kind,
+            description=description,
+            trace_id=record.trace.trace_id if record.trace else None,
+        )
         self._trim_history()
         self._wake.set()
         return record, False
@@ -249,6 +332,10 @@ class Scheduler:
             asyncio.create_task(self._worker(), name=f"repro-worker-{i}")
             for i in range(self.workers)
         ]
+        if self.slow_job_threshold is not None:
+            self._watchdog_task = asyncio.create_task(
+                self._watchdog(), name="repro-slow-watchdog"
+            )
 
     async def _worker(self) -> None:
         while True:
@@ -269,12 +356,26 @@ class Scheduler:
         )
         self._running += 1
         self.stats.executed += 1
+        run = record.run
+        if self.collector is not None and record.trace is not None:
+            now = self.collector.now_us()
+            self.collector.add_span(
+                "job.queue-wait", "queue",
+                record.enqueued_us if record.enqueued_us is not None else now,
+                now,
+                parent=record.trace,
+                attributes={"job": record.id, "priority": record.priority},
+            )
+            run = self._traced_run(record)
         try:
-            record.payload = await asyncio.to_thread(record.run)
+            record.payload = await asyncio.to_thread(run)
         except Exception as exc:
             self._finish(record, JobState.FAILED, error=f"{type(exc).__name__}: {exc}")
             self.stats.failed += 1
             self._count("repro_jobs_failed_total")
+            self.logger.error(
+                "job.failed", job=record.id, error=record.error
+            )
         else:
             self._finish(record, JobState.DONE)
             self.stats.completed += 1
@@ -282,10 +383,48 @@ class Scheduler:
         finally:
             self._running -= 1
             if record.started_at is not None and record.finished_at is not None:
-                self._observe(
-                    "repro_job_duration_seconds",
-                    record.finished_at - record.started_at,
-                )
+                run_seconds = record.finished_at - record.started_at
+                self._observe("repro_job_duration_seconds", run_seconds)
+                if record.artifact is not None:
+                    family = self._metric("repro_artifact_duration_seconds")
+                    if family is not None:
+                        family.observe(run_seconds, record.artifact)
+                if record.state is JobState.DONE:
+                    self.logger.info(
+                        "job.done",
+                        job=record.id,
+                        run_seconds=round(run_seconds, 6),
+                        coalesced=record.coalesced,
+                    )
+
+    def _traced_run(
+        self, record: JobRecord
+    ) -> Callable[[], Mapping[str, Any]]:
+        """Wrap the job's work in a ``job.execute`` span.
+
+        ``asyncio.to_thread`` copies the submitting context, but the
+        server loop has no ambient collector — so the wrapper activates
+        the scheduler's collector explicitly, parented on the record's
+        submission span.  One record → one execution span, no matter
+        how many submissions it absorbed.
+        """
+        collector, trace = self.collector, record.trace
+
+        def run() -> Mapping[str, Any]:
+            assert collector is not None
+            with obs.activate(collector, context=trace):
+                with obs.span(
+                    "job.execute",
+                    category="scheduler",
+                    job=record.id,
+                    kind=record.kind,
+                    priority=record.priority,
+                ) as sp:
+                    payload = record.run()
+                    sp.set(coalesced=record.coalesced)
+                    return payload
+
+        return run
 
     def _finish(
         self, record: JobRecord, state: JobState, error: str | None = None
@@ -296,6 +435,46 @@ class Scheduler:
         if self._inflight.get(record.token) is record:
             del self._inflight[record.token]
         record.done_event.set()
+
+    # -- slow-job watchdog -------------------------------------------------
+
+    async def _watchdog(self) -> None:
+        """Periodically flag jobs that have been running too long."""
+        while True:
+            await asyncio.sleep(self.slow_check_interval)
+            self.check_slow_jobs()
+
+    def check_slow_jobs(self, now: float | None = None) -> int:
+        """Warn (once per job) about running jobs past the threshold.
+
+        Returns how many new warnings were issued.  Exposed as a plain
+        method so tests (and embedding callers) can sweep on their own
+        clock instead of waiting out the watchdog interval.
+        """
+        if self.slow_job_threshold is None:
+            return 0
+        now = time.monotonic() if now is None else now
+        warned = 0
+        for record in list(self._jobs.values()):
+            if record.state is not JobState.RUNNING or record.warned_slow:
+                continue
+            if record.started_at is None:
+                continue
+            run_seconds = now - record.started_at
+            if run_seconds < self.slow_job_threshold:
+                continue
+            record.warned_slow = True
+            warned += 1
+            self._count("repro_slow_job_warnings_total")
+            self.logger.warning(
+                "job.slow",
+                job=record.id,
+                kind=record.kind,
+                description=record.description,
+                run_seconds=round(run_seconds, 3),
+                threshold_seconds=self.slow_job_threshold,
+            )
+        return warned
 
     def _trim_history(self) -> None:
         if len(self._jobs) <= HISTORY_LIMIT:
@@ -320,6 +499,13 @@ class Scheduler:
             self.stats.cancelled += 1
             self._count("repro_jobs_cancelled_total")
         self._wake.set()
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+            self._watchdog_task = None
         if not self._tasks:
             return
         pending = asyncio.gather(*self._tasks, return_exceptions=True)

@@ -22,8 +22,11 @@ import threading
 import time
 from typing import Any
 
+from repro.obs import TraceCollector
+from repro.obs.export import write_chrome_trace
+from repro.obs.logging import StructuredLogger, get_logger
 from repro.service import protocol
-from repro.service.metrics import MetricsRegistry, build_service_registry
+from repro.service.metrics import MetricsRegistry, build_unified_registry
 from repro.service.protocol import (
     CancelRequest,
     HealthRequest,
@@ -64,19 +67,33 @@ class MeasurementServer:
         queue_depth: int = 256,
         request_timeout: float = 60.0,
         registry: MetricsRegistry | None = None,
+        collector: TraceCollector | None = None,
+        trace_out: str | None = None,
+        logger: StructuredLogger | None = None,
+        slow_job_threshold: float | None = 30.0,
     ) -> None:
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
         queue = JobQueue(max_depth=queue_depth)
         self.registry = registry if registry is not None else (
-            build_service_registry(
+            build_unified_registry(
                 queue_depth=lambda: queue.depth,
                 running=lambda: self.scheduler.running,
             )
         )
+        # The service always traces (the collector is bounded); the
+        # Chrome trace is only written out when trace_out is set.
+        self.collector = collector if collector is not None else TraceCollector()
+        self.trace_out = trace_out
+        self.logger = logger if logger is not None else get_logger()
         self.scheduler = Scheduler(
-            queue=queue, workers=workers, registry=self.registry
+            queue=queue,
+            workers=workers,
+            registry=self.registry,
+            collector=self.collector,
+            logger=self.logger,
+            slow_job_threshold=slow_job_threshold,
         )
         self.started_at = time.monotonic()
         self._server: asyncio.base_events.Server | None = None
@@ -106,6 +123,13 @@ class MeasurementServer:
             await self._server.wait_closed()
             self._server = None
         await self.scheduler.shutdown(grace=grace)
+        if self.trace_out is not None:
+            write_chrome_trace(self.trace_out, self.collector)
+            self.logger.info(
+                "trace.written",
+                path=self.trace_out,
+                spans=len(self.collector),
+            )
 
     # -- connection handling ----------------------------------------------
 
@@ -211,6 +235,8 @@ class MeasurementServer:
                 run=run,
                 client=request.client,
                 priority=request.priority,
+                trace_id=request.trace_id,
+                artifact=request.artifact,
             )
         except QueueFull as exc:
             raise ProtocolError(
@@ -308,6 +334,9 @@ def run_service(
     queue_depth: int = 256,
     request_timeout: float = 60.0,
     announce: bool = True,
+    trace_out: str | None = None,
+    logger: StructuredLogger | None = None,
+    slow_job_threshold: float | None = 30.0,
 ) -> int:
     """Blocking foreground service (the ``repro serve`` subcommand)."""
     server = MeasurementServer(
@@ -316,6 +345,9 @@ def run_service(
         workers=workers,
         queue_depth=queue_depth,
         request_timeout=request_timeout,
+        trace_out=trace_out,
+        logger=logger,
+        slow_job_threshold=slow_job_threshold,
     )
     try:
         asyncio.run(_serve(server, announce))

@@ -103,7 +103,9 @@ class TestExecutorMechanics:
         executor = ParallelExecutor(max_workers=2, cache=None)
         jobs = [SquareJob(n) for n in range(ParallelExecutor.MIN_BATCH - 1)]
         # Inline fallback: no pool spawned, results still correct.
-        assert executor._execute(jobs) == [job.n * job.n for job in jobs]
+        assert executor._execute(jobs, range(len(jobs))) == [
+            job.n * job.n for job in jobs
+        ]
 
 
 class TestWorkerResolution:

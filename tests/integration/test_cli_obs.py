@@ -1,0 +1,147 @@
+"""CLI observability: trace/metrics subcommands, stdout purity.
+
+Several stdout consumers parse the CLI's output (``list --json``,
+``submit``'s acknowledgement, artifact reports that are byte-compared
+against local runs), so every diagnostic — cache summaries, structured
+logs, trace confirmations — must land on stderr, and enabling tracing
+must not change artifact output by a byte.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs.export import validate_trace_file
+from repro.obs.logging import reset_logging
+
+
+@pytest.fixture(autouse=True)
+def _fresh_logging(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    reset_logging()
+    yield
+    reset_logging()
+
+
+class TestTraceCommand:
+    def test_breakdown_table(self, capsys):
+        # A fresh seed so the shared result cache can't absorb the jobs
+        # (cache hits skip measurement spans by design).
+        assert main(["trace", "figure4", "--repeats", "1",
+                     "--seed", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "trace of figure4" in out
+        assert "layer" in out and "instructions" in out
+        assert "measurement" in out
+        assert "traced wall time:" in out
+
+    def test_breakdown_total_matches_wall_time_within_5_percent(self, capsys):
+        assert main(["trace", "figure4", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        total_row = next(
+            line for line in out.splitlines() if line.startswith("total")
+        )
+        accounted = float(total_row.split()[2])
+        wall = float(
+            re.search(r"traced wall time: ([0-9.]+) s", out).group(1)
+        )
+        assert accounted == pytest.approx(wall, rel=0.05)
+
+    def test_trace_out_writes_valid_chrome_trace(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        # A fresh seed so the shared result cache can't absorb the jobs
+        # (cache hits skip measurement spans by design).
+        assert main([
+            "trace", "figure4", "--repeats", "1", "--seed", "7",
+            "--trace-out", str(target),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert str(target) not in captured.out  # confirmation on stderr
+        assert str(target) in captured.err
+        assert validate_trace_file(target) == []
+        events = json.loads(target.read_text())["traceEvents"]
+        assert {e["cat"] for e in events} >= {"cli", "measurement"}
+
+    def test_unknown_artifact(self, capsys):
+        assert main(["trace", "nope"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_invalid_repeats_rejected(self, capsys):
+        assert main(["trace", "figure4", "--repeats", "0"]) == 2
+        assert "repeats must be >= 1" in capsys.readouterr().err
+
+
+class TestMetricsCommand:
+    def test_dumps_unified_registry(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_jobs_submitted_total counter" in out
+        assert "repro_executor_jobs" in out
+        assert "repro_spans_started" in out
+        assert "repro_artifact_duration_seconds" in out
+
+    def test_matches_service_registry_inventory(self, capsys):
+        from repro.obs.metrics import build_unified_registry
+
+        assert main(["metrics"]) == 0
+        cli_names = {
+            line.split()[2]
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("# TYPE")
+        }
+        service_names = {
+            line.split()[2]
+            for line in build_unified_registry().render().splitlines()
+            if line.startswith("# TYPE")
+        }
+        assert cli_names == service_names
+
+
+class TestStdoutPurity:
+    def test_list_json_clean_with_logging_enabled(self, capsys):
+        assert main(["--log-json", "list", "--json"]) == 0
+        captured = capsys.readouterr()
+        data = json.loads(captured.out)  # would raise if logs leaked
+        assert data["artifacts"]
+
+    def test_list_json_clean_with_env_logging(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LOG", "stderr")
+        reset_logging()
+        assert main(["list", "--json"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_reproduce_stdout_identical_with_tracing(self, tmp_path, capsys):
+        assert main(["reproduce", "figure4", "--repeats", "1"]) == 0
+        plain = capsys.readouterr().out
+        assert main([
+            "reproduce", "figure4", "--repeats", "1",
+            "--trace-out", str(tmp_path / "trace.json"),
+        ]) == 0
+        traced = capsys.readouterr()
+        assert traced.out == plain  # byte-identical artifact output
+        assert "trace:" in traced.err
+        assert "cache:" in traced.err
+
+    def test_cache_summary_stays_on_stderr(self, capsys):
+        assert main(["reproduce", "figure4", "--repeats", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "cache:" not in captured.out
+        assert "cache:" in captured.err
+
+
+class TestSubmitPurity:
+    def test_submit_stdout_is_one_parseable_line(self, capsys):
+        from repro.service.server import ServiceInThread
+
+        with ServiceInThread(workers=1, slow_job_threshold=None) as service:
+            assert main([
+                "--log-json", "submit", "figure4", "--repeats", "1",
+                "--port", str(service.port),
+            ]) == 0
+            captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 1
+        assert re.fullmatch(r"submitted (job-\S+) \(\w+\)", lines[0])
+        assert "trace: " in captured.err  # trace id lands on stderr

@@ -1,0 +1,110 @@
+"""Chrome trace_event export and the validator CI runs."""
+
+import json
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace_events,
+    to_chrome_trace,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs.spans import TraceCollector
+
+
+def collected(n=3):
+    collector = TraceCollector()
+    with obs.activate(collector):
+        with obs.span("root", category="cli"):
+            for i in range(n):
+                with obs.span(f"job-{i}", category="executor", index=i):
+                    pass
+    return collector
+
+
+class TestExport:
+    def test_events_are_complete_phase_and_sorted(self):
+        events = chrome_trace_events(collected().spans)
+        assert len(events) == 4
+        assert all(e["ph"] == "X" for e in events)
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_args_carry_span_identity_and_attributes(self):
+        events = chrome_trace_events(collected(1).spans)
+        job = next(e for e in events if e["name"] == "job-0")
+        root = next(e for e in events if e["name"] == "root")
+        assert job["args"]["index"] == 0
+        assert job["args"]["parent_id"] == root["args"]["span_id"]
+        assert job["args"]["trace_id"] == root["args"]["trace_id"]
+
+    def test_unfinished_spans_are_skipped(self):
+        collector = TraceCollector()
+        open_span = collector.start_span("open", category="cli")
+        assert open_span.end_us is None
+        assert chrome_trace_events([open_span]) == []
+
+    def test_top_level_object_shape(self):
+        data = to_chrome_trace(collected())
+        assert data["displayTimeUnit"] == "ms"
+        assert data["otherData"]["exporter"] == "repro.obs"
+        assert data["otherData"]["spans_started"] == 4
+        assert validate_chrome_trace(data) == []
+
+    def test_write_and_validate_file(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", collected())
+        assert validate_trace_file(path) == []
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 4
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([1, 2]) != []
+        assert validate_chrome_trace({"events": []}) != []
+
+    def test_rejects_backwards_timestamps(self):
+        data = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 10, "dur": 1, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 1},
+        ]}
+        problems = validate_chrome_trace(data)
+        assert any("backwards" in p for p in problems)
+
+    def test_rejects_negative_duration(self):
+        data = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 1},
+        ]}
+        assert any("dur" in p for p in validate_chrome_trace(data))
+
+    def test_rejects_unbalanced_duration_events(self):
+        data = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        assert any("unclosed" in p for p in validate_chrome_trace(data))
+        data = {"traceEvents": [
+            {"name": "a", "ph": "E", "ts": 0, "pid": 1, "tid": 1},
+        ]}
+        assert any("no open" in p for p in validate_chrome_trace(data))
+
+    def test_matched_begin_end_pass(self):
+        data = {"traceEvents": [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 3, "pid": 1, "tid": 1},
+        ]}
+        assert validate_chrome_trace(data) == []
+
+    def test_metadata_events_are_ignored(self):
+        data = {"traceEvents": [
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "repro"}},
+            {"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1},
+        ]}
+        assert validate_chrome_trace(data) == []
+
+    def test_file_validator_surfaces_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert any("not valid JSON" in p for p in validate_trace_file(path))

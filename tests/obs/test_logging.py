@@ -1,0 +1,114 @@
+"""Structured logging: JSON lines, stderr-or-file, env configuration."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.logging import (
+    NULL_LOGGER,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_logging(monkeypatch):
+    monkeypatch.delenv("REPRO_LOG", raising=False)
+    reset_logging()
+    yield
+    reset_logging()
+
+
+def lines_of(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_one_json_object_per_line_with_envelope(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.info("job.done", job="j1", run_seconds=1.25)
+        logger.warning("job.slow", job="j2")
+        records = lines_of(stream)
+        assert [r["event"] for r in records] == ["job.done", "job.slow"]
+        assert records[0]["level"] == "info"
+        assert records[0]["job"] == "j1"
+        assert records[1]["level"] == "warning"
+        assert all(isinstance(r["ts"], float) for r in records)
+
+    def test_bound_fields_appear_on_every_line(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream).bind(trace_id="t" * 32)
+        logger.info("a")
+        logger.error("b", detail="x")
+        records = lines_of(stream)
+        assert all(r["trace_id"] == "t" * 32 for r in records)
+        assert records[1]["detail"] == "x"
+
+    def test_unknown_level_downgrades_to_info(self):
+        stream = io.StringIO()
+        StructuredLogger(stream=stream).log("shout", "e")
+        assert lines_of(stream)[0]["level"] == "info"
+
+    def test_non_json_values_are_stringified(self):
+        stream = io.StringIO()
+        StructuredLogger(stream=stream).info("e", obj=object())
+        assert "object object" in lines_of(stream)[0]["obj"]
+
+    def test_null_logger_writes_nothing(self, capsys):
+        NULL_LOGGER.error("should-not-appear", anything=1)
+        captured = capsys.readouterr()
+        assert captured.out == "" and captured.err == ""
+
+    def test_default_stream_is_stderr_not_stdout(self, capsys):
+        StructuredLogger().info("on-stderr")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert json.loads(captured.err)["event"] == "on-stderr"
+
+    def test_file_mode_appends(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        logger = StructuredLogger(path=str(path))
+        logger.info("first")
+        logger.info("second")
+        events = [json.loads(line)["event"]
+                  for line in path.read_text().splitlines()]
+        assert events == ["first", "second"]
+
+    def test_unwritable_file_does_not_raise(self, tmp_path):
+        logger = StructuredLogger(path=str(tmp_path / "no" / "dir.jsonl"))
+        logger.info("dropped")  # must not raise
+
+
+class TestConfiguration:
+    def test_default_is_null(self):
+        assert get_logger() is NULL_LOGGER
+
+    def test_env_stderr_values(self, monkeypatch):
+        for value in ("1", "true", "stderr", "-"):
+            monkeypatch.setenv("REPRO_LOG", value)
+            reset_logging()
+            logger = get_logger()
+            assert logger.enabled and logger.path is None
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("0", "false", "off", ""):
+            monkeypatch.setenv("REPRO_LOG", value)
+            reset_logging()
+            assert get_logger() is NULL_LOGGER
+
+    def test_env_path_value(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "svc.jsonl")
+        monkeypatch.setenv("REPRO_LOG", target)
+        reset_logging()
+        assert get_logger().path == target
+
+    def test_configure_logging_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG", "0")
+        configure_logging(enabled=True)
+        assert get_logger().enabled
+        configure_logging(enabled=False)
+        assert get_logger() is NULL_LOGGER

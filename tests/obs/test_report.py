@@ -1,0 +1,79 @@
+"""Per-layer breakdown: self-time decomposition and the table."""
+
+from repro.obs.report import (
+    layer_breakdown,
+    render_layer_table,
+    self_times_us,
+    total_us,
+)
+from repro.obs.spans import Span
+
+
+def make_span(name, category, start, end, span_id, parent_id=None, **attrs):
+    return Span(
+        name=name, category=category, trace_id="t" * 32, span_id=span_id,
+        parent_id=parent_id, start_us=start, end_us=end, attributes=attrs,
+    )
+
+
+def nested_spans():
+    """cli(0..100) > executor(10..90) > measurement(20..80)."""
+    return [
+        make_span("run", "cli", 0, 100, "a" * 16),
+        make_span("map", "executor", 10, 90, "b" * 16, "a" * 16),
+        make_span("measure", "measurement", 20, 80, "c" * 16, "b" * 16,
+                  instructions=1234),
+    ]
+
+
+class TestDecomposition:
+    def test_self_time_subtracts_direct_children(self):
+        own = self_times_us(nested_spans())
+        assert own["a" * 16] == 20  # 100 - 80
+        assert own["b" * 16] == 20  # 80 - 60
+        assert own["c" * 16] == 60
+
+    def test_self_time_clamped_at_zero(self):
+        # A child longer than its parent (clock skew) must not go negative.
+        spans = [
+            make_span("p", "cli", 0, 10, "a" * 16),
+            make_span("c", "executor", 0, 50, "b" * 16, "a" * 16),
+        ]
+        assert self_times_us(spans)["a" * 16] == 0
+
+    def test_total_is_root_durations_only(self):
+        assert total_us(nested_spans()) == 100
+
+    def test_orphan_parents_count_as_roots(self):
+        spans = [make_span("x", "cli", 0, 30, "a" * 16, "missing-parent")]
+        assert total_us(spans) == 30
+
+    def test_rows_sum_to_wall_time_when_fully_nested(self):
+        spans = nested_spans()
+        rows = layer_breakdown(spans)
+        assert sum(row.self_us for row in rows) == total_us(spans)
+
+
+class TestBreakdown:
+    def test_layers_ordered_outermost_first(self):
+        rows = layer_breakdown(nested_spans())
+        assert [row.layer for row in rows] == [
+            "cli", "executor", "measurement"
+        ]
+
+    def test_instruction_attribution(self):
+        rows = {row.layer: row for row in layer_breakdown(nested_spans())}
+        assert rows["measurement"].instructions == 1234
+        assert rows["cli"].instructions == 0
+
+    def test_render_contains_rows_total_and_wall_time(self):
+        table = render_layer_table(nested_spans())
+        assert "layer" in table and "instructions" in table
+        assert "measurement" in table
+        assert "total" in table
+        assert "traced wall time: 0.0001 s" in table
+        assert "1,234" in table
+
+    def test_render_handles_empty_trace(self):
+        table = render_layer_table([])
+        assert "traced wall time: 0.0000 s" in table

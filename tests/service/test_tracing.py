@@ -1,0 +1,315 @@
+"""Service-layer tracing: trace_id end to end, dedup spans, watchdog."""
+
+import asyncio
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.logging import NULL_LOGGER, StructuredLogger
+from repro.obs.metrics import build_unified_registry
+from repro.obs.spans import TraceCollector
+from repro.service.protocol import ProtocolError, SubmitRequest
+from repro.service.queue import JobQueue
+from repro.service.scheduler import JobState, Scheduler
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
+async def wait_for(predicate, timeout=10.0, interval=0.005):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(interval)
+
+
+class GatedJob:
+    """A job body that blocks until the test releases it."""
+
+    def __init__(self, payload=None):
+        self.started = threading.Event()
+        self.release = threading.Event()
+        self.calls = 0
+        self.payload = payload or {"ok": True}
+
+    def __call__(self):
+        self.calls += 1
+        self.started.set()
+        assert self.release.wait(timeout=30), "test never released the job"
+        return self.payload
+
+
+class TestProtocolTraceId:
+    def test_trace_id_roundtrips_on_the_wire(self):
+        request = SubmitRequest(artifact="figure4", trace_id="a" * 32)
+        wire = request.to_wire()
+        assert wire["trace_id"] == "a" * 32
+        assert SubmitRequest.from_wire(wire).trace_id == "a" * 32
+
+    def test_absent_trace_id_stays_off_the_wire(self):
+        request = SubmitRequest(artifact="figure4")
+        assert "trace_id" not in request.to_wire()
+        assert SubmitRequest.from_wire({"artifact": "figure4"}).trace_id is None
+
+    def test_invalid_trace_ids_rejected(self):
+        with pytest.raises(ProtocolError):
+            SubmitRequest(artifact="figure4", trace_id="")
+        with pytest.raises(ProtocolError):
+            SubmitRequest(artifact="figure4", trace_id="x" * 129)
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("queue", JobQueue(16))
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("collector", TraceCollector())
+    kwargs.setdefault("logger", NULL_LOGGER)
+    kwargs.setdefault("slow_job_threshold", None)
+    return Scheduler(**kwargs)
+
+
+class TestSchedulerSpans:
+    def test_client_trace_id_threads_through_to_execution(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            scheduler.start()
+            record, _ = scheduler.submit(
+                token="tok", kind="plan", description="d",
+                run=lambda: {"ok": True}, trace_id="c" * 32,
+            )
+            assert record.trace.trace_id == "c" * 32
+            assert record.snapshot()["trace_id"] == "c" * 32
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+            return scheduler
+
+        scheduler = run_async(scenario())
+        spans = scheduler.collector.spans
+        by_name = {s.name: s for s in spans}
+        submit = by_name["job.submit"]
+        assert submit.trace_id == "c" * 32
+        # queue-wait and execute both parent onto the submission span
+        assert by_name["job.queue-wait"].parent_id == submit.span_id
+        assert by_name["job.execute"].parent_id == submit.span_id
+        assert by_name["job.queue-wait"].category == "queue"
+        assert by_name["job.execute"].category == "scheduler"
+        assert {s.trace_id for s in spans} == {"c" * 32}
+
+    def test_server_mints_trace_when_client_sent_none(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            scheduler.start()
+            record, _ = scheduler.submit(
+                token="tok", kind="plan", description="d",
+                run=lambda: {"ok": True},
+            )
+            assert record.trace is not None
+            assert len(record.trace.trace_id) == 32
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+
+        run_async(scenario())
+
+    def test_no_collector_means_no_trace_no_spans(self):
+        async def scenario():
+            scheduler = Scheduler(
+                queue=JobQueue(4), workers=1, collector=None,
+                logger=NULL_LOGGER, slow_job_threshold=None,
+            )
+            scheduler.start()
+            record, _ = scheduler.submit(
+                token="tok", kind="plan", description="d",
+                run=lambda: {"ok": True}, trace_id="d" * 32,
+            )
+            assert record.trace is None
+            assert "trace_id" not in record.snapshot()
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+
+        run_async(scenario())
+
+
+class TestDedupSpans:
+    def test_n_submissions_one_execution_span(self):
+        async def scenario():
+            scheduler = make_scheduler()
+            scheduler.start()
+            job = GatedJob()
+            record, coalesced = scheduler.submit(
+                token="tok", kind="plan", description="d", run=job,
+                trace_id="1" * 32,
+            )
+            assert not coalesced
+            await wait_for(job.started.is_set)
+            for i in range(3):
+                other, was_coalesced = scheduler.submit(
+                    token="tok", kind="plan", description="d", run=job,
+                    trace_id=f"{i + 2}" * 32,
+                )
+                assert was_coalesced and other is record
+            job.release.set()
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+            return scheduler, record
+
+        scheduler, record = run_async(scenario())
+        spans = scheduler.collector.spans
+        submits = [s for s in spans if s.name == "job.submit"]
+        executes = [s for s in spans if s.name == "job.execute"]
+        assert len(submits) == 4  # every submission, coalesced or not
+        assert len(executes) == 1  # one execution feeds all of them
+        assert executes[0].attributes["coalesced"] == 3
+        assert executes[0].trace_id == "1" * 32  # the first submitter's
+        # each submission span keeps its submitter's trace and points
+        # at the shared execution record
+        assert {s.trace_id for s in submits} == {
+            "1" * 32, "2" * 32, "3" * 32, "4" * 32
+        }
+        assert {s.attributes["job"] for s in submits} == {record.id}
+        coalesced_spans = [
+            s for s in submits if s.attributes.get("coalesced")
+        ]
+        assert len(coalesced_spans) == 3
+        assert all(
+            s.attributes["execution_trace_id"] == "1" * 32
+            for s in coalesced_spans
+        )
+
+
+class TestSlowJobWatchdog:
+    def test_slow_job_warned_once_with_metric(self):
+        async def scenario():
+            stream = io.StringIO()
+            registry = build_unified_registry()
+            scheduler = Scheduler(
+                queue=JobQueue(4), workers=1, registry=registry,
+                collector=None, logger=StructuredLogger(stream=stream),
+                slow_job_threshold=0.01,
+            )
+            scheduler.start()
+            job = GatedJob()
+            record, _ = scheduler.submit(
+                token="tok", kind="plan", description="slow one", run=job
+            )
+            await wait_for(job.started.is_set)
+            await asyncio.sleep(0.02)
+            assert scheduler.check_slow_jobs() == 1
+            assert scheduler.check_slow_jobs() == 0  # warn once per job
+            job.release.set()
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+            return stream, registry, record
+
+        stream, registry, record = run_async(scenario())
+        warnings = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+            if json.loads(line)["event"] == "job.slow"
+        ]
+        assert len(warnings) == 1
+        assert warnings[0]["level"] == "warning"
+        assert warnings[0]["job"] == record.id
+        assert warnings[0]["run_seconds"] >= 0.01
+        assert warnings[0]["threshold_seconds"] == 0.01
+        assert registry.get("repro_slow_job_warnings_total").value == 1
+
+    def test_fast_jobs_never_warned(self):
+        async def scenario():
+            scheduler = Scheduler(
+                queue=JobQueue(4), workers=1, collector=None,
+                logger=NULL_LOGGER, slow_job_threshold=60.0,
+            )
+            scheduler.start()
+            record, _ = scheduler.submit(
+                token="tok", kind="plan", description="fast",
+                run=lambda: {"ok": True},
+            )
+            await wait_for(lambda: record.state is JobState.DONE)
+            assert scheduler.check_slow_jobs() == 0
+            await scheduler.shutdown(grace=5)
+
+        run_async(scenario())
+
+    def test_watchdog_task_lifecycle(self):
+        async def scenario():
+            scheduler = Scheduler(
+                queue=JobQueue(4), workers=1, collector=None,
+                logger=NULL_LOGGER, slow_job_threshold=30.0,
+            )
+            scheduler.start()
+            assert scheduler._watchdog_task is not None
+            await scheduler.shutdown(grace=5)
+            assert scheduler._watchdog_task is None
+
+            disabled = Scheduler(
+                queue=JobQueue(4), workers=1, collector=None,
+                logger=NULL_LOGGER, slow_job_threshold=None,
+            )
+            disabled.start()
+            assert disabled._watchdog_task is None
+            await disabled.shutdown(grace=5)
+
+        run_async(scenario())
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            Scheduler(slow_job_threshold=0)
+        with pytest.raises(ValueError):
+            Scheduler(slow_job_threshold=-1.0)
+
+
+class TestArtifactDurations:
+    def test_artifact_duration_family_observes_completions(self):
+        async def scenario():
+            registry = build_unified_registry()
+            scheduler = Scheduler(
+                queue=JobQueue(4), workers=1, registry=registry,
+                collector=None, logger=NULL_LOGGER,
+                slow_job_threshold=None,
+            )
+            scheduler.start()
+            record, _ = scheduler.submit(
+                token="tok", kind="artifact", description="d",
+                run=lambda: {"ok": True}, artifact="figure4",
+            )
+            await wait_for(lambda: record.state is JobState.DONE)
+            await scheduler.shutdown(grace=5)
+            return registry
+
+        registry = run_async(scenario())
+        family = registry.get("repro_artifact_duration_seconds")
+        assert family.labels("figure4").count == 1
+        assert 'artifact="figure4"' in registry.render()
+
+
+class TestEndToEnd:
+    def test_submitted_trace_id_reaches_every_layer(self):
+        from repro.service.client import ServiceClient
+        from repro.service.server import ServiceInThread
+
+        trace_id = "f" * 32
+        service = ServiceInThread(workers=1, slow_job_threshold=None)
+        with service:
+            with ServiceClient(service.host, service.port) as client:
+                # seed 91 keeps the shared result cache out of the way:
+                # cache hits skip measurement spans by design.
+                job = client.submit_artifact(
+                    "figure4", repeats=1, seed=91, trace_id=trace_id
+                )
+                assert job["trace_id"] == trace_id
+                client.wait(job["id"], timeout=120)
+        spans = service.server.collector.spans
+        categories = {
+            s.category for s in spans if s.trace_id == trace_id
+        }
+        assert {"service", "queue", "scheduler", "executor",
+                "measurement"} <= categories
+        # measurement spans carried the simulated machine's results
+        measures = [
+            s for s in spans
+            if s.trace_id == trace_id and s.category == "measurement"
+        ]
+        assert measures
+        assert all("measured" in s.attributes for s in measures)
