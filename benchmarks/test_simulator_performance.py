@@ -15,6 +15,7 @@ from repro.core import (
     Pattern,
     run_measurement,
 )
+from repro.kernel.snapshot import configure_default_store
 
 
 def test_null_measurement_throughput(benchmark):
@@ -36,6 +37,31 @@ def test_million_iteration_loop_measurement(benchmark):
     loop = LoopBenchmark(1_000_000)
     result = benchmark(run_measurement, config, loop)
     assert result.expected == 3_000_001
+
+
+def test_repeated_template_measurements(benchmark):
+    """A sweep's inner loop: same template, varying seeds.
+
+    This is the shape the boot-snapshot store accelerates — one image
+    capture, then every boot is a snapshot hit.  The counter assertions
+    run in any mode (CI times nothing); the timing guards the ≥2×
+    fast-path claim locally.
+    """
+    def sweep_slice() -> int:
+        store = configure_default_store(enabled=True)
+        for seed in range(20):
+            run_measurement(
+                MeasurementConfig(
+                    processor="CD", infra="pc", mode=Mode.USER_KERNEL,
+                    seed=seed, io_interrupts=False,
+                ),
+                NullBenchmark(),
+            )
+        return store.stats.hits
+
+    hits = benchmark(sweep_slice)
+    # 20 boots of one template: 1 capture, 19 snapshot hits.
+    assert hits == 19
 
 
 def test_billion_iteration_loop_engine(benchmark):

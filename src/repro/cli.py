@@ -15,8 +15,9 @@ Usage::
     python -m repro metrics
 
 ``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
-processes (results are bit-identical to a serial run), ``--no-cache`` to
-bypass the result cache, and ``--cache-dir`` to persist results on disk.
+processes (results are bit-identical to a serial run), ``--batch-size``
+to tune how many jobs each pool task carries, ``--no-cache`` to bypass
+the result cache, and ``--cache-dir`` to persist results on disk.
 ``serve`` exposes the same engine as a long-lived service speaking the
 line-delimited JSON protocol of :mod:`repro.service`; ``submit`` and
 ``status`` are thin clients for it.
@@ -42,7 +43,13 @@ from repro.core.benchmarks import LoopBenchmark, NullBenchmark
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
 from repro.errors import ConfigurationError
-from repro.exec import configure_default_cache, resolve_jobs, set_default_jobs
+from repro.exec import (
+    configure_default_cache,
+    resolve_batch_size,
+    resolve_jobs,
+    set_default_batch,
+    set_default_jobs,
+)
 from repro.exec.cache import default_cache
 from repro.experiments import (
     ALL_EXPERIMENTS,
@@ -99,6 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     reproduce.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help=(
+            "jobs shipped per pool task under --jobs (default: "
+            "REPRO_BATCH or an automatic size from the plan and worker "
+            "counts; results are identical for any value)"
+        ),
+    )
+    reproduce.add_argument(
         "--no-cache", action="store_true",
         help="disable the in-memory/on-disk result cache",
     )
@@ -125,6 +140,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes (spans cross the pool boundary)",
+    )
+    trace.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="jobs shipped per pool task under --jobs",
     )
     trace.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -513,8 +532,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             set_default_jobs(args.jobs)
             resolve_jobs()  # surface a bad REPRO_JOBS before running
+            set_default_batch(args.batch_size)
+            resolve_batch_size(None, 1, 1)  # ...and a bad REPRO_BATCH
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.command == "serve":
+        # Structured exit-2 errors, not a traceback from deep in the
+        # service stack.
+        for flag, value, floor in (
+            ("workers", args.workers, 1),
+            ("queue-depth", args.queue_depth, 1),
+        ):
+            if value < floor:
+                print(
+                    f"error: {flag} must be >= {floor}, got {value}",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.request_timeout <= 0:
+            print(
+                "error: request-timeout must be > 0, got "
+                f"{args.request_timeout}",
+                file=sys.stderr,
+            )
             return 2
     if args.command == "reproduce":
         if args.no_cache or args.cache_dir:

@@ -26,10 +26,11 @@ from typing import Iterator, Protocol
 
 import numpy as np
 
-from repro.cpu.events import Event, PrivLevel, events_from_work
+from repro.cpu.events import Event, PrivLevel, cached_event_deltas
 from repro.cpu.frequency import FrequencyPolicy, Governor
 from repro.cpu.models.base import MicroArch
 from repro.cpu.msr import MsrFile
+from repro.cpu.timing import TimingModel
 from repro.errors import PrivilegeError
 from repro.isa.block import Block, Chunk, Loop
 from repro.isa.work import WorkVector
@@ -60,12 +61,16 @@ class Core:
         uarch: MicroArch,
         rng: np.random.Generator,
         governor: Governor = Governor.PERFORMANCE,
+        timing: TimingModel | None = None,
     ) -> None:
         self.uarch = uarch
         self.rng = rng
         self.pmu = uarch.make_pmu()
         self.msr = MsrFile(self.pmu, uarch.event_codes)
-        self.timing = uarch.make_timing()
+        # The timing model is a frozen value object: boot snapshots
+        # (:mod:`repro.kernel.snapshot`) share one instance across every
+        # machine booted from the same template.
+        self.timing = timing if timing is not None else uarch.make_timing()
         self.freq = FrequencyPolicy(
             p_states_hz=uarch.p_states_hz(), governor=governor
         )
@@ -87,6 +92,27 @@ class Core:
         self.loop_warmup_cycles = 150.0
         #: Optional retirement observer (see :mod:`repro.trace`).
         self.tracer = None
+        # -- hot-loop memoization (pure derived values) -------------------
+        # Cycle costs depend only on (work, clock ratio) and loop CPI
+        # only on (body, address, clock ratio); under the paper's pinned
+        # PERFORMANCE governor the ratio never changes, so these memos
+        # turn the per-retirement timing-model walk into a dict hit.
+        # ``_memo_hz`` tracks the clock the memos were computed at; a
+        # governor retune (ondemand) invalidates both.
+        self._memo_hz = self.freq.current_hz
+        self._work_cycles_memo: dict[WorkVector, float] = {}
+        self._loop_cpi_memo: dict[tuple[Chunk, int], float] = {}
+        # Preallocated event-delta buffer for retire(); the busy flag
+        # falls back to a fresh dict when an overflow handler re-enters
+        # retire() mid-count (sampling mode).
+        self._delta_scratch: dict[Event, int | float] = {}
+        self._scratch_free = True
+
+    def _invalidate_timing_memos(self, current_hz: float) -> None:
+        """Drop derived cycle costs after a governor retune."""
+        self._memo_hz = current_hz
+        self._work_cycles_memo.clear()
+        self._loop_cpi_memo.clear()
 
     # -- retirement --------------------------------------------------------
 
@@ -99,16 +125,34 @@ class Core:
         """Retire straight-line work in the current privilege mode."""
         if work.is_zero and not cycles:
             return
+        current_hz = self.freq.current_hz
+        if current_hz != self._memo_hz:
+            self._invalidate_timing_memos(current_hz)
         if cycles is None:
-            cycles = self.timing.cycles_for_work(
-                work, self.freq.current_hz / self.uarch.freq_hz
-            )
+            cycles = self._work_cycles_memo.get(work)
+            if cycles is None:
+                cycles = self.timing.cycles_for_work(
+                    work, current_hz / self.uarch.freq_hz
+                )
+                if len(self._work_cycles_memo) >= 4096:
+                    self._work_cycles_memo.clear()
+                self._work_cycles_memo[work] = cycles
         if self.tracer is not None:
             self.tracer.record(label, self.mode, work, cycles)
-        deltas: dict[Event, int | float] = dict(events_from_work(work))
+        if self._scratch_free:
+            self._scratch_free = False
+            deltas = self._delta_scratch
+            deltas.clear()
+            deltas.update(cached_event_deltas(work))
+        else:
+            deltas = dict(cached_event_deltas(work))
         deltas[Event.CYCLES] = cycles
         deltas[Event.BUS_CYCLES] = cycles * 0.1
-        self.pmu.count(deltas, self.mode)
+        try:
+            self.pmu.count(deltas, self.mode)
+        finally:
+            if deltas is self._delta_scratch:
+                self._scratch_free = True
         self._advance(cycles)
         self._poll_interrupts()
 
@@ -145,14 +189,25 @@ class Core:
             self.retire(WorkVector.zero(),
                         cycles=float(self.rng.uniform(0, self.loop_warmup_cycles)))
         remaining = loop.trips
+        memo_key = (loop.body, body_address)
         while remaining > 0:
-            # Recompute per slice: an interrupt may have retuned the
-            # clock (ondemand governor), changing memory latency in
-            # cycles.
-            cpi = self.timing.loop_cycles_per_iteration(
-                loop.body, body_address,
-                self.freq.current_hz / self.uarch.freq_hz,
-            )
+            # An interrupt may have retuned the clock (ondemand
+            # governor), changing memory latency in cycles; the memo is
+            # keyed to the clock via ``_memo_hz`` and invalidated on
+            # retune, so under the pinned PERFORMANCE governor the CPI
+            # is computed once per (body, address) instead of per slice.
+            current_hz = self.freq.current_hz
+            if current_hz != self._memo_hz:
+                self._invalidate_timing_memos(current_hz)
+            cpi = self._loop_cpi_memo.get(memo_key)
+            if cpi is None:
+                cpi = self.timing.loop_cycles_per_iteration(
+                    loop.body, body_address,
+                    current_hz / self.uarch.freq_hz,
+                )
+                if len(self._loop_cpi_memo) >= 4096:
+                    self._loop_cpi_memo.clear()
+                self._loop_cpi_memo[memo_key] = cpi
             trips = remaining
             horizon = self._cycles_until_interrupt()
             if horizon is not None:

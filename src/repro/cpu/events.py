@@ -81,3 +81,26 @@ def events_from_work(work: WorkVector) -> dict[Event, int]:
         Event.STORES_RETIRED: work.stores,
         Event.DCACHE_MISSES: work.dcache_misses,
     }
+
+
+#: Shared per-work delta dicts.  The simulator retires the same chunk
+#: vocabulary (library wrappers, kernel handlers, loop bodies) millions
+#: of times per sweep; work vectors are immutable, so one mapping per
+#: vector serves the whole process.
+_DELTAS_MEMO: dict[WorkVector, dict[Event, int]] = {}
+_DELTAS_MEMO_BOUND = 8192
+
+
+def cached_event_deltas(work: WorkVector) -> dict[Event, int]:
+    """A shared ``events_from_work`` result for ``work``.
+
+    The returned dict is shared across callers and MUST be treated as
+    read-only; copy it before adding cycle-domain entries.
+    """
+    deltas = _DELTAS_MEMO.get(work)
+    if deltas is None:
+        deltas = events_from_work(work)
+        if len(_DELTAS_MEMO) >= _DELTAS_MEMO_BOUND:
+            _DELTAS_MEMO.clear()
+        _DELTAS_MEMO[work] = deltas
+    return deltas

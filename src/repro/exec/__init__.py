@@ -41,7 +41,9 @@ from repro.exec.executor import (
     ParallelExecutor,
     SerialExecutor,
     get_executor,
+    resolve_batch_size,
     resolve_jobs,
+    set_default_batch,
     set_default_jobs,
 )
 from repro.exec.plan import (
@@ -70,7 +72,9 @@ __all__ = [
     "configure_default_cache",
     "default_cache",
     "get_executor",
+    "resolve_batch_size",
     "resolve_jobs",
+    "set_default_batch",
     "set_default_jobs",
     "stable_token",
     "sweep_plan",

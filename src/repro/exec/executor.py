@@ -20,11 +20,23 @@ are never re-executed.
 Worker-count resolution, in precedence order: an explicit argument,
 :func:`set_default_jobs` (the CLI's ``--jobs``), the ``REPRO_JOBS``
 environment variable, then 1 (serial).
+
+Parallel dispatch is *batched*: instead of paying pickling and IPC per
+job, the coordinator ships contiguous runs of N jobs per pool task
+(:func:`_run_batch`) and streams each batch's results back in plan
+order.  Batch-size resolution mirrors the worker-count chain — explicit
+argument, :func:`set_default_batch` (the CLI's ``--batch-size``), the
+``REPRO_BATCH`` environment variable, then an automatic size derived
+from the pending-job count and the worker count.  Batches also carry
+the workers' snapshot-store hit counts home (see
+:mod:`repro.kernel.snapshot`), so ``ExecutorStats`` accounts for boots
+absorbed on the far side of the process boundary.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -35,6 +47,7 @@ from repro.analysis.table import ResultTable
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache, default_cache
 from repro.exec.plan import MeasurementPlan
+from repro.kernel.snapshot import snapshot_hits_total
 
 #: Sentinel: "use the process-wide default cache" (pass None to disable).
 _DEFAULT = object()
@@ -88,6 +101,31 @@ def _execute_job_traced(item: "tuple[Job, int, dict[str, Any]]") -> Any:
     return result, collector.wire()
 
 
+#: One pool task: contiguous jobs, their plan indices, and the trace
+#: carrier (None when tracing is off).
+_BatchPayload = "tuple[Sequence[Job], Sequence[int], dict[str, Any] | None]"
+
+
+def _run_batch(payload: Any) -> "tuple[list[Any], Any | None, int]":
+    """Worker entry point for one dispatched batch.
+
+    Runs the batch's jobs in order and returns ``(results, wires,
+    snapshot_hits)``: the results list, the batch's finished trace
+    spans (or None when tracing is off — one collector serves the whole
+    batch instead of one per job), and how many machine boots the
+    worker's snapshot store absorbed while running it.
+    """
+    jobs, indices, carrier_data = payload
+    hits_before = snapshot_hits_total()
+    if carrier_data is None:
+        results = [job.execute() for job in jobs]
+        return results, None, snapshot_hits_total() - hits_before
+    collector, context, retirements = obs.collector_from_carrier(carrier_data)
+    with obs.activate(collector, context=context, retirements=retirements):
+        results = [_run_job(job, index) for job, index in zip(jobs, indices)]
+    return results, collector.wire(), snapshot_hits_total() - hits_before
+
+
 def _token_of(job: Job) -> str | None:
     token_fn = getattr(job, "cache_token", None)
     return token_fn() if callable(token_fn) else None
@@ -102,11 +140,18 @@ class ExecutorStats:
     ``executed`` the jobs that actually ran.  The service layer
     surfaces these (and the CLI prints the cache side after
     ``reproduce``), so the split is part of the public engine API.
+
+    ``batches`` counts dispatch units (pool tasks, or one per inline
+    ``_execute``) and ``snapshot_hits`` the machine boots answered by a
+    snapshot store while executing — including hits inside pool
+    workers, which each batch ships home.
     """
 
     jobs: int = 0
     cache_hits: int = 0
     executed: int = 0
+    batches: int = 0
+    snapshot_hits: int = 0
 
 
 #: Process-lifetime aggregate over every executor instance, read by the
@@ -128,6 +173,13 @@ class Executor(abc.ABC):
         ``indices`` are the jobs' positions in the original mapping,
         used to label per-job trace spans.
         """
+
+    def _record_dispatch(self, batches: int, snapshot_hits: int) -> None:
+        """Account one ``_execute``'s dispatch units and snapshot hits."""
+        self.stats.batches += batches
+        self.stats.snapshot_hits += snapshot_hits
+        GLOBAL_STATS.batches += batches
+        GLOBAL_STATS.snapshot_hits += snapshot_hits
 
     def map(
         self,
@@ -188,16 +240,28 @@ class SerialExecutor(Executor):
     """Runs every job in the coordinating process, in plan order."""
 
     def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
-        return [_run_job(job, index) for job, index in zip(jobs, indices)]
+        hits_before = snapshot_hits_total()
+        with obs.span(
+            "executor.dispatch", category="executor",
+            batches=1, batch_size=len(jobs), workers=1,
+        ):
+            results = [_run_job(job, index) for job, index in zip(jobs, indices)]
+        self._record_dispatch(1, snapshot_hits_total() - hits_before)
+        return results
 
 
 class ParallelExecutor(Executor):
-    """Fans jobs out over a process pool.
+    """Fans batches of jobs out over a process pool.
 
     Results are identical to :class:`SerialExecutor`'s because every
     job is fully seeded and boots its own machine; only wall-clock time
-    differs.  Small batches fall back to in-process execution so the
+    differs.  Small runs fall back to in-process execution so the
     pool's startup cost is never paid for a handful of jobs.
+
+    Dispatch is chunked: each pool task carries ``batch_size``
+    contiguous jobs (see :func:`resolve_batch_size`), amortising
+    pickling and IPC — and, in traced runs, the per-task collector
+    rebuild — over the whole batch.
     """
 
     #: Below this many jobs the pool costs more than it saves.
@@ -208,33 +272,104 @@ class ParallelExecutor(Executor):
         max_workers: int | None = None,
         cache: "ResultCache | None | object" = _DEFAULT,
         chunksize: int | None = None,
+        batch_size: int | None = None,
     ) -> None:
         super().__init__(cache)
         workers = resolve_jobs(max_workers)
         if workers <= 1:
             workers = os.cpu_count() or 2
         self.max_workers = workers
-        self.chunksize = chunksize
+        # ``chunksize`` is the pre-batching name for the same knob;
+        # keep accepting it, with ``batch_size`` taking precedence.
+        self.batch_size = batch_size if batch_size is not None else chunksize
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch size must be >= 1, got {self.batch_size}"
+            )
 
     def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
         if len(jobs) < max(self.MIN_BATCH, 2):
-            return [_run_job(job, index) for job, index in zip(jobs, indices)]
-        workers = min(self.max_workers, len(jobs))
-        chunk = self.chunksize or max(1, len(jobs) // (workers * 4))
-        carrier = obs.carrier()
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            if carrier is None:
-                return list(pool.map(_execute_job, jobs, chunksize=chunk))
-            collector = obs.current_collector()
-            results: list[Any] = []
-            for result, wires in pool.map(
-                _execute_job_traced,
-                [(job, index, carrier) for job, index in zip(jobs, indices)],
-                chunksize=chunk,
+            hits_before = snapshot_hits_total()
+            with obs.span(
+                "executor.dispatch", category="executor",
+                batches=1, batch_size=len(jobs), workers=1,
             ):
-                collector.absorb(wires)
-                results.append(result)
+                results = [
+                    _run_job(job, index) for job, index in zip(jobs, indices)
+                ]
+            self._record_dispatch(1, snapshot_hits_total() - hits_before)
             return results
+        workers = min(self.max_workers, len(jobs))
+        size = resolve_batch_size(self.batch_size, len(jobs), workers)
+        results: list[Any] = []
+        snapshot_hits = 0
+        with obs.span(
+            "executor.dispatch", category="executor",
+            batches=math.ceil(len(jobs) / size), batch_size=size,
+            workers=workers,
+        ):
+            # Captured inside the span so worker-side job spans parent
+            # onto it, exactly as serial job spans do.
+            carrier = obs.carrier()
+            payloads = [
+                (jobs[start:start + size], indices[start:start + size], carrier)
+                for start in range(0, len(jobs), size)
+            ]
+            collector = obs.current_collector() if carrier is not None else None
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                for batch_results, wires, batch_hits in pool.map(
+                    _run_batch, payloads
+                ):
+                    if collector is not None and wires is not None:
+                        collector.absorb(wires)
+                    results.extend(batch_results)
+                    snapshot_hits += batch_hits
+        self._record_dispatch(len(payloads), snapshot_hits)
+        return results
+
+
+# -- batch-size resolution --------------------------------------------------
+
+_default_batch: int | None = None
+
+
+def set_default_batch(batch: int | None) -> None:
+    """Set the process-wide batch size (the CLI's ``--batch-size``)."""
+    global _default_batch
+    if batch is not None and batch < 1:
+        raise ConfigurationError(f"batch size must be >= 1, got {batch}")
+    _default_batch = batch
+
+
+def resolve_batch_size(
+    explicit: int | None, pending: int, workers: int
+) -> int:
+    """Jobs per pool task: explicit > set_default_batch > $REPRO_BATCH > auto.
+
+    The automatic size aims at about four batches per worker — small
+    enough to keep the pool balanced when job durations vary, large
+    enough to amortise pickling and IPC — and is capped at 64 so one
+    straggler batch can never serialise a big plan.
+    """
+    for candidate in (explicit, _default_batch):
+        if candidate is not None:
+            if candidate < 1:
+                raise ConfigurationError(
+                    f"batch size must be >= 1, got {candidate}"
+                )
+            return candidate
+    env = os.environ.get("REPRO_BATCH", "").strip()
+    if env:
+        try:
+            batch = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_BATCH must be an integer, got {env!r}"
+            ) from None
+        if batch < 1:
+            raise ConfigurationError(f"REPRO_BATCH must be >= 1, got {batch}")
+        return batch
+    return max(1, min(64, math.ceil(pending / (workers * 4))))
 
 
 # -- worker-count resolution ----------------------------------------------
@@ -276,13 +411,15 @@ def resolve_jobs(explicit: int | None = None) -> int:
 def get_executor(
     jobs: int | None = None,
     cache: "ResultCache | None | object" = _DEFAULT,
+    batch_size: int | None = None,
 ) -> Executor:
     """The executor the current settings call for.
 
     ``jobs == 1`` (the default) gives the serial executor; anything
-    higher a process pool of that size.
+    higher a process pool of that size, dispatching ``batch_size`` jobs
+    per pool task (resolved per run when None).
     """
     n = resolve_jobs(jobs)
     if n <= 1:
         return SerialExecutor(cache=cache)
-    return ParallelExecutor(max_workers=n, cache=cache)
+    return ParallelExecutor(max_workers=n, cache=cache, batch_size=batch_size)

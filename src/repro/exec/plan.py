@@ -188,15 +188,24 @@ class MeasurementJob:
         return result
 
     def cache_token(self) -> str:
-        """Content address: config factors + benchmark identity."""
-        c = self.config
-        return stable_token(
-            "measurement",
-            c.processor, c.infra, c.pattern.short, c.mode.value,
-            c.opt_level.value, c.n_counters, c.tsc,
-            c.primary_event.value, c.seed, c.io_interrupts,
-            c.governor.value, self.benchmark.identity,
-        )
+        """Content address: config factors + benchmark identity.
+
+        Computed once per job: the dataclass is frozen, so the token
+        cannot change, and the executor asks for it on every ``map``
+        while the service layer asks again for dedup.
+        """
+        token = self.__dict__.get("_cache_token")
+        if token is None:
+            c = self.config
+            token = stable_token(
+                "measurement",
+                c.processor, c.infra, c.pattern.short, c.mode.value,
+                c.opt_level.value, c.n_counters, c.tsc,
+                c.primary_event.value, c.seed, c.io_interrupts,
+                c.governor.value, self.benchmark.identity,
+            )
+            object.__setattr__(self, "_cache_token", token)
+        return token
 
 
 # -- plans -----------------------------------------------------------------
@@ -276,17 +285,21 @@ class MeasurementPlan:
         to the builder's qualified name (closures cannot be hashed
         portably).
         """
-        builder = (
-            getattr(self.row_builder, "__qualname__", repr(self.row_builder))
-            if self.row_builder is not None
-            else None
-        )
-        return stable_token(
-            "plan",
-            ",".join(self.result_fields),
-            builder,
-            *(job.cache_token() for job in self.jobs),
-        )
+        token = self.__dict__.get("_cache_token")
+        if token is None:
+            builder = (
+                getattr(self.row_builder, "__qualname__", repr(self.row_builder))
+                if self.row_builder is not None
+                else None
+            )
+            token = stable_token(
+                "plan",
+                ",".join(self.result_fields),
+                builder,
+                *(job.cache_token() for job in self.jobs),
+            )
+            object.__setattr__(self, "_cache_token", token)
+        return token
 
     @classmethod
     def concat(cls, plans: Sequence["MeasurementPlan"]) -> "MeasurementPlan":

@@ -119,6 +119,14 @@ class CodeBuilder:
         return self
 
 
+#: Memo of built library-path chunks.  Every measurement retires the
+#: same handful of wrapper paths (open, control, per-read prologue...);
+#: chunks are immutable, so one instance per (size, label) serves the
+#: whole process.
+_USER_CHUNK_MEMO: dict[tuple[int, str], Chunk] = {}
+_USER_CHUNK_MEMO_BOUND = 8192
+
+
 def user_code_chunk(instructions: int, label: str) -> Chunk:
     """A user-space library code path of exactly ``instructions``.
 
@@ -126,6 +134,10 @@ def user_code_chunk(instructions: int, label: str) -> Chunk:
     remainder ALU); the mix feeds only the timing model, while the
     instruction total — which the accuracy study counts — is exact.
     """
+    key = (instructions, label)
+    memoized = _USER_CHUNK_MEMO.get(key)
+    if memoized is not None:
+        return memoized
     loads = instructions // 8
     stores = instructions // 8
     chunk = (
@@ -138,7 +150,7 @@ def user_code_chunk(instructions: int, label: str) -> Chunk:
     # Library code touches its own state structures: a small fraction
     # of loads miss the data cache (pollution, Dongarra et al.'s
     # "indirect effects" of instrumentation).
-    return Chunk(
+    built = Chunk(
         work=WorkVector(
             instructions=chunk.work.instructions,
             branches=chunk.work.branches,
@@ -151,3 +163,7 @@ def user_code_chunk(instructions: int, label: str) -> Chunk:
         label=label,
         size_bytes=chunk.size_bytes,
     )
+    if len(_USER_CHUNK_MEMO) >= _USER_CHUNK_MEMO_BOUND:
+        _USER_CHUNK_MEMO.clear()
+    _USER_CHUNK_MEMO[key] = built
+    return built

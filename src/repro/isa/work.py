@@ -45,10 +45,25 @@ class WorkVector:
     dcache_misses: int = 0
 
     def __post_init__(self) -> None:
-        for f in fields(self):
-            value = getattr(self, f.name)
-            if value < 0:
-                raise ValueError(f"WorkVector.{f.name} must be >= 0, got {value}")
+        # This runs on every composed vector in the simulator's hottest
+        # loops; the one chained comparison keeps the common (valid)
+        # case free of the reflective dataclasses.fields() walk, which
+        # only runs to name the offending field on failure.
+        if (
+            self.instructions < 0
+            or self.branches < 0
+            or self.taken_branches < 0
+            or self.loads < 0
+            or self.stores < 0
+            or self.serializing < 0
+            or self.dcache_misses < 0
+        ):
+            for f in fields(self):
+                value = getattr(self, f.name)
+                if value < 0:
+                    raise ValueError(
+                        f"WorkVector.{f.name} must be >= 0, got {value}"
+                    )
         if self.taken_branches > self.branches:
             raise ValueError(
                 f"taken_branches ({self.taken_branches}) cannot exceed "

@@ -15,20 +15,36 @@ paper's Figure 7.
 from repro.kernel.kcode import KernelCosts, kernel_chunk
 from repro.kernel.calibration import KERNEL_BUILDS, KernelBuildConfig, SkidConfig
 from repro.kernel.interrupts import InterruptController
+from repro.kernel.snapshot import (
+    BootImage,
+    KernelChunkSet,
+    SnapshotStats,
+    SnapshotStore,
+    boot_image,
+    configure_default_store,
+    default_store,
+)
 from repro.kernel.thread import Thread
 from repro.kernel.scheduler import Scheduler
 from repro.kernel.syscalls import SyscallTable
 from repro.kernel.system import Machine
 
 __all__ = [
+    "BootImage",
     "InterruptController",
     "KERNEL_BUILDS",
     "KernelBuildConfig",
+    "KernelChunkSet",
     "KernelCosts",
     "Machine",
     "Scheduler",
     "SkidConfig",
+    "SnapshotStats",
+    "SnapshotStore",
     "SyscallTable",
     "Thread",
+    "boot_image",
+    "configure_default_store",
+    "default_store",
     "kernel_chunk",
 ]

@@ -18,6 +18,7 @@ import numpy as np
 from repro.cpu.frequency import Governor
 from repro.kernel.calibration import KernelBuildConfig
 from repro.kernel.kcode import kernel_chunk
+from repro.kernel.snapshot import KernelChunkSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cpu.core import Core
@@ -40,6 +41,8 @@ class InterruptController:
             I/O handler sizes.
         io_interrupts: set False to disable non-timer interrupts
             (useful for deterministic unit tests).
+        chunks: prebuilt handler chunks from a boot snapshot; built
+            from ``build`` when omitted.
     """
 
     def __init__(
@@ -48,6 +51,7 @@ class InterruptController:
         scheduler: "Scheduler",
         rng: np.random.Generator,
         io_interrupts: bool = True,
+        chunks: KernelChunkSet | None = None,
     ) -> None:
         self.build = build
         self.scheduler = scheduler
@@ -62,15 +66,13 @@ class InterruptController:
         self.next_io_s = self._draw_io_arrival(0.0)
         self.ticks_delivered = 0
         self.io_delivered = 0
-        self._irq_entry = build.costs.irq_entry_chunk()
-        self._irq_exit = build.costs.irq_exit_chunk()
-        self._tick_body = build.costs.timer_tick_chunk()
-        self._ext_hook = (
-            kernel_chunk(build.ext_tick_hook, f"{build.name}:tick-hook")
-            if build.ext_tick_hook
-            else None
-        )
-        self._governor_body = build.costs.governor_chunk()
+        if chunks is None:
+            chunks = KernelChunkSet.for_build(build)
+        self._irq_entry = chunks.irq_entry
+        self._irq_exit = chunks.irq_exit
+        self._tick_body = chunks.timer_tick
+        self._ext_hook = chunks.ext_tick_hook
+        self._governor_body = chunks.governor
 
     # -- InterruptSource protocol -----------------------------------------
 

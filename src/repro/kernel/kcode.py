@@ -21,12 +21,24 @@ from repro.isa.block import Chunk
 from repro.isa.work import WorkVector
 
 
+#: Memo of built kernel chunks.  Chunks are immutable value objects, so
+#: one instance per (size, label) serves every boot and every interrupt
+#: delivery in the process.  The label space is fixed and handler sizes
+#: are drawn from bounded ranges, but clear defensively anyway.
+_CHUNK_MEMO: dict[tuple[int, str], Chunk] = {}
+_CHUNK_MEMO_BOUND = 8192
+
+
 def kernel_chunk(instructions: int, label: str) -> Chunk:
     """A kernel code path of ``instructions`` with a typical mix.
 
     The mix (≈12% branches, ≈22% loads, ≈14% stores) approximates
     compiled kernel C; it feeds the timing model only.
     """
+    key = (instructions, label)
+    chunk = _CHUNK_MEMO.get(key)
+    if chunk is not None:
+        return chunk
     if instructions < 0:
         raise ConfigurationError(
             f"kernel path {label!r} cannot have {instructions} instructions"
@@ -43,7 +55,11 @@ def kernel_chunk(instructions: int, label: str) -> Chunk:
         # loads miss, polluting any concurrent cache-miss measurement.
         dcache_misses=loads // 24,
     )
-    return Chunk(work=work, label=label)
+    chunk = Chunk(work=work, label=label)
+    if len(_CHUNK_MEMO) >= _CHUNK_MEMO_BOUND:
+        _CHUNK_MEMO.clear()
+    _CHUNK_MEMO[key] = chunk
+    return chunk
 
 
 @dataclass(frozen=True)

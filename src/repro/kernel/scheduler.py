@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import MachineStateError
+from repro.isa.block import Chunk
 from repro.kernel.calibration import KernelBuildConfig
 from repro.kernel.thread import Thread
 
@@ -30,6 +31,7 @@ class Scheduler:
         core: "Core",
         build: KernelBuildConfig,
         quantum_ticks: int = 20,
+        switch_chunk: Chunk | None = None,
     ) -> None:
         if quantum_ticks < 1:
             raise MachineStateError(f"quantum must be >= 1 tick, got {quantum_ticks}")
@@ -42,7 +44,13 @@ class Scheduler:
         self.switches = 0
         self._next_tid = 1
         self._ticks_in_quantum = 0
-        self._switch_chunk = build.costs.context_switch_chunk()
+        # Boot snapshots pass the prebuilt chunk; a bare Scheduler
+        # builds its own.
+        self._switch_chunk = (
+            switch_chunk
+            if switch_chunk is not None
+            else build.costs.context_switch_chunk()
+        )
 
     def spawn(self, name: str) -> Thread:
         """Create a runnable thread."""

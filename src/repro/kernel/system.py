@@ -22,12 +22,13 @@ import numpy as np
 from repro.cpu.core import Core
 from repro.cpu.events import PrivLevel
 from repro.cpu.frequency import Governor
-from repro.cpu.models import MicroArch, microarch
-from repro.errors import ConfigurationError, MachineStateError
+from repro.cpu.models import MicroArch
+from repro.errors import MachineStateError
 from repro.isa.work import WorkVector
-from repro.kernel.calibration import KERNEL_BUILDS, KernelBuildConfig
+from repro.kernel.calibration import KernelBuildConfig
 from repro.kernel.interrupts import InterruptController
 from repro.kernel.scheduler import Scheduler
+from repro.kernel.snapshot import BootImage, boot_image
 from repro.kernel.syscalls import SyscallTable
 from repro.kernel.thread import Thread
 
@@ -43,6 +44,10 @@ class Machine:
         io_interrupts: deliver stochastic non-timer interrupts.
         quantum_ticks: scheduler time slice, in timer ticks.
         loop_warmup: charge first-iteration warm-up cycles to loops.
+        image: a captured :class:`~repro.kernel.snapshot.BootImage` to
+            boot from; when omitted, one is fetched from the default
+            snapshot store (and ``processor``/``kernel`` select it).
+            An explicit image overrides ``processor`` and ``kernel``.
     """
 
     def __init__(
@@ -54,40 +59,43 @@ class Machine:
         io_interrupts: bool = True,
         quantum_ticks: int = 20,
         loop_warmup: bool = True,
+        image: BootImage | None = None,
     ) -> None:
-        if isinstance(kernel, KernelBuildConfig):
-            # Ablation studies boot custom builds (different HZ, hook
-            # sizes...) without registering them globally.
-            self.build = kernel
-        else:
-            try:
-                self.build = KERNEL_BUILDS[kernel]
-            except KeyError:
-                known = ", ".join(sorted(KERNEL_BUILDS))
-                raise ConfigurationError(
-                    f"unknown kernel build {kernel!r}; known builds: {known}"
-                ) from None
+        # The seed-independent half of the boot (registry validation,
+        # timing model, kernel chunk builds) comes from a snapshot
+        # image; identical templates share one image via the default
+        # store.  Everything below this line is seed-dependent and is
+        # built fresh, in cold-boot order, so the machine draws the
+        # same random stream either way.
+        if image is None:
+            image = boot_image(processor, kernel)
+        self.image = image
+        self.build = image.build
         self.rng = np.random.default_rng(seed)
-        self.uarch: MicroArch = (
-            processor if isinstance(processor, MicroArch) else microarch(processor)
+        self.uarch: MicroArch = image.uarch
+        self.core = Core(
+            self.uarch, self.rng, governor=governor, timing=image.timing
         )
-        self.core = Core(self.uarch, self.rng, governor=governor)
         if not loop_warmup:
             self.core.loop_warmup_cycles = 0.0
         self.syscalls = SyscallTable()
-        self.scheduler = Scheduler(self.core, self.build, quantum_ticks)
+        self.scheduler = Scheduler(
+            self.core, self.build, quantum_ticks,
+            switch_chunk=image.chunks.context_switch,
+        )
         self.controller = InterruptController(
-            self.build, self.scheduler, self.rng, io_interrupts=io_interrupts
+            self.build, self.scheduler, self.rng,
+            io_interrupts=io_interrupts, chunks=image.chunks,
         )
         self.core.interrupt_source = self.controller
-        skid = self.build.skid_for(self.uarch.key)
+        skid = image.skid
         self.core.skid_probability = skid.probability
         self.core.skid_bias = skid.bias
         self.core.skid_magnitude = skid.magnitude
         self.extension: Any = self._install_extension()
         self.main_thread: Thread = self.scheduler.spawn("main")
-        self._entry_chunk = self.build.costs.syscall_entry_chunk()
-        self._exit_chunk = self.build.costs.syscall_exit_chunk()
+        self._entry_chunk = image.chunks.syscall_entry
+        self._exit_chunk = image.chunks.syscall_exit
         # Boot complete: hand the core to user space.
         self.core.mode = PrivLevel.USER
 

@@ -387,6 +387,40 @@ def build_unified_registry(
         "Executor jobs that actually ran.",
         fn=_executor_stat("executed"),
     )
+    registry.gauge(
+        "repro_executor_batches",
+        "Dispatch units (pool tasks or inline runs) executors issued.",
+        fn=_executor_stat("batches"),
+    )
+    registry.gauge(
+        "repro_executor_snapshot_hits",
+        "Machine boots answered by a snapshot store during execution, "
+        "including hits inside pool workers.",
+        fn=_executor_stat("snapshot_hits"),
+    )
+
+    def _snapshot_stat(name: str) -> Callable[[], float]:
+        def read() -> float:
+            from repro.kernel.snapshot import GLOBAL_STATS
+
+            return float(getattr(GLOBAL_STATS, name))
+        return read
+
+    registry.gauge(
+        "repro_snapshot_hits",
+        "Boot-image lookups answered by a snapshot store (this process).",
+        fn=_snapshot_stat("hits"),
+    )
+    registry.gauge(
+        "repro_snapshot_misses",
+        "Boot-image lookups that captured a fresh image (this process).",
+        fn=_snapshot_stat("misses"),
+    )
+    registry.gauge(
+        "repro_snapshot_evictions",
+        "Boot images dropped by snapshot-store LRU bounds (this process).",
+        fn=_snapshot_stat("evictions"),
+    )
 
     def _span_count(key: str) -> Callable[[], float]:
         def read() -> float:

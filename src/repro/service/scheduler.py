@@ -609,14 +609,17 @@ def plan_job(
     content addresses), so two clients POSTing the same sweep coalesce
     even though they never exchanged ids.
     """
-    from repro.exec import SerialExecutor
+    from repro.exec import get_executor
 
     plan = _build_plan(plan_data)  # validate at admission, not at run time
     token = plan.cache_token()
     description = f"plan with {len(plan)} job(s)"
 
     def run() -> dict[str, Any]:
-        table = SerialExecutor().run(plan)
+        # Respects --jobs / REPRO_JOBS and --batch-size / REPRO_BATCH,
+        # so a service with workers configured fans big plans out over
+        # a pool with batched dispatch, exactly like the CLI does.
+        table = get_executor().run(plan)
         return {
             "columns": list(table.column_names),
             "rows": [_json_safe(row) for row in table.rows()],

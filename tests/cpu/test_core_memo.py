@@ -1,0 +1,153 @@
+"""Hot-loop memoization: determinism under retunes and reentrancy.
+
+The memos in :class:`~repro.cpu.core.Core` (work-cycle costs, loop CPI,
+the scratch delta buffer) are pure caches — they must never change a
+single count, even when the ondemand governor retunes the clock
+mid-loop or an overflow handler re-enters ``retire``.
+"""
+
+import numpy as np
+
+from repro.cpu.core import Core
+from repro.cpu.events import Event, PrivFilter, cached_event_deltas
+from repro.cpu.frequency import Governor
+from repro.cpu.models import microarch
+from repro.cpu.pmu import CounterConfig
+from repro.isa.builder import CodeBuilder
+from repro.isa.work import WorkVector
+from repro.kernel.system import Machine
+
+
+def fresh_core(governor=Governor.PERFORMANCE, seed=0):
+    return Core(microarch("CD"), np.random.default_rng(seed), governor=governor)
+
+
+def counting(core, event=Event.INSTR_RETIRED, interrupt_on_overflow=False):
+    core.pmu.program(
+        0,
+        CounterConfig(
+            event=event,
+            priv=PrivFilter.ALL,
+            enabled=True,
+            interrupt_on_overflow=interrupt_on_overflow,
+        ),
+    )
+
+
+def loop_of(trips):
+    from repro.isa.block import Loop
+
+    body = CodeBuilder("body").alu(3).load(1).build()
+    header = CodeBuilder("header").alu(2).build()
+    return Loop(body=body, trips=trips, header=header, label="loop")
+
+
+class TestTimingMemos:
+    def test_repeated_retires_hit_the_memo(self):
+        core = fresh_core()
+        work = WorkVector(instructions=10, loads=2)
+        core.retire(work)
+        assert work in core._work_cycles_memo
+        before = dict(core._work_cycles_memo)
+        core.retire(work)
+        assert core._work_cycles_memo == before
+
+    def test_clock_change_invalidates_memos(self):
+        core = fresh_core(governor=Governor.ONDEMAND)
+        work = WorkVector(instructions=10, loads=2)
+        core.retire(work)
+        assert core._work_cycles_memo
+        other = next(
+            hz for hz in core.freq.p_states_hz
+            if hz != core.freq.current_hz
+        )
+        core.freq._current_hz = other  # what a governor retune does
+        core.retire(work)
+        assert core._memo_hz == other
+        # The memo was rebuilt at the new clock, not reused stale.
+        assert list(core._work_cycles_memo) == [work]
+
+    def test_counts_deterministic_under_ondemand(self):
+        """Memoized runs must replay each other exactly, retunes and all."""
+        def run(seed):
+            machine = Machine(seed=seed, governor=Governor.ONDEMAND)
+            counting(machine.core)
+            machine.core.execute_loop(loop_of(50_000), address=0x1000)
+            return machine.core.pmu.read(0), machine.core.cycle
+
+        assert run(3) == run(3)
+
+    def test_loop_cpi_memo_is_keyed_by_body_and_address(self):
+        core = fresh_core()
+        core.loop_warmup_cycles = 0.0
+        loop = loop_of(100)
+        core.execute_loop(loop, address=0x1000)
+        core.execute_loop(loop, address=0x2000)
+        assert len(core._loop_cpi_memo) == 2
+        assert {address for _, address in core._loop_cpi_memo} == {
+            0x1000 + loop.header.size_bytes,
+            0x2000 + loop.header.size_bytes,
+        }
+
+
+class TestSharedDeltaBuffers:
+    def test_cached_event_deltas_is_shared_and_stable(self):
+        work = WorkVector(instructions=7, branches=1)
+        first = cached_event_deltas(work)
+        second = cached_event_deltas(work)
+        assert first is second
+        assert first[Event.INSTR_RETIRED] == 7
+
+    def test_retire_does_not_corrupt_the_shared_mapping(self):
+        core = fresh_core()
+        work = WorkVector(instructions=5)
+        core.retire(work)
+        shared = cached_event_deltas(work)
+        # retire() adds CYCLES/BUS_CYCLES to a copy, never the shared dict.
+        assert Event.CYCLES not in shared
+        assert Event.BUS_CYCLES not in shared
+
+    def test_reentrant_retire_via_overflow_handler(self):
+        """A sampling-mode overflow callback re-enters retire() while the
+        outer retire's delta buffer is mid-count; the nested retire must
+        get its own buffer."""
+        core = fresh_core()
+        counting(core, interrupt_on_overflow=True)
+        limit = core.pmu.counters[0].limit
+        core.pmu.write(0, limit - 5)
+        calls = []
+
+        def handler(index):
+            calls.append(index)
+            if len(calls) == 1:
+                core.retire(WorkVector(instructions=3), label="overflow")
+
+        core.pmu.on_overflow = handler
+        core.retire(WorkVector(instructions=10, loads=2), label="outer")
+        assert len(calls) == 1
+        assert core._scratch_free
+        # limit-5 start, +10 outer +3 nested, one wrap: 8 remain.
+        assert core.pmu.read(0) == 8
+
+
+class TestScratchRelease:
+    def test_scratch_released_after_normal_retire(self):
+        core = fresh_core()
+        core.retire(WorkVector(instructions=4))
+        assert core._scratch_free
+
+    def test_scratch_released_after_pmu_error(self):
+        core = fresh_core()
+
+        class Boom(Exception):
+            pass
+
+        def exploding(deltas, mode):
+            raise Boom()
+
+        core.pmu.count = exploding
+        try:
+            core.retire(WorkVector(instructions=4))
+        except Boom:
+            pass
+        assert core._scratch_free

@@ -1,5 +1,7 @@
 """Unit tests for the declarative plan layer (repro.exec.plan)."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.benchmarks import (
@@ -109,6 +111,17 @@ class TestMeasurementJob:
             != self.make(benchmark=BenchmarkSpec.loop(10)).cache_token()
         )
 
+    def test_token_is_computed_once(self):
+        """The memo is safe because the dataclass really is frozen:
+        any mutation that could invalidate the token raises."""
+        job = self.make()
+        first = job.cache_token()
+        assert job.cache_token() is first
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            job.config = MeasurementConfig(seed=99)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            job.benchmark = BenchmarkSpec.loop(10)
+
 
 class TestMeasurementPlan:
     def test_default_row_is_tags_plus_result_fields(self):
@@ -128,6 +141,22 @@ class TestMeasurementPlan:
     def test_unknown_result_field_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown result"):
             MeasurementPlan(jobs=(), result_fields=("bogus",))
+
+    def test_plan_token_is_computed_once_and_frozen(self):
+        job = MeasurementJob(
+            config=MeasurementConfig(
+                processor="CD", infra="pm", pattern=Pattern.START_READ,
+                mode=Mode.USER, seed=3, io_interrupts=False,
+            ),
+        )
+        plan = MeasurementPlan(jobs=(job,))
+        first = plan.cache_token()
+        assert plan.cache_token() is first
+        # Equal plans still agree after memoization (the memo is
+        # per-instance, the token content-addressed).
+        assert MeasurementPlan(jobs=(job,)).cache_token() == first
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.jobs = ()
 
     def test_result_count_mismatch_rejected(self):
         with pytest.raises(ConfigurationError, match="results for"):

@@ -41,8 +41,12 @@ class TestSerialTracing:
         for span in collector.spans:
             by_name.setdefault(span.name, []).append(span)
         (map_span,) = by_name["executor.map"]
+        (dispatch_span,) = by_name["executor.dispatch"]
+        assert dispatch_span.parent_id == map_span.span_id
         assert len(by_name["job"]) == len(plan)
-        assert all(s.parent_id == map_span.span_id for s in by_name["job"])
+        assert all(
+            s.parent_id == dispatch_span.span_id for s in by_name["job"]
+        )
         assert map_span.attributes["executed"] == len(plan)
         assert map_span.attributes["cache_hits"] == 0
 
@@ -75,11 +79,13 @@ class TestParallelTracing:
         for span in collector.spans:
             by_name.setdefault(span.name, []).append(span)
         (map_span,) = by_name["executor.map"]
+        (dispatch_span,) = by_name["executor.dispatch"]
+        assert dispatch_span.parent_id == map_span.span_id
         job_spans = by_name["job"]
         assert len(job_spans) == len(plan)
-        # Worker spans reconnect to the coordinator's map span and
+        # Worker spans reconnect to the coordinator's dispatch span and
         # share one trace, even though they crossed a pickle boundary.
-        assert all(s.parent_id == map_span.span_id for s in job_spans)
+        assert all(s.parent_id == dispatch_span.span_id for s in job_spans)
         assert all(s.trace_id == map_span.trace_id for s in job_spans)
         assert len({s.span_id for s in collector.spans}) == len(
             collector.spans

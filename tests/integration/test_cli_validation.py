@@ -1,0 +1,91 @@
+"""Structured CLI validation: bad knobs exit 2 with one-line errors.
+
+A user who types ``--jobs 0`` gets ``error: ...`` on stderr and exit
+code 2 — never a traceback from deep inside the engine or the service
+stack.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.exec import set_default_batch, set_default_jobs
+
+
+@pytest.fixture(autouse=True)
+def clean_defaults(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    yield
+    set_default_jobs(None)
+    set_default_batch(None)
+
+
+def expect_error(capsys, argv, message):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert message in err
+    assert "Traceback" not in err
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    def test_non_positive_jobs_exit_2(self, capsys, bad):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--jobs", bad],
+            f"error: jobs must be >= 1, got {bad}",
+        )
+
+    def test_bad_env_jobs_exit_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        expect_error(
+            capsys, ["reproduce", "figure4"],
+            "error: REPRO_JOBS must be an integer",
+        )
+
+    def test_trace_validates_jobs_too(self, capsys):
+        expect_error(
+            capsys, ["trace", "figure4", "--jobs", "0"],
+            "error: jobs must be >= 1, got 0",
+        )
+
+
+class TestBatchSizeValidation:
+    @pytest.mark.parametrize("bad", ["0", "-2"])
+    def test_non_positive_batch_size_exit_2(self, capsys, bad):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--batch-size", bad],
+            f"error: batch size must be >= 1, got {bad}",
+        )
+
+    def test_bad_env_batch_exit_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "many")
+        expect_error(
+            capsys, ["reproduce", "figure4"],
+            "error: REPRO_BATCH must be an integer",
+        )
+
+    def test_trace_validates_batch_size_too(self, capsys):
+        expect_error(
+            capsys, ["trace", "figure4", "--batch-size", "0"],
+            "error: batch size must be >= 1, got 0",
+        )
+
+
+class TestServeValidation:
+    def test_non_positive_workers_exit_2(self, capsys):
+        expect_error(
+            capsys, ["serve", "--workers", "0"],
+            "error: workers must be >= 1, got 0",
+        )
+
+    def test_non_positive_queue_depth_exit_2(self, capsys):
+        expect_error(
+            capsys, ["serve", "--queue-depth", "-1"],
+            "error: queue-depth must be >= 1, got -1",
+        )
+
+    def test_non_positive_request_timeout_exit_2(self, capsys):
+        expect_error(
+            capsys, ["serve", "--request-timeout", "0"],
+            "error: request-timeout must be > 0, got 0.0",
+        )
