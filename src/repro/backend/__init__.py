@@ -1,0 +1,64 @@
+"""repro.backend: pluggable execution backends.
+
+Where batches of measurement jobs run: in-process (``inline``), on a
+per-run process pool (``pool``), or on the persistent warm-worker
+fleet (``warm``).  The executor facades in :mod:`repro.exec.executor`
+and the service scheduler both drive an
+:class:`~repro.backend.base.ExecutionBackend`; which one is resolved
+by :func:`~repro.backend.registry.resolve_backend_name`
+(``--backend`` / ``REPRO_BACKEND``).  See ``docs/backends.md``.
+"""
+
+from repro.backend.base import (
+    GLOBAL_STATS,
+    AdaptiveBatchSizer,
+    BackendStats,
+    CompletedBatch,
+    ExecutionBackend,
+    ExecutionOutcome,
+)
+from repro.backend.inline import InlineBackend
+from repro.backend.knobs import (
+    resolve_batch_cap,
+    resolve_batch_size,
+    resolve_jobs,
+    set_default_batch,
+    set_default_jobs,
+)
+from repro.backend.pool import PoolBackend
+from repro.backend.registry import (
+    BACKEND_NAMES,
+    get_backend,
+    make_backend,
+    resolve_backend_name,
+    set_default_backend,
+    shared_backends,
+    shutdown_backends,
+)
+from repro.backend.warm import WarmBackend, WorkerFailure, warm_available
+
+__all__ = [
+    "AdaptiveBatchSizer",
+    "BACKEND_NAMES",
+    "BackendStats",
+    "CompletedBatch",
+    "ExecutionBackend",
+    "ExecutionOutcome",
+    "GLOBAL_STATS",
+    "InlineBackend",
+    "PoolBackend",
+    "WarmBackend",
+    "WorkerFailure",
+    "get_backend",
+    "make_backend",
+    "resolve_backend_name",
+    "resolve_batch_cap",
+    "resolve_batch_size",
+    "resolve_jobs",
+    "set_default_backend",
+    "set_default_batch",
+    "set_default_jobs",
+    "shared_backends",
+    "shutdown_backends",
+    "warm_available",
+]

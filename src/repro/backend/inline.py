@@ -1,0 +1,72 @@
+"""The inline backend: every job runs in the coordinating process.
+
+This is the serial path — jobs execute in submission order, in this
+process, under the ambient trace context (job spans parent straight
+onto the dispatch span, no carrier round-trip).  It is the default
+backend for ``--jobs 1`` and the baseline every other backend must
+byte-match.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Sequence
+
+from repro.backend.base import CompletedBatch, ExecutionBackend, run_job
+from repro.kernel.snapshot import snapshot_hits_total
+
+
+class InlineBackend(ExecutionBackend):
+    """Runs batches synchronously in this process."""
+
+    name = "inline"
+
+    def __init__(self, batch_cap: int | None = None) -> None:
+        super().__init__(batch_cap)
+        self._completed: deque[CompletedBatch] = deque()
+        self._next_batch = 0
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    @property
+    def inflight(self) -> int:
+        return len(self._completed)
+
+    def _next_batch_size(self, pending: int, cap: int | None) -> int:
+        """One dispatch unit per run: splitting buys nothing in-process."""
+        return pending
+
+    def submit(
+        self,
+        jobs: Sequence[Any],
+        indices: Sequence[int],
+        carrier: "dict[str, Any] | None" = None,
+    ) -> int:
+        """Run the batch right here, right now.
+
+        The ambient collector (if any) is already active in this
+        process, so the carrier is not needed: spans record directly.
+        """
+        batch_id = self._next_batch
+        self._next_batch += 1
+        hits_before = snapshot_hits_total()
+        start = time.perf_counter()
+        results = [run_job(job, index) for job, index in zip(jobs, indices)]
+        self._completed.append(
+            CompletedBatch(
+                batch_id=batch_id,
+                results=results,
+                wires=None,
+                snapshot_hits=snapshot_hits_total() - hits_before,
+                seconds=time.perf_counter() - start,
+            )
+        )
+        return batch_id
+
+    def collect(self) -> CompletedBatch:
+        if not self._completed:
+            raise RuntimeError("no batch in flight")
+        return self._completed.popleft()

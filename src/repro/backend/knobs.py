@@ -1,0 +1,122 @@
+"""Process-wide execution knobs: worker count and batch-size cap.
+
+These are the CLI's ``--jobs`` / ``--batch-size`` (and their
+``REPRO_JOBS`` / ``REPRO_BATCH`` environment twins), resolved through
+the same precedence chain everywhere: explicit argument, process
+default set by the CLI, environment variable, then a built-in fallback.
+
+They live here — below :mod:`repro.exec` and :mod:`repro.backend.base`
+— because both layers consult them; :mod:`repro.exec.executor`
+re-exports every name for its long-standing import paths.
+
+Since the backend refactor, the resolved batch size is a **cap** on the
+adaptive batch sizer, not a fixed size: backends start from it (or the
+four-batches-per-worker heuristic when nothing is set) and shrink
+batches when measured per-job cost says a full batch would run past the
+sizer's latency target.  ``resolve_batch_size`` keeps its historical
+name and chain; :func:`resolve_batch_cap` is the same chain without the
+automatic fallback, for callers that need to know whether a cap was
+configured at all.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+from repro.errors import ConfigurationError
+
+# -- worker-count resolution ----------------------------------------------
+
+_default_jobs: int | None = None
+
+
+def set_default_jobs(jobs: int | None) -> None:
+    """Set the process-wide worker count (the CLI's ``--jobs``)."""
+    global _default_jobs
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    _default_jobs = jobs
+
+
+def resolve_jobs(explicit: int | None = None) -> int:
+    """Worker count: explicit arg > set_default_jobs > $REPRO_JOBS > 1."""
+    for candidate in (explicit, _default_jobs):
+        if candidate is not None:
+            if candidate < 1:
+                raise ConfigurationError(
+                    f"jobs must be >= 1, got {candidate}"
+                )
+            return candidate
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+        if jobs < 1:
+            raise ConfigurationError(f"REPRO_JOBS must be >= 1, got {jobs}")
+        return jobs
+    return 1
+
+
+# -- batch-size resolution --------------------------------------------------
+
+_default_batch: int | None = None
+
+
+def set_default_batch(batch: int | None) -> None:
+    """Set the process-wide batch cap (the CLI's ``--batch-size``)."""
+    global _default_batch
+    if batch is not None and batch < 1:
+        raise ConfigurationError(f"batch size must be >= 1, got {batch}")
+    _default_batch = batch
+
+
+def resolve_batch_cap(explicit: int | None = None) -> int | None:
+    """The configured batch cap, or None when nothing was set.
+
+    Chain: explicit > set_default_batch > $REPRO_BATCH.  Unlike
+    :func:`resolve_batch_size` there is no automatic fallback — the
+    adaptive sizer supplies its own size when no cap is configured.
+    """
+    for candidate in (explicit, _default_batch):
+        if candidate is not None:
+            if candidate < 1:
+                raise ConfigurationError(
+                    f"batch size must be >= 1, got {candidate}"
+                )
+            return candidate
+    env = os.environ.get("REPRO_BATCH", "").strip()
+    if env:
+        try:
+            batch = int(env)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_BATCH must be an integer, got {env!r}"
+            ) from None
+        if batch < 1:
+            raise ConfigurationError(f"REPRO_BATCH must be >= 1, got {batch}")
+        return batch
+    return None
+
+
+def resolve_batch_size(
+    explicit: int | None, pending: int, workers: int
+) -> int:
+    """Jobs per dispatch unit: the configured cap, or an automatic size.
+
+    The automatic size aims at about four batches per worker — small
+    enough to keep a pool balanced when job durations vary, large
+    enough to amortise pickling and IPC — and is capped at 64 so one
+    straggler batch can never serialise a big plan.  A configured value
+    (explicit > set_default_batch > $REPRO_BATCH) is the adaptive
+    sizer's *cap*; backends may dispatch smaller batches than this when
+    measured per-job cost calls for it, never larger.
+    """
+    cap = resolve_batch_cap(explicit)
+    if cap is not None:
+        return cap
+    return max(1, min(64, math.ceil(pending / (workers * 4))))

@@ -1,0 +1,146 @@
+"""The pool backend: the classic per-run ``ProcessPoolExecutor`` path.
+
+Kept for comparison against the warm backend — this is the PR-4-era
+parallel path with its cost profile intact: a process pool is spawned
+per :meth:`~repro.backend.base.ExecutionBackend.execute` call, every
+batch pickles its complete jobs across the boundary, and workers boot
+cold (their snapshot stores start empty).  The warm backend exists
+because BENCH_5.json showed exactly these costs eating the multi-core
+win; ``bench-smoke`` pins the contrast in BENCH_6.json.
+
+Small runs never pay for the pool: below :data:`MIN_BATCH` jobs the
+batch executes in-process, exactly like the inline backend.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from typing import Any, Sequence
+
+from repro.backend.base import (
+    CompletedBatch,
+    ExecutionBackend,
+    ExecutionOutcome,
+    run_batch_jobs,
+    run_job,
+)
+from repro.backend.knobs import resolve_jobs
+from repro.kernel.snapshot import snapshot_hits_total
+
+
+def _run_batch_task(payload: Any) -> "tuple[int, list[Any], Any, int, float]":
+    """Pool-worker entry point for one dispatched batch."""
+    batch_id, jobs, indices, carrier = payload
+    results, wires, snapshot_hits, seconds = run_batch_jobs(
+        jobs, indices, carrier
+    )
+    return batch_id, results, wires, snapshot_hits, seconds
+
+
+class PoolBackend(ExecutionBackend):
+    """Fans batches out over a per-run ``ProcessPoolExecutor``."""
+
+    name = "pool"
+
+    #: Below this many jobs the pool costs more than it saves.
+    MIN_BATCH = 8
+
+    def __init__(
+        self, max_workers: int | None = None, batch_cap: int | None = None
+    ) -> None:
+        super().__init__(batch_cap)
+        workers = resolve_jobs(max_workers)
+        if workers <= 1:
+            workers = os.cpu_count() or 2
+        self.max_workers = workers
+        self._pool: ProcessPoolExecutor | None = None
+        self._futures: dict[Future, int] = {}
+        self._completed: deque[CompletedBatch] = deque()
+        self._next_batch = 0
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    @property
+    def inflight(self) -> int:
+        return len(self._futures) + len(self._completed)
+
+    def _next_batch_size(self, pending: int, cap: int | None) -> int:
+        if self._pool is None:
+            # Inline fallback: one dispatch unit, like the inline backend.
+            return pending
+        return super()._next_batch_size(pending, cap)
+
+    def submit(
+        self,
+        jobs: Sequence[Any],
+        indices: Sequence[int],
+        carrier: "dict[str, Any] | None" = None,
+    ) -> int:
+        batch_id = self._next_batch
+        self._next_batch += 1
+        if self._pool is None:
+            # Inline fallback: small runs, or submit outside execute().
+            hits_before = snapshot_hits_total()
+            start = time.perf_counter()
+            results = [
+                run_job(job, index) for job, index in zip(jobs, indices)
+            ]
+            self._completed.append(
+                CompletedBatch(
+                    batch_id=batch_id,
+                    results=results,
+                    wires=None,
+                    snapshot_hits=snapshot_hits_total() - hits_before,
+                    seconds=time.perf_counter() - start,
+                )
+            )
+            return batch_id
+        future = self._pool.submit(
+            _run_batch_task, (batch_id, list(jobs), list(indices), carrier)
+        )
+        self._futures[future] = batch_id
+        return batch_id
+
+    def collect(self) -> CompletedBatch:
+        if self._completed:
+            return self._completed.popleft()
+        if not self._futures:
+            raise RuntimeError("no batch in flight")
+        done, _ = wait(self._futures, return_when=FIRST_COMPLETED)
+        future = next(iter(done))
+        del self._futures[future]
+        batch_id, results, wires, snapshot_hits, seconds = future.result()
+        return CompletedBatch(
+            batch_id=batch_id,
+            results=results,
+            wires=wires,
+            snapshot_hits=snapshot_hits,
+            seconds=seconds,
+        )
+
+    def execute(
+        self,
+        jobs: Sequence[Any],
+        indices: Sequence[int],
+        batch_cap: int | None = None,
+    ) -> ExecutionOutcome:
+        """Spawn a pool for the run, drive dispatch, tear it down.
+
+        The per-run pool lifecycle is this backend's defining cost —
+        do not persist it; that is what the warm backend is for.
+        """
+        if len(jobs) < max(self.MIN_BATCH, 2):
+            return super().execute(jobs, indices, batch_cap=batch_cap)
+        self._pool = ProcessPoolExecutor(
+            max_workers=min(self.max_workers, len(jobs))
+        )
+        try:
+            return super().execute(jobs, indices, batch_cap=batch_cap)
+        finally:
+            self._pool.shutdown()
+            self._pool = None

@@ -15,9 +15,12 @@ Usage::
     python -m repro metrics
 
 ``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
-processes (results are bit-identical to a serial run), ``--batch-size``
-to tune how many jobs each pool task carries, ``--no-cache`` to bypass
-the result cache, and ``--cache-dir`` to persist results on disk.
+processes (results are bit-identical to a serial run), ``--backend``
+to pick where jobs execute (``inline``, ``pool``, or the persistent
+``warm`` worker fleet — the default under ``--jobs > 1``; see
+``docs/backends.md``), ``--batch-size`` to cap how many jobs each
+dispatched batch carries, ``--no-cache`` to bypass the result cache,
+and ``--cache-dir`` to persist results on disk.
 ``serve`` exposes the same engine as a long-lived service speaking the
 line-delimited JSON protocol of :mod:`repro.service`; ``submit`` and
 ``status`` are thin clients for it.
@@ -39,6 +42,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.backend import resolve_backend_name, set_default_backend
 from repro.core.benchmarks import LoopBenchmark, NullBenchmark
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
@@ -106,11 +110,19 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     reproduce.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help=(
+            "execution backend: inline, pool, or warm (default: "
+            "REPRO_BACKEND, else warm when --jobs > 1; results are "
+            "identical for any choice)"
+        ),
+    )
+    reproduce.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
         help=(
-            "jobs shipped per pool task under --jobs (default: "
-            "REPRO_BATCH or an automatic size from the plan and worker "
-            "counts; results are identical for any value)"
+            "cap on jobs shipped per dispatched batch under --jobs "
+            "(default: REPRO_BATCH or an adaptive size from measured "
+            "per-job cost; results are identical for any value)"
         ),
     )
     reproduce.add_argument(
@@ -142,8 +154,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes (spans cross the pool boundary)",
     )
     trace.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend: inline, pool, or warm",
+    )
+    trace.add_argument(
         "--batch-size", type=int, default=None, metavar="N",
-        help="jobs shipped per pool task under --jobs",
+        help="cap on jobs shipped per dispatched batch under --jobs",
     )
     trace.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -205,6 +221,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--workers", type=int, default=1, metavar="N",
         help="concurrent job slots (each runs one plan/artifact at a time)",
+    )
+    serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend for measurement plans: inline, pool, "
+             "or warm (default: REPRO_BACKEND, else by --jobs/REPRO_JOBS)",
     )
     serve.add_argument(
         "--queue-depth", type=int, default=256, metavar="N",
@@ -444,6 +465,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_job_threshold=(
             args.slow_job_threshold if args.slow_job_threshold > 0 else None
         ),
+        backend=args.backend,
     )
 
 
@@ -534,6 +556,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             resolve_jobs()  # surface a bad REPRO_JOBS before running
             set_default_batch(args.batch_size)
             resolve_batch_size(None, 1, 1)  # ...and a bad REPRO_BATCH
+            set_default_backend(args.backend)
+            resolve_backend_name()  # ...and a bad REPRO_BACKEND
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -556,6 +580,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"{args.request_timeout}",
                 file=sys.stderr,
             )
+            return 2
+        try:
+            set_default_backend(args.backend)
+            resolve_backend_name()  # surface a bad REPRO_BACKEND early
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
             return 2
     if args.command == "reproduce":
         if args.no_cache or args.cache_dir:

@@ -35,12 +35,14 @@ from repro.exec.cache import (
     stable_token,
 )
 from repro.exec.executor import (
+    BackendExecutor,
     Executor,
     ExecutorStats,
     Job,
     ParallelExecutor,
     SerialExecutor,
     get_executor,
+    resolve_batch_cap,
     resolve_batch_size,
     resolve_jobs,
     set_default_batch,
@@ -56,6 +58,7 @@ from repro.exec.plan import (
 )
 
 __all__ = [
+    "BackendExecutor",
     "BenchmarkSpec",
     "CacheStats",
     "Executor",
@@ -72,6 +75,7 @@ __all__ = [
     "configure_default_cache",
     "default_cache",
     "get_executor",
+    "resolve_batch_cap",
     "resolve_batch_size",
     "resolve_jobs",
     "set_default_batch",

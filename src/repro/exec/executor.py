@@ -1,53 +1,59 @@
-"""The executor layer: running plans serially or across processes.
+"""The executor layer: thin facades over pluggable execution backends.
 
 An :class:`Executor` takes jobs (usually a whole
-:class:`~repro.exec.plan.MeasurementPlan`) and returns their results in
-plan order.  Two implementations:
+:class:`~repro.exec.plan.MeasurementPlan`), consults the shared
+:mod:`result cache <repro.exec.cache>`, hands everything uncached to an
+:class:`~repro.backend.base.ExecutionBackend`, and returns results in
+plan order.  The facades:
 
-* :class:`SerialExecutor` — one process, jobs in order;
-* :class:`ParallelExecutor` — a ``ProcessPoolExecutor`` fan-out.
+* :class:`BackendExecutor` — the cache/tabulation engine over any
+  backend instance;
+* :class:`SerialExecutor` — ``BackendExecutor`` over the ``inline``
+  backend (one process, jobs in order);
+* :class:`ParallelExecutor` — ``BackendExecutor`` over the ``pool``
+  backend (a per-run ``ProcessPoolExecutor`` fan-out, kept for
+  comparison against the warm backend).
 
-Both are **deterministic and interchangeable**: every job carries its
-complete seed (derived per configuration by ``config_seed``), each
-measurement boots its own machine, and results are reassembled in plan
-order — so serial, parallel, cached, and uncached runs produce
-byte-identical tables.  ``tests/exec/test_executor.py`` proves this.
+:func:`get_executor` resolves which backend the current settings call
+for — ``--backend`` / ``REPRO_BACKEND``, defaulting to the persistent
+``warm`` fleet when ``--jobs > 1`` — and every choice is
+**deterministic and interchangeable**: every job carries its complete
+seed (derived per configuration by ``config_seed``), each measurement
+boots its own machine, and results are reassembled in plan order — so
+inline, pool, warm, cached, and uncached runs produce byte-identical
+tables.  ``tests/exec/test_executor.py`` and the golden matrix in
+``tests/integration/test_golden_outputs.py`` prove this.
 
-The executor consults the shared :mod:`result cache <repro.exec.cache>`
-before running anything: jobs whose content address is already known
-are never re-executed.
-
-Worker-count resolution, in precedence order: an explicit argument,
-:func:`set_default_jobs` (the CLI's ``--jobs``), the ``REPRO_JOBS``
-environment variable, then 1 (serial).
-
-Parallel dispatch is *batched*: instead of paying pickling and IPC per
-job, the coordinator ships contiguous runs of N jobs per pool task
-(:func:`_run_batch`) and streams each batch's results back in plan
-order.  Batch-size resolution mirrors the worker-count chain — explicit
-argument, :func:`set_default_batch` (the CLI's ``--batch-size``), the
-``REPRO_BATCH`` environment variable, then an automatic size derived
-from the pending-job count and the worker count.  Batches also carry
-the workers' snapshot-store hit counts home (see
-:mod:`repro.kernel.snapshot`), so ``ExecutorStats`` accounts for boots
-absorbed on the far side of the process boundary.
+Worker-count and batch-size knobs live in :mod:`repro.backend.knobs`
+and are re-exported here under their long-standing names; the
+resolution chains are unchanged (explicit argument > CLI default >
+environment variable > fallback).  Since the backend refactor a
+configured ``--batch-size`` is routed through the adaptive batch sizer
+as its cap — see :class:`repro.backend.base.AdaptiveBatchSizer`.
 """
 
 from __future__ import annotations
 
 import abc
-import math
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro import obs
 from repro.analysis.table import ResultTable
+from repro.backend.base import ExecutionBackend, run_batch_jobs, run_job
+from repro.backend.inline import InlineBackend
+from repro.backend.knobs import (  # noqa: F401  (re-exported API)
+    resolve_batch_cap,
+    resolve_batch_size,
+    resolve_jobs,
+    set_default_batch,
+    set_default_jobs,
+)
+from repro.backend.pool import PoolBackend
+from repro.backend.registry import get_backend, resolve_backend_name
 from repro.errors import ConfigurationError
 from repro.exec.cache import ResultCache, default_cache
 from repro.exec.plan import MeasurementPlan
-from repro.kernel.snapshot import snapshot_hits_total
 
 #: Sentinel: "use the process-wide default cache" (pass None to disable).
 _DEFAULT = object()
@@ -71,59 +77,21 @@ def _execute_job(job: Job) -> Any:
     return job.execute()
 
 
-def _job_attributes(job: Job, index: int) -> dict[str, Any]:
-    """JSON-safe span attributes identifying one job."""
-    attributes: dict[str, Any] = {"index": index}
-    tags = getattr(job, "tags", None)
-    if tags:
-        attributes.update((str(key), value) for key, value in tags)
-    return attributes
-
-
-def _run_job(job: Job, index: int) -> Any:
-    """Execute one job under a per-job span (no-op when tracing is off)."""
-    with obs.span("job", category="executor", **_job_attributes(job, index)):
-        return job.execute()
-
-
-def _execute_job_traced(item: "tuple[Job, int, dict[str, Any]]") -> Any:
-    """Worker entry point when a trace is active in the coordinator.
-
-    Rebuilds an ephemeral collector from the pickled carrier so the
-    worker's spans parent onto the coordinator's ``executor.map`` span
-    (ids survive pickling verbatim), then ships the finished spans
-    back next to the result.
-    """
-    job, index, carrier_data = item
-    collector, context, retirements = obs.collector_from_carrier(carrier_data)
-    with obs.activate(collector, context=context, retirements=retirements):
-        result = _run_job(job, index)
-    return result, collector.wire()
-
-
-#: One pool task: contiguous jobs, their plan indices, and the trace
-#: carrier (None when tracing is off).
-_BatchPayload = "tuple[Sequence[Job], Sequence[int], dict[str, Any] | None]"
+#: Backwards-compatible aliases for the pre-backend helper names.
+_run_job = run_job
 
 
 def _run_batch(payload: Any) -> "tuple[list[Any], Any | None, int]":
-    """Worker entry point for one dispatched batch.
+    """Pre-backend batch entry point, kept for API compatibility.
 
-    Runs the batch's jobs in order and returns ``(results, wires,
-    snapshot_hits)``: the results list, the batch's finished trace
-    spans (or None when tracing is off — one collector serves the whole
-    batch instead of one per job), and how many machine boots the
-    worker's snapshot store absorbed while running it.
+    The live path is :func:`repro.backend.base.run_batch_jobs`; this
+    wrapper preserves the historical payload/return shape.
     """
     jobs, indices, carrier_data = payload
-    hits_before = snapshot_hits_total()
-    if carrier_data is None:
-        results = [job.execute() for job in jobs]
-        return results, None, snapshot_hits_total() - hits_before
-    collector, context, retirements = obs.collector_from_carrier(carrier_data)
-    with obs.activate(collector, context=context, retirements=retirements):
-        results = [_run_job(job, index) for job, index in zip(jobs, indices)]
-    return results, collector.wire(), snapshot_hits_total() - hits_before
+    results, wires, snapshot_hits, _ = run_batch_jobs(
+        jobs, indices, carrier_data
+    )
+    return results, wires, snapshot_hits
 
 
 def _token_of(job: Job) -> str | None:
@@ -141,10 +109,10 @@ class ExecutorStats:
     surfaces these (and the CLI prints the cache side after
     ``reproduce``), so the split is part of the public engine API.
 
-    ``batches`` counts dispatch units (pool tasks, or one per inline
-    ``_execute``) and ``snapshot_hits`` the machine boots answered by a
-    snapshot store while executing — including hits inside pool
-    workers, which each batch ships home.
+    ``batches`` counts dispatch units (backend batches) and
+    ``snapshot_hits`` the machine boots answered by a snapshot store
+    while executing — including hits inside worker processes, which
+    every batch ships home.
     """
 
     jobs: int = 0
@@ -236,36 +204,59 @@ class Executor(abc.ABC):
         return plan.table(self.map(plan.jobs, progress=progress))
 
 
-class SerialExecutor(Executor):
-    """Runs every job in the coordinating process, in plan order."""
+class BackendExecutor(Executor):
+    """The cache/tabulation engine over any execution backend.
+
+    The facade owns *what* runs (cache partition, plan order, stats);
+    the backend owns *where* (in-process, pool, warm fleet).  Pass a
+    shared backend (:func:`repro.backend.get_backend`) to reuse a warm
+    fleet across runs, or a fresh instance to own its lifecycle.
+    """
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        cache: "ResultCache | None | object" = _DEFAULT,
+        batch_size: int | None = None,
+    ) -> None:
+        super().__init__(cache)
+        if batch_size is not None and batch_size < 1:
+            raise ConfigurationError(
+                f"batch size must be >= 1, got {batch_size}"
+            )
+        self.backend = backend
+        self.batch_size = batch_size
 
     def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
-        hits_before = snapshot_hits_total()
-        with obs.span(
-            "executor.dispatch", category="executor",
-            batches=1, batch_size=len(jobs), workers=1,
-        ):
-            results = [_run_job(job, index) for job, index in zip(jobs, indices)]
-        self._record_dispatch(1, snapshot_hits_total() - hits_before)
-        return results
+        outcome = self.backend.execute(
+            jobs, list(indices), batch_cap=self.batch_size
+        )
+        self._record_dispatch(outcome.batches, outcome.snapshot_hits)
+        return outcome.results
 
 
-class ParallelExecutor(Executor):
-    """Fans batches of jobs out over a process pool.
+class SerialExecutor(BackendExecutor):
+    """Runs every job in the coordinating process, in plan order."""
+
+    def __init__(self, cache: "ResultCache | None | object" = _DEFAULT) -> None:
+        super().__init__(InlineBackend(), cache=cache)
+
+
+class ParallelExecutor(BackendExecutor):
+    """Fans batches of jobs out over a per-run process pool.
 
     Results are identical to :class:`SerialExecutor`'s because every
     job is fully seeded and boots its own machine; only wall-clock time
     differs.  Small runs fall back to in-process execution so the
     pool's startup cost is never paid for a handful of jobs.
 
-    Dispatch is chunked: each pool task carries ``batch_size``
-    contiguous jobs (see :func:`resolve_batch_size`), amortising
-    pickling and IPC — and, in traced runs, the per-task collector
-    rebuild — over the whole batch.
+    This is the ``pool`` backend behind the original facade — kept, and
+    benchmarked, as the comparison point for the persistent ``warm``
+    backend (which ``get_executor`` now prefers for ``--jobs > 1``).
     """
 
     #: Below this many jobs the pool costs more than it saves.
-    MIN_BATCH = 8
+    MIN_BATCH = PoolBackend.MIN_BATCH
 
     def __init__(
         self,
@@ -274,152 +265,40 @@ class ParallelExecutor(Executor):
         chunksize: int | None = None,
         batch_size: int | None = None,
     ) -> None:
-        super().__init__(cache)
-        workers = resolve_jobs(max_workers)
-        if workers <= 1:
-            workers = os.cpu_count() or 2
-        self.max_workers = workers
         # ``chunksize`` is the pre-batching name for the same knob;
         # keep accepting it, with ``batch_size`` taking precedence.
-        self.batch_size = batch_size if batch_size is not None else chunksize
-        if self.batch_size is not None and self.batch_size < 1:
-            raise ConfigurationError(
-                f"batch size must be >= 1, got {self.batch_size}"
-            )
-
-    def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
-        if len(jobs) < max(self.MIN_BATCH, 2):
-            hits_before = snapshot_hits_total()
-            with obs.span(
-                "executor.dispatch", category="executor",
-                batches=1, batch_size=len(jobs), workers=1,
-            ):
-                results = [
-                    _run_job(job, index) for job, index in zip(jobs, indices)
-                ]
-            self._record_dispatch(1, snapshot_hits_total() - hits_before)
-            return results
-        workers = min(self.max_workers, len(jobs))
-        size = resolve_batch_size(self.batch_size, len(jobs), workers)
-        results: list[Any] = []
-        snapshot_hits = 0
-        with obs.span(
-            "executor.dispatch", category="executor",
-            batches=math.ceil(len(jobs) / size), batch_size=size,
-            workers=workers,
-        ):
-            # Captured inside the span so worker-side job spans parent
-            # onto it, exactly as serial job spans do.
-            carrier = obs.carrier()
-            payloads = [
-                (jobs[start:start + size], indices[start:start + size], carrier)
-                for start in range(0, len(jobs), size)
-            ]
-            collector = obs.current_collector() if carrier is not None else None
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for batch_results, wires, batch_hits in pool.map(
-                    _run_batch, payloads
-                ):
-                    if collector is not None and wires is not None:
-                        collector.absorb(wires)
-                    results.extend(batch_results)
-                    snapshot_hits += batch_hits
-        self._record_dispatch(len(payloads), snapshot_hits)
-        return results
-
-
-# -- batch-size resolution --------------------------------------------------
-
-_default_batch: int | None = None
-
-
-def set_default_batch(batch: int | None) -> None:
-    """Set the process-wide batch size (the CLI's ``--batch-size``)."""
-    global _default_batch
-    if batch is not None and batch < 1:
-        raise ConfigurationError(f"batch size must be >= 1, got {batch}")
-    _default_batch = batch
-
-
-def resolve_batch_size(
-    explicit: int | None, pending: int, workers: int
-) -> int:
-    """Jobs per pool task: explicit > set_default_batch > $REPRO_BATCH > auto.
-
-    The automatic size aims at about four batches per worker — small
-    enough to keep the pool balanced when job durations vary, large
-    enough to amortise pickling and IPC — and is capped at 64 so one
-    straggler batch can never serialise a big plan.
-    """
-    for candidate in (explicit, _default_batch):
-        if candidate is not None:
-            if candidate < 1:
-                raise ConfigurationError(
-                    f"batch size must be >= 1, got {candidate}"
-                )
-            return candidate
-    env = os.environ.get("REPRO_BATCH", "").strip()
-    if env:
-        try:
-            batch = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"REPRO_BATCH must be an integer, got {env!r}"
-            ) from None
-        if batch < 1:
-            raise ConfigurationError(f"REPRO_BATCH must be >= 1, got {batch}")
-        return batch
-    return max(1, min(64, math.ceil(pending / (workers * 4))))
-
-
-# -- worker-count resolution ----------------------------------------------
-
-_default_jobs: int | None = None
-
-
-def set_default_jobs(jobs: int | None) -> None:
-    """Set the process-wide worker count (the CLI's ``--jobs``)."""
-    global _default_jobs
-    if jobs is not None and jobs < 1:
-        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
-    _default_jobs = jobs
-
-
-def resolve_jobs(explicit: int | None = None) -> int:
-    """Worker count: explicit arg > set_default_jobs > $REPRO_JOBS > 1."""
-    for candidate in (explicit, _default_jobs):
-        if candidate is not None:
-            if candidate < 1:
-                raise ConfigurationError(
-                    f"jobs must be >= 1, got {candidate}"
-                )
-            return candidate
-    env = os.environ.get("REPRO_JOBS", "").strip()
-    if env:
-        try:
-            jobs = int(env)
-        except ValueError:
-            raise ConfigurationError(
-                f"REPRO_JOBS must be an integer, got {env!r}"
-            ) from None
-        if jobs < 1:
-            raise ConfigurationError(f"REPRO_JOBS must be >= 1, got {jobs}")
-        return jobs
-    return 1
+        size = batch_size if batch_size is not None else chunksize
+        backend = PoolBackend(max_workers=max_workers)
+        super().__init__(backend, cache=cache, batch_size=size)
+        self.max_workers = backend.max_workers
 
 
 def get_executor(
     jobs: int | None = None,
     cache: "ResultCache | None | object" = _DEFAULT,
     batch_size: int | None = None,
+    backend: str | None = None,
 ) -> Executor:
     """The executor the current settings call for.
 
-    ``jobs == 1`` (the default) gives the serial executor; anything
-    higher a process pool of that size, dispatching ``batch_size`` jobs
-    per pool task (resolved per run when None).
+    The backend resolves as explicit argument > ``set_default_backend``
+    (the CLI's ``--backend``) > ``REPRO_BACKEND`` > by worker count:
+    ``jobs == 1`` (the default) runs inline; anything higher lands on
+    the persistent warm-worker fleet (shared process-wide, so repeated
+    runs reuse the same workers), or the process pool where fork is
+    unavailable.  ``batch_size`` caps the adaptive batch sizer.
     """
     n = resolve_jobs(jobs)
-    if n <= 1:
-        return SerialExecutor(cache=cache)
-    return ParallelExecutor(max_workers=n, cache=cache, batch_size=batch_size)
+    name = resolve_backend_name(backend, n)
+    if name == "inline":
+        executor: Executor = SerialExecutor(cache=cache)
+        if batch_size is not None:
+            executor.batch_size = batch_size  # type: ignore[attr-defined]
+        return executor
+    if name == "pool":
+        return ParallelExecutor(
+            max_workers=n, cache=cache, batch_size=batch_size
+        )
+    return BackendExecutor(
+        get_backend("warm", jobs=n), cache=cache, batch_size=batch_size
+    )

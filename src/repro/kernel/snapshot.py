@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.cpu.models import MicroArch, microarch
 from repro.cpu.timing import TimingModel
@@ -228,6 +229,26 @@ def boot_image(
     if store is None:
         return BootImage.capture(processor, kernel)
     return store.image(processor, kernel)
+
+
+def preload_images(templates: "Iterable[tuple[str, str]]") -> int:
+    """Capture boot images for (processor, kernel) templates up front.
+
+    The warm backend's workers call this when the coordinator registers
+    a plan's templates, so the slow half of every boot is already in the
+    store before the first job arrives.  Returns how many images were
+    newly captured (0 when snapshots are off — preloading a disabled
+    store must not re-enable caching).
+    """
+    store = default_store()
+    if store is None:
+        return 0
+    captured = 0
+    for processor, kernel in templates:
+        before = len(store)
+        store.image(processor, kernel)
+        captured += len(store) - before
+    return captured
 
 
 def snapshot_hits_total() -> int:

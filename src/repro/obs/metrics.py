@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import weakref
 from typing import Callable, Iterable
 
 _NAME_OK = frozenset(
@@ -227,6 +228,24 @@ class HistogramFamily:
 
 Instrument = "Counter | Gauge | Histogram | HistogramFamily"
 
+#: Every unified registry currently alive.  Producers that push
+#: observations (rather than being polled by fn-gauges) broadcast via
+#: :func:`observe_family`, so a service registry and the process-wide
+#: default registry both see them without knowing about each other.
+_live_registries: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def observe_family(name: str, label_value: str, value: float) -> None:
+    """Observe into the named histogram family of every live registry.
+
+    A no-op when no unified registry exists (or none carries the
+    instrument) — producers never pay for metrics nobody is scraping.
+    """
+    for registry in list(_live_registries):
+        instrument = registry.get(name)
+        if isinstance(instrument, HistogramFamily):
+            instrument.observe(value, label_value)
+
 
 class MetricsRegistry:
     """A named set of instruments with a text exposition."""
@@ -399,6 +418,74 @@ def build_unified_registry(
         fn=_executor_stat("snapshot_hits"),
     )
 
+    def _backend_stat(name: str) -> Callable[[], float]:
+        def read() -> float:
+            from repro.backend.base import GLOBAL_STATS
+
+            return float(getattr(GLOBAL_STATS, name))
+        return read
+
+    registry.gauge(
+        "repro_backend_jobs",
+        "Jobs dispatched through any execution backend in this process.",
+        fn=_backend_stat("jobs"),
+    )
+    registry.gauge(
+        "repro_backend_batches",
+        "Batches execution backends dispatched.",
+        fn=_backend_stat("batches"),
+    )
+    registry.gauge(
+        "repro_backend_snapshot_hits",
+        "Machine boots absorbed by snapshot stores while executing "
+        "backend batches (including inside worker processes).",
+        fn=_backend_stat("snapshot_hits"),
+    )
+    registry.gauge(
+        "repro_backend_workers_spawned",
+        "Worker processes spawned by execution backends.",
+        fn=_backend_stat("workers_spawned"),
+    )
+    registry.gauge(
+        "repro_backend_worker_restarts",
+        "Workers that died mid-run and were respawned (their in-flight "
+        "batches re-dispatched, results unchanged).",
+        fn=_backend_stat("worker_restarts"),
+    )
+    registry.gauge(
+        "repro_backend_frames_sent",
+        "Binary frames the warm backend's coordinator wrote to workers.",
+        fn=_backend_stat("frames_sent"),
+    )
+    registry.gauge(
+        "repro_backend_frames_received",
+        "Binary frames the warm backend's coordinator read from workers.",
+        fn=_backend_stat("frames_received"),
+    )
+    registry.gauge(
+        "repro_backend_frame_bytes_sent",
+        "Total bytes of coordinator-to-worker frames.",
+        fn=_backend_stat("frame_bytes_sent"),
+    )
+    registry.gauge(
+        "repro_backend_frame_bytes_received",
+        "Total bytes of worker-to-coordinator frames.",
+        fn=_backend_stat("frame_bytes_received"),
+    )
+    registry.histogram_family(
+        "repro_backend_frame_bytes",
+        "Size of one warm-backend frame (label: direction).",
+        label="direction",
+        buckets=(64.0, 512.0, 4096.0, 32768.0, 262144.0, 2097152.0,
+                 16777216.0),
+    )
+    registry.histogram_family(
+        "repro_backend_worker_snapshot_hits",
+        "Snapshot hits one warm worker reported per batch (label: worker).",
+        label="worker",
+        buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    )
+
     def _snapshot_stat(name: str) -> Callable[[], float]:
         def read() -> float:
             from repro.kernel.snapshot import GLOBAL_STATS
@@ -439,6 +526,7 @@ def build_unified_registry(
         "Trace spans dropped by collector bounds.",
         fn=_span_count("dropped"),
     )
+    _live_registries.add(registry)
     return registry
 
 

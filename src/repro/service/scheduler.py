@@ -149,15 +149,23 @@ class Scheduler:
         logger: StructuredLogger | None = None,
         slow_job_threshold: float | None = 30.0,
         slow_check_interval: float | None = None,
+        backend: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend is not None:
+            from repro.backend import resolve_backend_name
+
+            backend = resolve_backend_name(backend)  # fail at construction
         if slow_job_threshold is not None and slow_job_threshold <= 0:
             raise ValueError(
                 f"slow_job_threshold must be > 0, got {slow_job_threshold}"
             )
         self.queue = queue if queue is not None else JobQueue()
         self.workers = workers
+        #: Execution backend for measurement plans (None = resolve per
+        #: run from --backend/REPRO_BACKEND, exactly like the CLI).
+        self.backend = backend
         self.stats = SchedulerStats()
         self.registry = registry
         self.collector = collector
@@ -602,12 +610,15 @@ def _build_plan(plan_data: Mapping[str, Any]):
 
 def plan_job(
     plan_data: Mapping[str, Any],
+    backend: str | None = None,
 ) -> tuple[str, str, Callable[[], dict[str, Any]]]:
     """(token, description, run) for a declarative measurement plan.
 
     The token is the plan's own cache token (built from the per-job
     content addresses), so two clients POSTing the same sweep coalesce
-    even though they never exchanged ids.
+    even though they never exchanged ids.  ``backend`` pins the
+    execution backend (the server passes its ``--backend``); None
+    resolves per run from ``REPRO_BACKEND`` / worker count.
     """
     from repro.exec import get_executor
 
@@ -616,10 +627,12 @@ def plan_job(
     description = f"plan with {len(plan)} job(s)"
 
     def run() -> dict[str, Any]:
-        # Respects --jobs / REPRO_JOBS and --batch-size / REPRO_BATCH,
-        # so a service with workers configured fans big plans out over
-        # a pool with batched dispatch, exactly like the CLI does.
-        table = get_executor().run(plan)
+        # Respects --jobs / REPRO_JOBS, --batch-size / REPRO_BATCH and
+        # --backend / REPRO_BACKEND, so a service with workers
+        # configured lands big plans on the persistent warm fleet —
+        # shared across jobs, which is where the fleet pays off —
+        # exactly like the CLI does.
+        table = get_executor(backend=backend).run(plan)
         return {
             "columns": list(table.column_names),
             "rows": [_json_safe(row) for row in table.rows()],

@@ -71,6 +71,7 @@ class MeasurementServer:
         trace_out: str | None = None,
         logger: StructuredLogger | None = None,
         slow_job_threshold: float | None = 30.0,
+        backend: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -94,6 +95,7 @@ class MeasurementServer:
             collector=self.collector,
             logger=self.logger,
             slow_job_threshold=slow_job_threshold,
+            backend=backend,
         )
         self.started_at = time.monotonic()
         self._server: asyncio.base_events.Server | None = None
@@ -219,7 +221,9 @@ class MeasurementServer:
                     request.artifact, request.repeats, request.seed
                 )
             else:
-                token, description, run = plan_job(request.plan)
+                token, description, run = plan_job(
+                    request.plan, backend=self.scheduler.backend
+                )
         except ReproError as exc:
             code = (
                 protocol.E_UNKNOWN_ARTIFACT
@@ -337,6 +341,7 @@ def run_service(
     trace_out: str | None = None,
     logger: StructuredLogger | None = None,
     slow_job_threshold: float | None = 30.0,
+    backend: str | None = None,
 ) -> int:
     """Blocking foreground service (the ``repro serve`` subcommand)."""
     server = MeasurementServer(
@@ -348,6 +353,7 @@ def run_service(
         trace_out=trace_out,
         logger=logger,
         slow_job_threshold=slow_job_threshold,
+        backend=backend,
     )
     try:
         asyncio.run(_serve(server, announce))

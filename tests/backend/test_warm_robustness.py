@@ -1,0 +1,165 @@
+"""Warm-fleet failure handling: worker death must not move a byte.
+
+A worker that dies mid-batch (OOM killer, crash) is detected by pipe
+EOF, respawned with its templates re-registered, and its in-flight
+batches re-dispatched.  The results must be byte-identical to an
+undisturbed run — every job re-executes from its own seed — and the
+``repro_backend_worker_restarts`` accounting must record the incident.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.backend import GLOBAL_STATS, make_backend, warm_available
+from repro.backend.warm import WarmBackend
+from repro.core.config import Mode, Pattern
+from repro.core.sweep import SweepSpec
+from repro.exec import BackendExecutor
+from repro.obs.metrics import build_unified_registry
+
+pytestmark = pytest.mark.skipif(
+    not warm_available(), reason="warm backend needs the fork start method"
+)
+
+
+def small_plan(base_seed: int = 0):
+    return SweepSpec(
+        processors=("CD",),
+        infras=("pm", "pc"),
+        patterns=(Pattern.START_READ, Pattern.READ_READ),
+        modes=(Mode.USER, Mode.USER_KERNEL),
+        repeats=2,
+        base_seed=base_seed,
+        io_interrupts=False,
+    ).plan()
+
+
+def collect_all(backend, submitted):
+    """Collect every submitted batch, reassembled in submission order."""
+    by_batch = {}
+    while len(by_batch) < len(submitted):
+        done = backend.collect()
+        by_batch[done.batch_id] = done.results
+    return [result for bid in submitted for result in by_batch[bid]]
+
+
+class TestWorkerDeath:
+    def test_killed_worker_is_replaced_and_results_are_identical(self):
+        plan = small_plan()
+        jobs = list(plan)
+        baseline = [job.execute() for job in jobs]
+
+        backend = make_backend("warm", workers=2)
+        restarts_before = GLOBAL_STATS.worker_restarts
+        try:
+            backend.prepare(jobs)
+            submitted = []
+            for start in range(0, len(jobs), 4):
+                chunk = jobs[start:start + 4]
+                submitted.append(
+                    backend.submit(chunk, list(range(start, start + len(chunk))))
+                )
+            # SIGKILL one worker while its batches are in flight: the
+            # coordinator must see EOF, respawn, and re-dispatch.
+            os.kill(backend.worker_pids[0], signal.SIGKILL)
+            results = collect_all(backend, submitted)
+        finally:
+            backend.shutdown(grace=2.0)
+
+        assert results == baseline
+        assert backend.stats.worker_restarts >= 1
+        assert GLOBAL_STATS.worker_restarts > restarts_before
+
+    def test_restart_shows_up_in_the_metrics_registry(self):
+        registry = build_unified_registry()
+        plan = small_plan(base_seed=1)
+        jobs = list(plan)
+
+        backend = make_backend("warm", workers=2)
+        try:
+            backend.prepare(jobs)
+            submitted = [backend.submit(jobs, list(range(len(jobs))))]
+            os.kill(backend.worker_pids[-1], signal.SIGKILL)
+            collect_all(backend, submitted)
+        finally:
+            backend.shutdown(grace=2.0)
+
+        rendered = registry.render()
+        for line in rendered.splitlines():
+            if line.startswith("repro_backend_worker_restarts"):
+                assert int(line.split()[-1]) >= 1
+                break
+        else:
+            pytest.fail("repro_backend_worker_restarts gauge not rendered")
+
+    def test_executor_run_survives_worker_death(self):
+        # End to end through the executor facade: a timer thread kills
+        # a worker while run() is dispatching; whether the kill lands
+        # mid-batch or between plans, the table must match inline.
+        plan = small_plan(base_seed=2)
+        inline = BackendExecutor(make_backend("inline"), cache=None).run(plan)
+
+        backend = make_backend("warm", workers=2)
+
+        def kill_soon():
+            time.sleep(0.05)
+            pids = backend.worker_pids
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+
+        killer = threading.Thread(target=kill_soon)
+        try:
+            killer.start()
+            table = BackendExecutor(backend, cache=None).run(plan)
+        finally:
+            killer.join()
+            backend.shutdown(grace=2.0)
+        assert table.to_csv() == inline.to_csv()
+
+
+class TestGracefulShutdown:
+    def test_shutdown_drains_in_flight_batches(self):
+        plan = small_plan(base_seed=3)
+        jobs = list(plan)
+        backend = make_backend("warm", workers=2)
+        backend.prepare(jobs)
+        submitted = []
+        for start in range(0, len(jobs), 8):
+            chunk = jobs[start:start + 8]
+            submitted.append(
+                backend.submit(chunk, list(range(start, start + len(chunk))))
+            )
+        drained = backend.shutdown(grace=10.0)
+        assert sorted(done.batch_id for done in drained) == sorted(submitted)
+        assert sum(done.jobs for done in drained) == len(jobs)
+        assert backend.worker_pids == []
+
+    def test_workers_exit_after_shutdown(self):
+        backend = make_backend("warm", workers=2)
+        backend.prepare(list(small_plan(base_seed=4)))
+        procs = [worker.proc for worker in backend._workers]
+        assert procs and all(proc.is_alive() for proc in procs)
+        backend.shutdown(grace=5.0)
+        deadline = time.monotonic() + 5.0
+        while any(p.is_alive() for p in procs) and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not any(proc.is_alive() for proc in procs)
+
+    def test_shutdown_is_idempotent_and_submit_after_is_an_error(self):
+        backend = make_backend("warm", workers=2)
+        backend.shutdown(grace=1.0)
+        assert backend.shutdown(grace=1.0) == []
+        with pytest.raises(RuntimeError, match="shut down"):
+            backend.submit([], [])
+
+    def test_unavailable_platforms_refuse_loudly(self, monkeypatch):
+        from repro.backend import warm as warm_module
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setattr(warm_module, "warm_available", lambda: False)
+        with pytest.raises(ConfigurationError, match="fork"):
+            WarmBackend(max_workers=2)

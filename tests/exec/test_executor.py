@@ -12,7 +12,9 @@ import pytest
 from repro.core.config import Mode, Pattern
 from repro.core.sweep import SweepSpec
 from repro.errors import ConfigurationError
+from repro.backend import set_default_backend
 from repro.exec import (
+    BackendExecutor,
     ParallelExecutor,
     ResultCache,
     SerialExecutor,
@@ -26,9 +28,12 @@ from repro.exec import (
 def _no_ambient_jobs(monkeypatch):
     """Isolate worker-count resolution from the session's environment."""
     monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     set_default_jobs(None)
+    set_default_backend(None)
     yield
     set_default_jobs(None)
+    set_default_backend(None)
 
 
 def small_plan(base_seed: int = 0):
@@ -126,7 +131,10 @@ class TestWorkerResolution:
     def test_env_fallback(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_jobs() == 3
-        assert isinstance(get_executor(), ParallelExecutor)
+        executor = get_executor()
+        # Multi-worker runs now default to the warm backend.
+        assert isinstance(executor, BackendExecutor)
+        assert executor.backend.name == "warm"
 
     def test_invalid_values_rejected(self, monkeypatch):
         with pytest.raises(ConfigurationError):
@@ -140,7 +148,13 @@ class TestWorkerResolution:
         with pytest.raises(ConfigurationError):
             resolve_jobs()
 
-    def test_get_executor_picks_parallel(self):
+    def test_get_executor_defaults_to_warm(self):
         executor = get_executor(jobs=4)
+        assert isinstance(executor, BackendExecutor)
+        assert executor.backend.name == "warm"
+        assert executor.backend.max_workers == 4
+
+    def test_get_executor_picks_parallel_when_asked(self):
+        executor = get_executor(jobs=4, backend="pool")
         assert isinstance(executor, ParallelExecutor)
         assert executor.max_workers == 4

@@ -7,6 +7,7 @@ stack.
 
 import pytest
 
+from repro.backend import set_default_backend
 from repro.cli import main
 from repro.exec import set_default_batch, set_default_jobs
 
@@ -15,9 +16,11 @@ from repro.exec import set_default_batch, set_default_jobs
 def clean_defaults(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_BATCH", raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
     yield
     set_default_jobs(None)
     set_default_batch(None)
+    set_default_backend(None)
 
 
 def expect_error(capsys, argv, message):
@@ -68,6 +71,39 @@ class TestBatchSizeValidation:
         expect_error(
             capsys, ["trace", "figure4", "--batch-size", "0"],
             "error: batch size must be >= 1, got 0",
+        )
+
+
+class TestBackendValidation:
+    def test_unknown_backend_exit_2(self, capsys):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--backend", "bogus"],
+            "error: unknown backend 'bogus'; known: inline, pool, warm",
+        )
+
+    def test_bad_env_backend_exit_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "turbo")
+        expect_error(
+            capsys, ["reproduce", "figure4"],
+            "error: unknown backend 'turbo'",
+        )
+
+    def test_explicit_backend_shadows_bad_env(self, capsys, monkeypatch):
+        # An explicit --backend must win before the env var is even read.
+        monkeypatch.setenv("REPRO_BACKEND", "turbo")
+        assert main(["reproduce", "figure4", "--backend", "inline"]) == 0
+        capsys.readouterr()
+
+    def test_trace_validates_backend_too(self, capsys):
+        expect_error(
+            capsys, ["trace", "figure4", "--backend", "bogus"],
+            "error: unknown backend 'bogus'",
+        )
+
+    def test_serve_validates_backend_too(self, capsys):
+        expect_error(
+            capsys, ["serve", "--backend", "bogus"],
+            "error: unknown backend 'bogus'",
         )
 
 

@@ -18,10 +18,14 @@ from pathlib import Path
 
 import pytest
 
+from repro.backend import set_default_backend
 from repro.cli import main
 from repro.exec import set_default_batch, set_default_jobs
 
 GOLDEN = Path(__file__).parent / "golden"
+
+#: Every execution backend must reproduce the goldens byte-for-byte.
+BACKENDS = ["inline", "pool", "warm"]
 
 
 @pytest.fixture(autouse=True)
@@ -29,6 +33,7 @@ def clean_defaults():
     yield
     set_default_jobs(None)
     set_default_batch(None)
+    set_default_backend(None)
 
 
 def reproduce(capsys, artifact, *flags):
@@ -52,6 +57,14 @@ class TestGoldenFigure9:
         )
         assert out == golden
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_matches_golden(self, capsys, backend):
+        golden = (GOLDEN / "figure9.txt").read_text()
+        out = reproduce(
+            capsys, "figure9", "--jobs", "2", "--backend", backend
+        )
+        assert out == golden
+
 
 class TestGoldenFigure4:
     def test_serial_matches_golden(self, capsys):
@@ -61,3 +74,11 @@ class TestGoldenFigure4:
     def test_parallel_matches_golden(self, capsys):
         golden = (GOLDEN / "figure4.txt").read_text()
         assert reproduce(capsys, "figure4", "--jobs", "4") == golden
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_every_backend_matches_golden(self, capsys, backend):
+        golden = (GOLDEN / "figure4.txt").read_text()
+        out = reproduce(
+            capsys, "figure4", "--jobs", "2", "--backend", backend
+        )
+        assert out == golden
