@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import abc
 import math
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -206,6 +207,11 @@ class ExecutionBackend(abc.ABC):
         self.stats = BackendStats()
         self.sizer = AdaptiveBatchSizer()
         self.batch_cap = batch_cap
+        # Shared instances (get_backend) are driven from several
+        # scheduler threads at once; runs serialize here so submit/
+        # collect bookkeeping never interleaves.  Reentrant because
+        # subclasses wrap execute()/shutdown() and delegate to super().
+        self._execute_lock = threading.RLock()
 
     # -- the backend contract ---------------------------------------------
 
@@ -238,10 +244,20 @@ class ExecutionBackend(abc.ABC):
         Returns whatever finished during the drain so no submitted work
         is silently lost.  In-process backends have nothing to do.
         """
-        drained: list[CompletedBatch] = []
-        while self.inflight:
-            drained.append(self.collect())
-        return drained
+        with self._execute_lock:
+            drained: list[CompletedBatch] = []
+            while self.inflight:
+                drained.append(self.collect())
+            return drained
+
+    def _discard_inflight(self) -> None:
+        """Drop batches left behind by a run that unwound mid-flight.
+
+        A shared backend must not let one run's stale failures or
+        leftover results leak into the next: :meth:`execute` calls this
+        before its first dispatch and again while unwinding on an
+        error.  Backends with cross-call state override it.
+        """
 
     # -- shared accounting -------------------------------------------------
 
@@ -280,12 +296,28 @@ class ExecutionBackend(abc.ABC):
         ``REPRO_BATCH``), dispatch keeps up to one batch per worker
         slot outstanding plus one queued behind each, and each
         completed batch's measured cost re-tunes the next sizes.
+
+        Runs on one backend serialize: concurrent ``execute`` calls
+        (the service scheduler's thread slots all landing on the shared
+        warm fleet) queue on an internal lock rather than interleave
+        their dispatch bookkeeping.
         """
         jobs = list(jobs)
         indices = list(indices)
         cap = resolve_batch_cap(
             batch_cap if batch_cap is not None else self.batch_cap
         )
+        with self._execute_lock:
+            self._discard_inflight()
+            try:
+                return self._execute_locked(jobs, indices, cap)
+            except BaseException:
+                self._discard_inflight()
+                raise
+
+    def _execute_locked(
+        self, jobs: list[Any], indices: list[int], cap: "int | None"
+    ) -> ExecutionOutcome:
         with obs.span(
             "executor.dispatch", category="executor",
             backend=self.name, jobs=len(jobs), workers=self.workers,

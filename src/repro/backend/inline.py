@@ -70,3 +70,6 @@ class InlineBackend(ExecutionBackend):
         if not self._completed:
             raise RuntimeError("no batch in flight")
         return self._completed.popleft()
+
+    def _discard_inflight(self) -> None:
+        self._completed.clear()

@@ -123,6 +123,12 @@ class PoolBackend(ExecutionBackend):
             seconds=seconds,
         )
 
+    def _discard_inflight(self) -> None:
+        for future in self._futures:
+            future.cancel()
+        self._futures.clear()
+        self._completed.clear()
+
     def execute(
         self,
         jobs: Sequence[Any],
@@ -134,13 +140,14 @@ class PoolBackend(ExecutionBackend):
         The per-run pool lifecycle is this backend's defining cost —
         do not persist it; that is what the warm backend is for.
         """
-        if len(jobs) < max(self.MIN_BATCH, 2):
-            return super().execute(jobs, indices, batch_cap=batch_cap)
-        self._pool = ProcessPoolExecutor(
-            max_workers=min(self.max_workers, len(jobs))
-        )
-        try:
-            return super().execute(jobs, indices, batch_cap=batch_cap)
-        finally:
-            self._pool.shutdown()
-            self._pool = None
+        with self._execute_lock:  # the pool handle is per-run state too
+            if len(jobs) < max(self.MIN_BATCH, 2):
+                return super().execute(jobs, indices, batch_cap=batch_cap)
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(jobs))
+            )
+            try:
+                return super().execute(jobs, indices, batch_cap=batch_cap)
+            finally:
+                self._pool.shutdown()
+                self._pool = None

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import threading
 from typing import TYPE_CHECKING
 
 from repro.backend.knobs import resolve_jobs
@@ -75,6 +76,9 @@ def resolve_backend_name(
 # -- shared instances -------------------------------------------------------
 
 _shared: "dict[tuple[str, int], ExecutionBackend]" = {}
+#: Guards the check-then-insert on ``_shared``: scheduler threads call
+#: :func:`get_backend` concurrently and must not each spawn a fleet.
+_shared_lock = threading.Lock()
 _atexit_registered = False
 
 
@@ -112,25 +116,30 @@ def get_backend(
     resolved = resolve_backend_name(name, jobs)
     workers = resolve_jobs(jobs) if resolved != "inline" else 1
     key = (resolved, workers)
-    backend = _shared.get(key)
-    if backend is None:
-        backend = make_backend(resolved, workers=workers)
-        _shared[key] = backend
-        if not _atexit_registered:
-            atexit.register(shutdown_backends)
-            _atexit_registered = True
+    with _shared_lock:
+        backend = _shared.get(key)
+        if backend is None:
+            backend = make_backend(resolved, workers=workers)
+            _shared[key] = backend
+            if not _atexit_registered:
+                atexit.register(shutdown_backends)
+                _atexit_registered = True
     return backend
 
 
 def shared_backends() -> "list[ExecutionBackend]":
     """Every live shared instance (metrics iterate these)."""
-    return list(_shared.values())
+    with _shared_lock:
+        return list(_shared.values())
 
 
 def shutdown_backends(grace: float = 5.0) -> None:
     """Stop every shared backend (atexit, and the test-suite reset)."""
-    while _shared:
-        _, backend = _shared.popitem()
+    while True:
+        with _shared_lock:
+            if not _shared:
+                return
+            _, backend = _shared.popitem()
         try:
             backend.shutdown(grace=grace)
         except Exception:

@@ -135,7 +135,10 @@ def _worker_main(read_fd: int, write_fd: int, close_fds: Sequence[int]) -> None:
                 results, wires, hits, seconds = run_batch_jobs(
                     jobs, indices, batch.carrier
                 )
-            except BaseException as exc:  # ship it home, stay alive
+            # Exception only: KeyboardInterrupt/SystemExit must kill
+            # the worker (Ctrl-C signals the whole process group), not
+            # come home disguised as a batch failure.
+            except Exception as exc:  # ship it home, stay alive
                 frames.write_frame(
                     write_fd,
                     frames.FAILURE,
@@ -313,16 +316,30 @@ class WarmBackend(ExecutionBackend):
         return [w.pid for w in self._workers if w.pid is not None]
 
     def shutdown(self, grace: float = 5.0) -> list[CompletedBatch]:
-        """Drain in-flight batches, then stop every worker."""
+        """Drain in-flight batches, then stop every worker.
+
+        The drain is bounded by the grace deadline: a worker wedged on
+        a stuck job cannot hold shutdown (this runs atexit) hostage —
+        when the deadline passes, remaining batches are abandoned and
+        live workers terminated.
+        """
+        with self._execute_lock:
+            return self._shutdown_locked(grace)
+
+    def _shutdown_locked(self, grace: float) -> list[CompletedBatch]:
         if self._closed:
             return []
         drained: list[CompletedBatch] = []
         deadline = time.monotonic() + grace
         try:
             while self._pending or self._completed:
-                if not self._completed and time.monotonic() > deadline:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 and not self._completed:
                     break
-                drained.append(self.collect())
+                done = self.collect(timeout=max(0.0, remaining))
+                if done is None:
+                    break  # grace elapsed with batches still wedged
+                drained.append(done)
         except WorkerFailure:
             pass  # a failed batch cannot be drained, only abandoned
         self._closed = True
@@ -398,7 +415,12 @@ class WarmBackend(ExecutionBackend):
         if kind == frames.FAILURE:
             batch_id, message = pickle.loads(payload)
             worker.inflight.discard(batch_id)
-            self._pending.pop(batch_id, None)
+            if self._pending.pop(batch_id, None) is None:
+                # The batch was abandoned (its run already unwound) or
+                # this is the duplicate of a re-dispatched batch; no
+                # run is waiting on it, so the failure must not abort
+                # whichever run collects next.
+                return
             self._failures.append((batch_id, message))
             return
         if kind != frames.RESULTS:
@@ -548,7 +570,16 @@ class WarmBackend(ExecutionBackend):
         self._dispatch(batch_id)
         return batch_id
 
-    def collect(self) -> CompletedBatch:
+    def collect(
+        self, timeout: "float | None" = None
+    ) -> "CompletedBatch | None":
+        """Block until an outstanding batch finishes and return it.
+
+        With ``timeout`` set, returns None once that many seconds pass
+        with nothing completed — shutdown's drain uses this so a wedged
+        worker cannot stall it past the grace deadline.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             self._pump()
             if self._failures:
@@ -560,7 +591,34 @@ class WarmBackend(ExecutionBackend):
                 return self._completed.popleft()
             if not self._pending:
                 raise RuntimeError("no batch in flight")
-            self._drain(timeout=None)
+            if deadline is None:
+                self._drain(timeout=None)
+                continue
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._drain(timeout=remaining)
+
+    def _discard_inflight(self) -> None:
+        """Abandon batches a previous run left behind when it unwound.
+
+        The fleet is shared across runs: after a WorkerFailure aborts
+        one ``execute``, its undelivered failures, uncollected results,
+        and still-running batches must not be collected into the next
+        run.  Results for an abandoned batch id arriving later are
+        dropped by the ``_pending`` check in :meth:`_handle_frame`.
+        """
+        if not (
+            self._pending or self._completed
+            or self._failures or self._redispatch
+        ):
+            return
+        self._pending.clear()
+        self._completed.clear()
+        self._failures.clear()
+        self._redispatch.clear()
+        for worker in self._workers:
+            worker.inflight.clear()
 
     def __del__(self) -> None:  # best-effort; registry owns real cleanup
         try:

@@ -15,7 +15,7 @@ import time
 import pytest
 
 from repro.backend import GLOBAL_STATS, make_backend, warm_available
-from repro.backend.warm import WarmBackend
+from repro.backend.warm import WarmBackend, WorkerFailure
 from repro.core.config import Mode, Pattern
 from repro.core.sweep import SweepSpec
 from repro.exec import BackendExecutor
@@ -121,7 +121,95 @@ class TestWorkerDeath:
         assert table.to_csv() == inline.to_csv()
 
 
+class _ExplodingJob:
+    """Picklable job that always fails in the worker."""
+
+    def execute(self):
+        raise ValueError("boom")
+
+
+class _SleepyJob:
+    """Picklable job that wedges its worker for a long time."""
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return "slept"
+
+
+class TestSharedFleetIsolation:
+    def test_failed_run_does_not_poison_the_next(self):
+        # A WorkerFailure unwinds execute() mid-flight; the abandoned
+        # batches, stale failures, and late-arriving frames must not
+        # leak into the next run on the same (shared) fleet.
+        plan = small_plan(base_seed=5)
+        jobs = list(plan)
+        baseline = [job.execute() for job in jobs]
+
+        backend = make_backend("warm", workers=2)
+        try:
+            with pytest.raises(WorkerFailure):
+                backend.execute([_ExplodingJob() for _ in range(8)],
+                                list(range(8)))
+            assert backend.inflight == 0
+            outcome = backend.execute(jobs, list(range(len(jobs))))
+        finally:
+            backend.shutdown(grace=5.0)
+        assert outcome.results == baseline
+
+    def test_concurrent_executes_serialize_without_mixing(self):
+        # serve --workers N drives the shared fleet from several
+        # threads at once; runs must queue on the backend's lock, not
+        # interleave pipes and steal each other's batches.
+        plans = [small_plan(base_seed=10 + i) for i in range(3)]
+        baselines = [[job.execute() for job in plan] for plan in plans]
+
+        backend = make_backend("warm", workers=2)
+        outcomes = [None] * len(plans)
+        errors = []
+
+        def run(slot):
+            jobs = list(plans[slot])
+            try:
+                outcomes[slot] = backend.execute(
+                    jobs, list(range(len(jobs)))
+                )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(slot,))
+            for slot in range(len(plans))
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+        finally:
+            backend.shutdown(grace=5.0)
+        assert not errors
+        for outcome, baseline in zip(outcomes, baselines):
+            assert outcome is not None
+            assert outcome.results == baseline
+
+
 class TestGracefulShutdown:
+    def test_shutdown_grace_bounds_a_wedged_worker(self):
+        # A worker stuck on a pathological job must not hold shutdown
+        # (which runs atexit) hostage: the drain gives up at the grace
+        # deadline and the worker is terminated.
+        backend = make_backend("warm", workers=2)
+        backend.submit([_SleepyJob(120.0)], [0])
+        start = time.monotonic()
+        drained = backend.shutdown(grace=0.5)
+        elapsed = time.monotonic() - start
+        assert drained == []
+        assert elapsed < 10.0
+        assert backend.worker_pids == []
+
     def test_shutdown_drains_in_flight_batches(self):
         plan = small_plan(base_seed=3)
         jobs = list(plan)
