@@ -21,9 +21,13 @@ from repro.backend.inline import InlineBackend
 from repro.backend.knobs import (
     resolve_batch_cap,
     resolve_batch_size,
+    resolve_deadline,
     resolve_jobs,
+    resolve_slow_threshold,
     set_default_batch,
+    set_default_deadline,
     set_default_jobs,
+    set_default_slow_threshold,
 )
 from repro.backend.pool import PoolBackend
 from repro.backend.registry import (
@@ -54,10 +58,14 @@ __all__ = [
     "resolve_backend_name",
     "resolve_batch_cap",
     "resolve_batch_size",
+    "resolve_deadline",
     "resolve_jobs",
+    "resolve_slow_threshold",
     "set_default_backend",
     "set_default_batch",
+    "set_default_deadline",
     "set_default_jobs",
+    "set_default_slow_threshold",
     "shared_backends",
     "shutdown_backends",
     "warm_available",

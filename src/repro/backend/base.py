@@ -37,7 +37,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro import obs
 from repro.backend.knobs import resolve_batch_cap
@@ -53,7 +53,9 @@ class BackendStats:
     (including hits on the far side of a worker boundary, which every
     batch ships home).  The frame counters are warm-backend wire
     accounting; ``worker_restarts`` counts workers that died mid-run
-    and were respawned with their batches re-dispatched.
+    and were respawned with their batches re-dispatched, and
+    ``stall_revivals`` the subset forced by the deadline watchdog
+    (worker alive but wedged past the per-job deadline).
     """
 
     jobs: int = 0
@@ -61,6 +63,7 @@ class BackendStats:
     snapshot_hits: int = 0
     workers_spawned: int = 0
     worker_restarts: int = 0
+    stall_revivals: int = 0
     frames_sent: int = 0
     frames_received: int = 0
     frame_bytes_sent: int = 0
@@ -288,6 +291,7 @@ class ExecutionBackend(abc.ABC):
         jobs: Sequence[Any],
         indices: Sequence[int],
         batch_cap: int | None = None,
+        on_batch: "Callable[[list[Any], list[Any]], None] | None" = None,
     ) -> ExecutionOutcome:
         """Run every job; results come back in submission order.
 
@@ -296,6 +300,11 @@ class ExecutionBackend(abc.ABC):
         ``REPRO_BATCH``), dispatch keeps up to one batch per worker
         slot outstanding plus one queued behind each, and each
         completed batch's measured cost re-tunes the next sizes.
+
+        ``on_batch``, when given, is called with ``(batch jobs, batch
+        results)`` as each batch is collected — the sweep journal hooks
+        in here so a run killed mid-plan has every *completed* batch on
+        disk, not just fully finished plans.
 
         Runs on one backend serialize: concurrent ``execute`` calls
         (the service scheduler's thread slots all landing on the shared
@@ -310,13 +319,17 @@ class ExecutionBackend(abc.ABC):
         with self._execute_lock:
             self._discard_inflight()
             try:
-                return self._execute_locked(jobs, indices, cap)
+                return self._execute_locked(jobs, indices, cap, on_batch)
             except BaseException:
                 self._discard_inflight()
                 raise
 
     def _execute_locked(
-        self, jobs: list[Any], indices: list[int], cap: "int | None"
+        self,
+        jobs: list[Any],
+        indices: list[int],
+        cap: "int | None",
+        on_batch: "Callable[[list[Any], list[Any]], None] | None" = None,
     ) -> ExecutionOutcome:
         with obs.span(
             "executor.dispatch", category="executor",
@@ -329,6 +342,7 @@ class ExecutionBackend(abc.ABC):
             self.prepare(jobs)
             order: list[int] = []
             by_batch: dict[int, list[Any]] = {}
+            batch_jobs: dict[int, list[Any]] = {}
             cursor = 0
             snapshot_hits = 0
             max_inflight = max(1, self.workers) * 2
@@ -341,6 +355,8 @@ class ExecutionBackend(abc.ABC):
                         carrier=carrier,
                     )
                     order.append(batch_id)
+                    if on_batch is not None:
+                        batch_jobs[batch_id] = jobs[cursor:cursor + size]
                     cursor += size
                 done = self.collect()
                 self.sizer.record(done.jobs, done.seconds)
@@ -349,6 +365,8 @@ class ExecutionBackend(abc.ABC):
                     collector.absorb(done.wires)
                 by_batch[done.batch_id] = done.results
                 snapshot_hits += done.snapshot_hits
+                if on_batch is not None:
+                    on_batch(batch_jobs.pop(done.batch_id, []), done.results)
             sp.set(batches=len(order), snapshot_hits=snapshot_hits)
         results = [result for bid in order for result in by_batch[bid]]
         return ExecutionOutcome(

@@ -3,12 +3,12 @@
 Coordinator and workers talk over plain pipes.  Every message is one
 *frame*::
 
-    +----------------+------+------------------+
-    | payload length | kind |     payload      |
-    |  u32 little    |  u8  |  `length` bytes  |
-    +----------------+------+------------------+
+    +----------------+------+---------------+------------------+
+    | payload length | kind | payload crc32 |     payload      |
+    |  u32 little    |  u8  |  u32 little   |  `length` bytes  |
+    +----------------+------+---------------+------------------+
 
-Five header bytes, then the payload.  What makes the format compact is
+Nine header bytes, then the payload.  What makes the format compact is
 the :data:`BATCH` payload: a job is **not** a pickled object graph but
 a 16-byte entry — ``(template id: u32, seed: i64, plan index: u32)`` —
 referencing a config/benchmark *template* the coordinator registered
@@ -30,10 +30,18 @@ BATCH      c→w   see :func:`encode_batch`
 RESULTS    w→c   see :func:`encode_results`
 FAILURE    w→c   pickled ``(batch id, message)`` — a job raised
 SHUTDOWN   c→w   empty; finish nothing new, exit the loop
+STALL      c→w   f64 seconds; chaos — sleep before the next frame
 ========== ===== ==========================================================
 
-Truncated or oversized frames raise :class:`FrameError` — a corrupt
-stream must never be silently reinterpreted.
+Truncated, oversized, or checksum-failing frames raise
+:class:`FrameError` — a corrupt stream must never be silently
+reinterpreted.  The crc32 covers the payload, so a bit flipped
+anywhere in transit (or injected by the chaos layer) is detected
+before the payload reaches ``pickle``; the payload decoders below
+additionally wrap every parse failure in :class:`FrameError`, so a
+frame that passes its checksum but carries garbage still fails
+loudly instead of crashing the coordinator with a raw
+``struct.error`` or unpickling surprise.
 """
 
 from __future__ import annotations
@@ -41,6 +49,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -50,11 +59,14 @@ BATCH = 3
 RESULTS = 4
 FAILURE = 5
 SHUTDOWN = 6
+STALL = 7
 
-_KINDS = frozenset((HELLO, TEMPLATES, BATCH, RESULTS, FAILURE, SHUTDOWN))
+_KINDS = frozenset(
+    (HELLO, TEMPLATES, BATCH, RESULTS, FAILURE, SHUTDOWN, STALL)
+)
 
-_HEADER = struct.Struct("<IB")
-#: Bytes of framing overhead per frame (length + kind header).
+_HEADER = struct.Struct("<IBI")
+#: Bytes of framing overhead per frame (length + kind + crc32 header).
 HEADER_SIZE = _HEADER.size
 _ENTRY = struct.Struct("<IqI")
 _BATCH_HEAD = struct.Struct("<IIB")
@@ -85,7 +97,7 @@ def encode_frame(kind: int, payload: bytes = b"") -> bytes:
         raise FrameError(f"unknown frame kind {kind}")
     if len(payload) > MAX_PAYLOAD:
         raise FrameError(f"frame payload of {len(payload)} bytes too large")
-    return _HEADER.pack(len(payload), kind) + payload
+    return _HEADER.pack(len(payload), kind, zlib.crc32(payload)) + payload
 
 
 def write_frame(fd: int, kind: int, payload: bytes = b"") -> int:
@@ -118,12 +130,16 @@ def _read_exact(fd: int, n: int) -> bytes:
 
 def read_frame(fd: int) -> tuple[int, bytes]:
     """Blocking read of one whole frame (the worker's event loop)."""
-    length, kind = _HEADER.unpack(_read_exact(fd, _HEADER.size))
+    length, kind, crc = _HEADER.unpack(_read_exact(fd, _HEADER.size))
     if kind not in _KINDS:
         raise FrameError(f"unknown frame kind {kind}")
     if length > MAX_PAYLOAD:
         raise FrameError(f"frame payload of {length} bytes too large")
     payload = _read_exact(fd, length) if length else b""
+    if zlib.crc32(payload) != crc:
+        raise FrameError(
+            f"frame checksum mismatch (kind {kind}, {length} bytes)"
+        )
     return kind, payload
 
 
@@ -143,7 +159,7 @@ class FrameReader:
         while True:
             if len(self._buffer) < _HEADER.size:
                 return frames
-            length, kind = _HEADER.unpack_from(self._buffer)
+            length, kind, crc = _HEADER.unpack_from(self._buffer)
             if kind not in _KINDS:
                 raise FrameError(f"unknown frame kind {kind}")
             if length > MAX_PAYLOAD:
@@ -151,7 +167,12 @@ class FrameReader:
             end = _HEADER.size + length
             if len(self._buffer) < end:
                 return frames
-            frames.append((kind, bytes(self._buffer[_HEADER.size:end])))
+            payload = bytes(self._buffer[_HEADER.size:end])
+            if zlib.crc32(payload) != crc:
+                raise FrameError(
+                    f"frame checksum mismatch (kind {kind}, {length} bytes)"
+                )
+            frames.append((kind, payload))
             del self._buffer[:end]
 
 
@@ -197,7 +218,10 @@ def encode_batch(
 
 
 def decode_batch(payload: bytes) -> BatchFrame:
-    batch_id, count, has_tail = _BATCH_HEAD.unpack_from(payload)
+    try:
+        batch_id, count, has_tail = _BATCH_HEAD.unpack_from(payload)
+    except struct.error as exc:
+        raise FrameError(f"batch frame too short for its header: {exc}") from exc
     offset = _BATCH_HEAD.size
     need = offset + count * _ENTRY.size
     if len(payload) < need:
@@ -212,7 +236,17 @@ def decode_batch(payload: bytes) -> BatchFrame:
     carrier = None
     tags = None
     if has_tail:
-        extras, carrier, tags = pickle.loads(payload[need:])
+        try:
+            tail = pickle.loads(payload[need:])
+            extras, carrier, tags = tail
+        except FrameError:
+            raise
+        except Exception as exc:
+            raise FrameError(f"batch frame tail does not decode: {exc}") from exc
+        if not isinstance(extras, tuple) or (
+            carrier is not None and not isinstance(carrier, dict)
+        ):
+            raise FrameError("batch frame tail has the wrong shape")
     return BatchFrame(batch_id, entries, extras, carrier, tags)
 
 
@@ -233,6 +267,39 @@ def encode_results(
 def decode_results(
     payload: bytes,
 ) -> "tuple[int, int, float, list[Any], list[dict[str, Any]] | None]":
-    batch_id, snapshot_hits, seconds = _RESULTS_HEAD.unpack_from(payload)
-    results, wires = pickle.loads(payload[_RESULTS_HEAD.size:])
+    try:
+        batch_id, snapshot_hits, seconds = _RESULTS_HEAD.unpack_from(payload)
+    except struct.error as exc:
+        raise FrameError(
+            f"results frame too short for its header: {exc}"
+        ) from exc
+    try:
+        body = pickle.loads(payload[_RESULTS_HEAD.size:])
+        results, wires = body
+    except FrameError:
+        raise
+    except Exception as exc:
+        raise FrameError(f"results frame body does not decode: {exc}") from exc
+    if not isinstance(results, list) or (
+        wires is not None and not isinstance(wires, list)
+    ):
+        raise FrameError("results frame body has the wrong shape")
     return batch_id, snapshot_hits, seconds, results, wires
+
+
+_STALL = struct.Struct("<d")
+
+
+def encode_stall(seconds: float) -> bytes:
+    """Pack a :data:`STALL` payload (chaos: wedge the worker)."""
+    return _STALL.pack(seconds)
+
+
+def decode_stall(payload: bytes) -> float:
+    try:
+        (seconds,) = _STALL.unpack(payload)
+    except struct.error as exc:
+        raise FrameError(f"stall frame payload malformed: {exc}") from exc
+    if not seconds >= 0:
+        raise FrameError(f"stall frame seconds negative: {seconds}")
+    return seconds

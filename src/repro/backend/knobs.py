@@ -103,6 +103,71 @@ def resolve_batch_cap(explicit: int | None = None) -> int | None:
     return None
 
 
+# -- watchdog thresholds ----------------------------------------------------
+
+_default_deadline: float | None = None
+_default_slow_threshold: float | None = None
+
+
+def _positive_seconds(value: float | None, what: str) -> float | None:
+    if value is not None and not value > 0:
+        raise ConfigurationError(f"{what} must be > 0 seconds, got {value}")
+    return value
+
+
+def _env_seconds(var: str) -> float | None:
+    env = os.environ.get(var, "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        raise ConfigurationError(
+            f"{var} must be a number of seconds, got {env!r}"
+        ) from None
+    return _positive_seconds(value, var)
+
+
+def set_default_deadline(seconds: float | None) -> None:
+    """Set the process-wide per-job deadline (the CLI's ``--deadline``)."""
+    global _default_deadline
+    _default_deadline = _positive_seconds(seconds, "deadline")
+
+
+def resolve_deadline(explicit: float | None = None) -> float | None:
+    """Per-job deadline in seconds, or None when the watchdog is off.
+
+    Chain: explicit > set_default_deadline > $REPRO_DEADLINE.  When
+    set, the warm backend's collect loop revives any worker whose
+    oldest in-flight batch has been running longer than
+    ``deadline × batch size`` and re-dispatches its batches.
+    """
+    for candidate in (explicit, _default_deadline):
+        if candidate is not None:
+            return _positive_seconds(candidate, "deadline")
+    return _env_seconds("REPRO_DEADLINE")
+
+
+def set_default_slow_threshold(seconds: float | None) -> None:
+    """Set the slow-job warning threshold (``--slow-job-threshold``)."""
+    global _default_slow_threshold
+    _default_slow_threshold = _positive_seconds(seconds, "slow-job threshold")
+
+
+def resolve_slow_threshold(explicit: float | None = None) -> float | None:
+    """Slow-job warning threshold in seconds, or None when off.
+
+    Chain: explicit > set_default_slow_threshold > $REPRO_SLOW_JOB.
+    Crossing it warns (and counts into
+    ``repro_slow_job_warnings_total``) but never kills anything —
+    that's the deadline's job.
+    """
+    for candidate in (explicit, _default_slow_threshold):
+        if candidate is not None:
+            return _positive_seconds(candidate, "slow-job threshold")
+    return _env_seconds("REPRO_SLOW_JOB")
+
+
 def resolve_batch_size(
     explicit: int | None, pending: int, workers: int
 ) -> int:

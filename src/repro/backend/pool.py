@@ -134,6 +134,7 @@ class PoolBackend(ExecutionBackend):
         jobs: Sequence[Any],
         indices: Sequence[int],
         batch_cap: int | None = None,
+        on_batch=None,
     ) -> ExecutionOutcome:
         """Spawn a pool for the run, drive dispatch, tear it down.
 
@@ -142,12 +143,16 @@ class PoolBackend(ExecutionBackend):
         """
         with self._execute_lock:  # the pool handle is per-run state too
             if len(jobs) < max(self.MIN_BATCH, 2):
-                return super().execute(jobs, indices, batch_cap=batch_cap)
+                return super().execute(
+                    jobs, indices, batch_cap=batch_cap, on_batch=on_batch
+                )
             self._pool = ProcessPoolExecutor(
                 max_workers=min(self.max_workers, len(jobs))
             )
             try:
-                return super().execute(jobs, indices, batch_cap=batch_cap)
+                return super().execute(
+                    jobs, indices, batch_cap=batch_cap, on_batch=on_batch
+                )
             finally:
                 self._pool.shutdown()
                 self._pool = None

@@ -36,6 +36,7 @@ EOF, respawned, re-registered, and its in-flight batches re-dispatched;
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import os
 import pickle
@@ -53,9 +54,21 @@ from repro.backend.base import (
     run_batch_jobs,
 )
 from repro.backend.frames import EndOfStream, FrameError, FrameReader
-from repro.backend.knobs import resolve_jobs
+from repro.backend.knobs import (
+    resolve_deadline,
+    resolve_jobs,
+    resolve_slow_threshold,
+)
+from repro.chaos import chaos_param, corrupt_bytes as chaos_corrupt
+from repro.chaos import should_fire as chaos_should_fire
 from repro.errors import ConfigurationError
-from repro.obs.metrics import observe_family
+from repro.obs.metrics import inc_counter, observe_family
+
+log = logging.getLogger("repro.backend.warm")
+
+#: How often the collect loop wakes to run the watchdog when a slow-job
+#: threshold or per-job deadline is configured.
+_WATCHDOG_SLICE = 0.05
 
 
 class WorkerFailure(Exception):
@@ -105,6 +118,11 @@ def _worker_main(read_fd: int, write_fd: int, close_fds: Sequence[int]) -> None:
                     templates[template_id] = (config, benchmark)
                     boots.append((config.processor, config.substrate))
                 preload_images(boots)
+                continue
+            if kind == frames.STALL:
+                # Chaos: the coordinator wedged this worker; the
+                # watchdog observes the stall from outside.
+                time.sleep(frames.decode_stall(payload))
                 continue
             if kind != frames.BATCH:
                 raise FrameError(f"worker got unexpected frame kind {kind}")
@@ -243,6 +261,11 @@ class WarmBackend(ExecutionBackend):
         self._redispatch: deque[int] = deque()
         self._completed: deque[CompletedBatch] = deque()
         self._failures: deque[tuple[int, str]] = deque()
+        #: When each in-flight batch was (last) dispatched, for the
+        #: slow-job and deadline watchdogs.
+        self._dispatched_at: dict[int, float] = {}
+        #: Batch ids already flagged slow (one warning per batch).
+        self._slow_warned: set[int] = set()
         self._next_batch = 0
         self._closed = False
         #: Snapshot hits reported home, per worker slot (metrics feed).
@@ -294,7 +317,12 @@ class WarmBackend(ExecutionBackend):
             self._workers.append(self._spawn(len(self._workers)))
 
     def _revive(self, worker: _Worker) -> None:
-        """Replace a dead worker; queue its batches for re-dispatch."""
+        """Replace a dead (or wedged) worker; re-queue its batches.
+
+        The worker may still be alive — a corrupt frame or a deadline
+        stall revives it too — so it is killed first; ``kill`` on an
+        already-exited process is a no-op.
+        """
         self.stats.worker_restarts += 1
         GLOBAL_STATS.worker_restarts += 1
         with obs.span(
@@ -303,9 +331,13 @@ class WarmBackend(ExecutionBackend):
             worker=worker.index,
             orphaned_batches=len(worker.inflight),
         ):
+            if worker.proc.is_alive():
+                worker.proc.kill()
             worker.close()
             worker.proc.join(timeout=1.0)
             orphaned = sorted(worker.inflight)
+            for batch_id in orphaned:
+                self._dispatched_at.pop(batch_id, None)
             replacement = self._spawn(worker.index)
             self._workers[worker.index] = replacement
         self._redispatch.extend(orphaned)
@@ -397,8 +429,21 @@ class WarmBackend(ExecutionBackend):
                 continue
             self.stats.frame_bytes_received += len(data)
             GLOBAL_STATS.frame_bytes_received += len(data)
-            for kind, payload in worker.reader.feed(data):
-                self._handle_frame(worker, kind, payload)
+            if chaos_should_fire("frame-corrupt"):
+                data = chaos_corrupt("frame-corrupt", data)
+            try:
+                for kind, payload in worker.reader.feed(data):
+                    self._handle_frame(worker, kind, payload)
+            except FrameError as exc:
+                # The stream from this worker can no longer be trusted
+                # (bit flip, bad pickle, protocol violation): revive it
+                # and re-dispatch whatever it still owed.  The results
+                # do not change — re-run jobs execute from their seeds.
+                log.warning(
+                    "corrupt frame from worker %d (%s); reviving",
+                    worker.index, exc,
+                )
+                self._revive(worker)
 
     def _handle_frame(
         self, worker: _Worker, kind: int, payload: bytes
@@ -413,8 +458,14 @@ class WarmBackend(ExecutionBackend):
         if kind == frames.HELLO:
             return
         if kind == frames.FAILURE:
-            batch_id, message = pickle.loads(payload)
+            try:
+                batch_id, message = pickle.loads(payload)
+            except Exception as exc:
+                raise FrameError(
+                    f"failure frame does not decode: {exc}"
+                ) from exc
             worker.inflight.discard(batch_id)
+            self._dispatched_at.pop(batch_id, None)
             if self._pending.pop(batch_id, None) is None:
                 # The batch was abandoned (its run already unwound) or
                 # this is the duplicate of a re-dispatched batch; no
@@ -429,6 +480,7 @@ class WarmBackend(ExecutionBackend):
             payload
         )
         worker.inflight.discard(batch_id)
+        self._dispatched_at.pop(batch_id, None)
         if self._pending.pop(batch_id, None) is None:
             # A batch re-dispatched after a presumed-dead worker in fact
             # finished twice; results are identical by construction, so
@@ -467,12 +519,31 @@ class WarmBackend(ExecutionBackend):
         while True:
             worker = self._least_loaded()
             try:
+                if chaos_should_fire("slow-worker"):
+                    # Wedge the worker before it sees the batch.  The
+                    # coordinator owns the stream, so the stall budget
+                    # is fleet-global: a revived worker's replacement
+                    # draws from where the fleet left off instead of
+                    # restarting the stream and re-stalling forever.
+                    self._send(
+                        worker,
+                        frames.STALL,
+                        frames.encode_stall(
+                            chaos_param("slow-worker", "stall", 5.0)
+                        ),
+                    )
                 self._send(worker, frames.BATCH, pending.payload)
             except _WorkerDied as death:
                 if self._workers[death.worker.index] is death.worker:
                     self._revive(death.worker)
                 continue
             worker.inflight.add(batch_id)
+            self._dispatched_at[batch_id] = time.monotonic()
+            if chaos_should_fire("worker-kill"):
+                # SIGKILL with the batch freshly in flight: EOF
+                # detection must revive and re-dispatch, results must
+                # not move a byte.
+                worker.proc.kill()
             return
 
     def _pump(self) -> None:
@@ -578,8 +649,21 @@ class WarmBackend(ExecutionBackend):
         With ``timeout`` set, returns None once that many seconds pass
         with nothing completed — shutdown's drain uses this so a wedged
         worker cannot stall it past the grace deadline.
+
+        When a slow-job threshold or per-job deadline is configured
+        (``--slow-job-threshold`` / ``--deadline``, or their knobs),
+        the wait runs in short slices and a watchdog inspects every
+        in-flight batch between them: past the threshold it warns
+        (once per batch, counted in ``repro_slow_job_warnings_total``);
+        past ``deadline × batch size`` it revives the worker holding
+        the batch — a wedged worker is indistinguishable from a hung
+        pipe, and re-run jobs execute from their seeds, so results are
+        unchanged.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
+        slow = resolve_slow_threshold()
+        job_deadline = resolve_deadline()
+        watchdog = slow is not None or job_deadline is not None
         while True:
             self._pump()
             if self._failures:
@@ -591,13 +675,62 @@ class WarmBackend(ExecutionBackend):
                 return self._completed.popleft()
             if not self._pending:
                 raise RuntimeError("no batch in flight")
-            if deadline is None:
-                self._drain(timeout=None)
-                continue
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            if watchdog:
+                self._check_stalled(time.monotonic(), slow, job_deadline)
+                if self._completed or self._redispatch:
+                    continue
+            wait = None if deadline is None else deadline - time.monotonic()
+            if wait is not None and wait <= 0:
                 return None
-            self._drain(timeout=remaining)
+            if watchdog:
+                wait = (
+                    _WATCHDOG_SLICE if wait is None
+                    else min(wait, _WATCHDOG_SLICE)
+                )
+            self._drain(timeout=wait)
+
+    def _check_stalled(
+        self,
+        now: float,
+        slow: "float | None",
+        job_deadline: "float | None",
+    ) -> None:
+        """Warn about slow batches; revive workers past the deadline."""
+        revive: list[_Worker] = []
+        for batch_id, started in list(self._dispatched_at.items()):
+            pending = self._pending.get(batch_id)
+            if pending is None:
+                self._dispatched_at.pop(batch_id, None)
+                continue
+            elapsed = now - started
+            if (
+                slow is not None
+                and elapsed > slow
+                and batch_id not in self._slow_warned
+            ):
+                self._slow_warned.add(batch_id)
+                inc_counter("repro_slow_job_warnings_total")
+                log.warning(
+                    "batch %d running for %.1fs (threshold %.1fs)",
+                    batch_id, elapsed, slow,
+                )
+            if (
+                job_deadline is not None
+                and elapsed > job_deadline * max(1, pending.jobs)
+            ):
+                for worker in self._workers:
+                    if batch_id in worker.inflight and worker not in revive:
+                        revive.append(worker)
+                        break
+        for worker in revive:
+            self.stats.stall_revivals += 1
+            GLOBAL_STATS.stall_revivals += 1
+            log.warning(
+                "worker %d exceeded the per-job deadline with batches "
+                "%s in flight; reviving",
+                worker.index, sorted(worker.inflight),
+            )
+            self._revive(worker)
 
     def _discard_inflight(self) -> None:
         """Abandon batches a previous run left behind when it unwound.
@@ -617,6 +750,8 @@ class WarmBackend(ExecutionBackend):
         self._completed.clear()
         self._failures.clear()
         self._redispatch.clear()
+        self._dispatched_at.clear()
+        self._slow_warned.clear()
         for worker in self._workers:
             worker.inflight.clear()
 

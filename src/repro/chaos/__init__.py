@@ -1,0 +1,32 @@
+"""Deterministic, seed-driven fault injection (``--chaos`` / ``REPRO_CHAOS``).
+
+See :mod:`repro.chaos.spec` for the spec grammar and the fault-point
+registry, :mod:`repro.chaos.injector` for firing semantics, and
+``docs/resilience.md`` for the operator's view.
+"""
+
+from repro.chaos.injector import (
+    CHAOS_ENV,
+    ChaosInjector,
+    chaos_param,
+    configure_chaos,
+    corrupt_bytes,
+    get_injector,
+    reset_chaos,
+    should_fire,
+)
+from repro.chaos.spec import FAULT_POINTS, FaultSpec, parse_chaos_spec
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosInjector",
+    "FAULT_POINTS",
+    "FaultSpec",
+    "chaos_param",
+    "configure_chaos",
+    "corrupt_bytes",
+    "get_injector",
+    "parse_chaos_spec",
+    "reset_chaos",
+    "should_fire",
+]

@@ -1,0 +1,199 @@
+"""The chaos injector: deterministic, replayable fault firing.
+
+One :class:`ChaosInjector` is configured per process (from ``--chaos``
+or ``REPRO_CHAOS``) and consulted by instrumented fault points across
+the stack — the warm backend coordinator and workers, the disk cache,
+the service scheduler and server.  Each configured point owns a
+dedicated ``random.Random`` stream seeded from ``f"{point}/{seed}"``,
+so whether and when a point fires depends only on its own spec and its
+own evaluation sequence: replaying a run with the same spec replays
+the same faults, and adding a second fault point never perturbs the
+first one's draws.
+
+Every fault point is evaluated in the process that *owns* the
+component — the warm coordinator for worker faults, the service
+process for scheduler and connection faults.  Worker faults are
+deliberately not evaluated inside the (forked) workers: a replacement
+worker would inherit the stream at position zero and re-draw the
+fires its predecessor already consumed, so a p=1 stall would wedge
+every replacement forever.  Coordinator-side evaluation keeps each
+point's budget fleet-global and each run replayable.
+
+Points that are not configured cost one dict lookup per evaluation
+and never touch an RNG.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.chaos.spec import FaultSpec, parse_chaos_spec
+from repro.obs.metrics import inc_family
+
+log = logging.getLogger("repro.chaos")
+
+#: Environment variable read when no injector was configured explicitly.
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+@dataclass
+class _PointState:
+    """One configured fault point's RNG stream and firing budget."""
+
+    spec: FaultSpec
+    rng: random.Random
+    evaluated: int = 0
+    fired: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def should_fire(self) -> bool:
+        with self.lock:
+            self.evaluated += 1
+            if self.spec.times is not None and self.fired >= self.spec.times:
+                return False
+            # Draw unconditionally (even at p=1) so the stream position
+            # advances identically however p is tuned.
+            if self.rng.random() >= self.spec.probability:
+                return False
+            self.fired += 1
+            return True
+
+
+class ChaosInjector:
+    """Evaluates fault points against a parsed chaos spec."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...] = ()) -> None:
+        self._points: dict[str, _PointState] = {
+            spec.point: _PointState(
+                spec=spec,
+                rng=random.Random(f"{spec.point}/{spec.seed}"),
+            )
+            for spec in specs
+        }
+
+    @classmethod
+    def from_spec(cls, text: str) -> "ChaosInjector":
+        return cls(parse_chaos_spec(text))
+
+    @property
+    def active(self) -> bool:
+        return bool(self._points)
+
+    def configured(self, point: str) -> bool:
+        return point in self._points
+
+    def should_fire(self, point: str) -> bool:
+        """Evaluate a fault point; true means the caller must inject.
+
+        On fire, the decision is counted into
+        ``repro_chaos_injected_total{point=...}`` and logged, so a
+        chaos run leaves an audit trail of every injected fault.
+        """
+        state = self._points.get(point)
+        if state is None or not state.should_fire():
+            return False
+        inc_family("repro_chaos_injected_total", point)
+        log.warning(
+            "chaos: injecting %s (fire %d, evaluation %d) in pid %d",
+            point, state.fired, state.evaluated, os.getpid(),
+        )
+        return True
+
+    def param(self, point: str, key: str, default: float) -> float:
+        """A point's tuning parameter (e.g. ``stall`` seconds)."""
+        state = self._points.get(point)
+        if state is None:
+            return default
+        return state.spec.param(key, default)
+
+    def corrupt_bytes(self, point: str, data: bytes) -> bytes:
+        """Deterministically damage ``data`` for an already-fired point.
+
+        Draws from the point's own stream: flips one byte, or truncates
+        when the buffer is too small to flip meaningfully.  Never
+        returns the input unchanged for a non-empty buffer.
+        """
+        state = self._points.get(point)
+        if state is None or not data:
+            return data
+        with state.lock:
+            if len(data) == 1:
+                return b""
+            position = state.rng.randrange(len(data))
+            flip = 1 + state.rng.randrange(255)
+        corrupted = bytearray(data)
+        corrupted[position] ^= flip
+        return bytes(corrupted)
+
+    def counts(self) -> dict[str, tuple[int, int]]:
+        """Per-point (evaluated, fired) counts — test and audit hook."""
+        return {
+            point: (state.evaluated, state.fired)
+            for point, state in self._points.items()
+        }
+
+
+#: The no-faults injector used when chaos is not configured.
+_INERT = ChaosInjector()
+
+_configured: ChaosInjector | None = None
+_env_checked = False
+_config_lock = threading.Lock()
+
+
+def configure_chaos(spec: "str | ChaosInjector | None") -> ChaosInjector:
+    """Install the process-wide injector (``--chaos`` does this).
+
+    ``None`` clears back to the inert injector.  Returns what was
+    installed, so callers can inspect counts afterwards.
+    """
+    global _configured, _env_checked
+    with _config_lock:
+        if spec is None:
+            _configured = None
+        elif isinstance(spec, ChaosInjector):
+            _configured = spec
+        else:
+            _configured = ChaosInjector.from_spec(spec)
+        _env_checked = True  # explicit config wins over the environment
+        return _configured if _configured is not None else _INERT
+
+
+def get_injector() -> ChaosInjector:
+    """The process-wide injector (lazily reading :data:`CHAOS_ENV`)."""
+    global _configured, _env_checked
+    if _configured is not None:
+        return _configured
+    if not _env_checked:
+        with _config_lock:
+            if not _env_checked:
+                text = os.environ.get(CHAOS_ENV, "").strip()
+                if text:
+                    _configured = ChaosInjector.from_spec(text)
+                _env_checked = True
+    return _configured if _configured is not None else _INERT
+
+
+def reset_chaos() -> None:
+    """Forget any configured injector and re-arm the env read (tests)."""
+    global _configured, _env_checked
+    with _config_lock:
+        _configured = None
+        _env_checked = False
+
+
+def should_fire(point: str) -> bool:
+    """Module-level convenience over :func:`get_injector`."""
+    return get_injector().should_fire(point)
+
+
+def chaos_param(point: str, key: str, default: float) -> float:
+    return get_injector().param(point, key, default)
+
+
+def corrupt_bytes(point: str, data: bytes) -> bytes:
+    return get_injector().corrupt_bytes(point, data)

@@ -25,6 +25,14 @@ and ``--cache-dir`` to persist results on disk.
 line-delimited JSON protocol of :mod:`repro.service`; ``submit`` and
 ``status`` are thin clients for it.
 
+Resilience (see ``docs/resilience.md``): ``--chaos SPEC`` (on
+``reproduce``, ``trace`` and ``serve``) arms the deterministic fault
+injector; ``--deadline SECONDS`` revives workers whose batch overruns
+its per-job budget; ``reproduce --resume`` journals completed jobs to
+a crash-safe sidecar under ``--journal-dir`` so a killed run restarts
+where it left off; ``submit``/``status`` retry transient service
+errors by default (``--no-retry`` opts out).
+
 Observability (:mod:`repro.obs`): ``trace`` runs an artifact with
 tracing on and prints the per-layer time/retirement breakdown;
 ``--trace-out`` (on ``trace``, ``reproduce`` and ``serve``) writes a
@@ -42,7 +50,13 @@ import json
 import sys
 from typing import Sequence
 
-from repro.backend import resolve_backend_name, set_default_backend
+from repro.backend import (
+    resolve_backend_name,
+    set_default_backend,
+    set_default_deadline,
+    set_default_slow_threshold,
+)
+from repro.chaos import configure_chaos, get_injector
 from repro.core.benchmarks import LoopBenchmark, NullBenchmark
 from repro.core.config import INFRASTRUCTURES, MeasurementConfig, Mode, Pattern
 from repro.core.measurement import run_measurement
@@ -138,6 +152,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record spans for this run and write a Chrome trace_event "
              "JSON to PATH (artifact output is unchanged)",
     )
+    reproduce.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic faults, e.g. 'worker-kill:p=0.05,"
+             "seed=7' (REPRO_CHAOS; see docs/resilience.md; results "
+             "stay byte-identical)",
+    )
+    reproduce.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline: revive a worker whose batch overruns "
+             "deadline x jobs and re-dispatch its work (REPRO_DEADLINE)",
+    )
+    reproduce.add_argument(
+        "--resume", action="store_true",
+        help="journal completed jobs to a crash-safe sidecar and, when "
+             "one exists from a killed run, restart from it "
+             "(output is byte-identical to an uninterrupted run)",
+    )
+    reproduce.add_argument(
+        "--journal-dir", default=".repro-journal", metavar="DIR",
+        help="where --resume keeps its sidecar journals "
+             "(default: .repro-journal)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -165,6 +201,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-out", default=None, metavar="PATH",
         help="also write the Chrome trace_event JSON to PATH "
              "(load it in Perfetto or chrome://tracing)",
+    )
+    trace.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic faults (see docs/resilience.md)",
+    )
+    trace.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline for the hung-worker watchdog",
     )
 
     sub.add_parser(
@@ -246,6 +290,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="warn (structured log + metric) when a job runs longer than "
              "this; 0 disables the watchdog",
     )
+    serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic faults (see docs/resilience.md)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-job deadline for the hung-worker watchdog "
+             "(REPRO_DEADLINE)",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit one artifact to a running service"
@@ -267,6 +320,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=600.0, metavar="SECONDS",
         help="--wait polling deadline",
     )
+    submit.add_argument(
+        "--no-retry", action="store_true",
+        help="fail fast on transient service errors instead of the "
+             "default backoff-and-retry",
+    )
 
     status = sub.add_parser(
         "status", help="query a running service: job state, health, metrics"
@@ -284,6 +342,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--host", default="127.0.0.1")
     status.add_argument("--port", type=int, default=7471)
+    status.add_argument(
+        "--no-retry", action="store_true",
+        help="fail fast on transient service errors instead of the "
+             "default backoff-and-retry",
+    )
     return parser
 
 
@@ -334,6 +397,8 @@ def _cmd_reproduce(
     repeats: int | None,
     seed: int,
     trace_out: str | None = None,
+    resume: bool = False,
+    journal_dir: str = ".repro-journal",
 ) -> int:
     from repro import obs
     from repro.obs.export import write_chrome_trace
@@ -348,17 +413,41 @@ def _cmd_reproduce(
         print(f"unknown artifact {artifact!r}; known: {known}", file=sys.stderr)
         return 2
     names = list(ALL_EXPERIMENTS) if artifact == "all" else [artifact]
+    journal = None
+    if resume:
+        from repro.exec import SweepJournal, journal_path, set_active_journal
+
+        journal = SweepJournal(
+            journal_path(journal_dir, artifact, repeats, seed)
+        )
+        restored = journal.open()
+        print(
+            f"resume: {restored} completed job(s) restored",
+            file=sys.stderr,
+        )
+        set_active_journal(journal)
     collector = obs.TraceCollector() if trace_out is not None else None
-    code = 0
-    with contextlib.ExitStack() as stack:
-        if collector is not None:
-            stack.enter_context(obs.activate(collector))
-            stack.enter_context(
-                obs.span("reproduce", category="cli", artifact=artifact,
-                         seed=seed)
-            )
-        for name in names:
-            code = _run_artifact(name, repeats, seed) or code
+    code: "int | None" = None
+    try:
+        run_code = 0
+        with contextlib.ExitStack() as stack:
+            if collector is not None:
+                stack.enter_context(obs.activate(collector))
+                stack.enter_context(
+                    obs.span("reproduce", category="cli", artifact=artifact,
+                             seed=seed)
+                )
+            for name in names:
+                run_code = _run_artifact(name, repeats, seed) or run_code
+        code = run_code
+    finally:
+        if journal is not None:
+            set_active_journal(None)
+            if code == 0:
+                # The run completed: the sidecar has served its purpose.
+                journal.discard()
+            else:
+                journal.close()
     _print_cache_summary(before)
     if collector is not None:
         write_chrome_trace(trace_out, collector)
@@ -471,7 +560,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro import obs
-    from repro.service import ServiceClient, ServiceError, submit_with_retry
+    from repro.service import ServiceClient, ServiceError
 
     # The trace id is minted here, where the work enters the system;
     # the service threads it through queue, scheduler, executor and
@@ -479,10 +568,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     # acknowledgement is machine-readable and stays stable.
     trace_id = obs.new_trace_id()
     try:
-        with ServiceClient(args.host, args.port) as client:
-            job = submit_with_retry(
-                client,
-                artifact=args.artifact,
+        with ServiceClient(
+            args.host, args.port, retry=not args.no_retry
+        ) as client:
+            # The client's default policy covers queue-full
+            # backpressure, lost connections and backoff; with
+            # --no-retry the client fails fast on the first error.
+            job = client.submit_artifact(
+                args.artifact,
                 repeats=args.repeats,
                 seed=args.seed,
                 priority=args.priority,
@@ -515,7 +608,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
         print("error: give a job id, --metrics, or --health", file=sys.stderr)
         return 2
     try:
-        with ServiceClient(args.host, args.port) as client:
+        with ServiceClient(
+            args.host, args.port, retry=not args.no_retry
+        ) as client:
             if args.metrics:
                 sys.stdout.write(client.metrics())
             if args.health:
@@ -558,6 +653,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             resolve_batch_size(None, 1, 1)  # ...and a bad REPRO_BATCH
             set_default_backend(args.backend)
             resolve_backend_name()  # ...and a bad REPRO_BACKEND
+            set_default_deadline(args.deadline)
+            if args.chaos is not None:
+                configure_chaos(args.chaos)  # validates the spec grammar
+            else:
+                get_injector()  # ...and surface a bad REPRO_CHAOS
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -584,6 +684,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             set_default_backend(args.backend)
             resolve_backend_name()  # surface a bad REPRO_BACKEND early
+            set_default_deadline(args.deadline)
+            # Route the threshold through the knob chain so backend
+            # collect loops see it too, not just the scheduler.
+            set_default_slow_threshold(
+                args.slow_job_threshold if args.slow_job_threshold > 0
+                else None
+            )
+            if args.chaos is not None:
+                configure_chaos(args.chaos)  # validates the spec grammar
+            else:
+                get_injector()  # ...and surface a bad REPRO_CHAOS
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -593,7 +704,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                 enabled=not args.no_cache, disk_dir=args.cache_dir
             )
         return _cmd_reproduce(
-            args.artifact, args.repeats, args.seed, trace_out=args.trace_out
+            args.artifact, args.repeats, args.seed, trace_out=args.trace_out,
+            resume=args.resume, journal_dir=args.journal_dir,
         )
     if args.command == "trace":
         return _cmd_trace(args)

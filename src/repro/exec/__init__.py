@@ -34,6 +34,12 @@ from repro.exec.cache import (
     default_cache,
     stable_token,
 )
+from repro.exec.journal import (
+    SweepJournal,
+    active_journal,
+    journal_path,
+    set_active_journal,
+)
 from repro.exec.executor import (
     BackendExecutor,
     Executor,
@@ -71,13 +77,17 @@ __all__ = [
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",
+    "SweepJournal",
+    "active_journal",
     "code_version",
     "configure_default_cache",
     "default_cache",
     "get_executor",
+    "journal_path",
     "resolve_batch_cap",
     "resolve_batch_size",
     "resolve_jobs",
+    "set_active_journal",
     "set_default_batch",
     "set_default_jobs",
     "stable_token",

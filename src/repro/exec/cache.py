@@ -21,7 +21,9 @@ invalidates everything rather than serving stale rows.
 
 from __future__ import annotations
 
+import errno
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -30,7 +32,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.chaos import should_fire as chaos_should_fire
 from repro.errors import ConfigurationError
+from repro.obs.metrics import inc_counter
+
+log = logging.getLogger("repro.exec.cache")
 
 #: Bump when the cached payload's schema changes (independently of the
 #: package version, which also keys the token).
@@ -68,6 +74,9 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     disk_hits: int = 0
+    #: Corrupt disk entries renamed aside (served as misses, never
+    #: raised).
+    quarantined: int = 0
 
     @property
     def lookups(self) -> int:
@@ -147,12 +156,35 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-            return _MISSING  # absent or corrupt: recompute
+        except FileNotFoundError:
+            return _MISSING
+        except OSError:
+            return _MISSING  # unreadable (permissions, I/O): recompute
+        except Exception as exc:
+            # The file exists but its bytes do not unpickle (torn
+            # write, bit rot, a truncating crash).  Rename it aside so
+            # the poison is kept for a post-mortem but never read
+            # again, count the incident, and serve a miss — corruption
+            # must cost a recompute, never a crash.
+            self._quarantine(path, exc)
+            return _MISSING
+
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        self.stats.quarantined += 1
+        inc_counter("repro_cache_quarantined_total")
+        log.warning("quarantining corrupt cache entry %s (%s)", path, exc)
+        try:
+            os.replace(path, f"{path}.quarantined")
+        except OSError:
+            # A concurrent reader already moved it (or the dir went
+            # away); either way the entry is gone, which is the point.
+            pass
 
     def _disk_put(self, token: str, value: Any) -> None:
         path = self._path_for(token)
         try:
+            if chaos_should_fire("cache-enospc"):
+                raise OSError(errno.ENOSPC, "chaos: injected ENOSPC")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
@@ -162,6 +194,13 @@ class ResultCache:
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
+            if chaos_should_fire("cache-torn"):
+                # Simulate a torn write: chop the freshly landed entry
+                # in half, the way a crash mid-write (on a filesystem
+                # without atomic rename durability) would.
+                size = path.stat().st_size
+                with path.open("r+b") as handle:
+                    handle.truncate(max(1, size // 2))
         except OSError:
             pass  # a read-only or full disk degrades to memory-only
 

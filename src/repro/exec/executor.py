@@ -159,17 +159,30 @@ class Executor(abc.ABC):
         ``progress`` is called with each job's plan index once its
         result is available (all indices, in order).
         """
+        from repro.exec.journal import active_journal
+
         jobs = list(jobs)
+        journal = active_journal()
         self.stats.jobs += len(jobs)
         GLOBAL_STATS.jobs += len(jobs)
         with obs.span("executor.map", category="executor") as sp:
             results: list[Any] = [None] * len(jobs)
             pending: list[int] = []
             tokens: list[str | None] = [None] * len(jobs)
+            want_tokens = self.cache is not None or journal is not None
             for index, job in enumerate(jobs):
-                token = _token_of(job) if self.cache is not None else None
+                token = _token_of(job) if want_tokens else None
                 tokens[index] = token
-                cached = self.cache.get(token) if token is not None else None
+                cached = (
+                    self.cache.get(token)
+                    if self.cache is not None and token is not None
+                    else None
+                )
+                if cached is None and journal is not None and token is not None:
+                    # A resumed run: jobs the killed run already
+                    # finished are served from its journal, in plan
+                    # order, byte-identical to re-running them.
+                    cached = journal.get(token)
                 if cached is not None:
                     results[index] = cached
                     self.stats.cache_hits += 1
@@ -190,6 +203,8 @@ class Executor(abc.ABC):
                     results[index] = result
                     if self.cache is not None and tokens[index] is not None:
                         self.cache.put(tokens[index], result)
+                    if journal is not None and tokens[index] is not None:
+                        journal.append(tokens[index], result)
         if progress is not None:
             for index in range(len(jobs)):
                 progress(index)
@@ -228,8 +243,21 @@ class BackendExecutor(Executor):
         self.batch_size = batch_size
 
     def _execute(self, jobs: Sequence[Job], indices: Sequence[int]) -> list[Any]:
+        from repro.exec.journal import active_journal
+
+        journal = active_journal()
+        on_batch = None
+        if journal is not None:
+            # Journal each batch the moment it completes, so a run
+            # killed mid-plan resumes from its last finished batch.
+            def on_batch(batch_jobs: list[Any], batch_results: list[Any]):
+                for job, result in zip(batch_jobs, batch_results):
+                    token = _token_of(job)
+                    if token is not None:
+                        journal.append(token, result)
+
         outcome = self.backend.execute(
-            jobs, list(indices), batch_cap=self.batch_size
+            jobs, list(indices), batch_cap=self.batch_size, on_batch=on_batch
         )
         self._record_dispatch(outcome.batches, outcome.snapshot_hits)
         return outcome.results

@@ -46,7 +46,13 @@ Typical embedded use (tests do exactly this)::
             print(result["report"])
 """
 
-from repro.service.client import ServiceClient, ServiceError, submit_with_retry
+from repro.service.client import (
+    RetryBudgetExceeded,
+    ServiceClient,
+    ServiceConnectionError,
+    ServiceError,
+    submit_with_retry,
+)
 from repro.service.metrics import (
     Counter,
     Gauge,
@@ -99,10 +105,12 @@ __all__ = [
     "Request",
     "Response",
     "ResultRequest",
+    "RetryBudgetExceeded",
     "Scheduler",
     "SchedulerClosed",
     "SchedulerStats",
     "ServiceClient",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceInThread",
     "StatusRequest",

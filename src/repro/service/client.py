@@ -3,10 +3,18 @@
 One socket, newline-delimited JSON both ways, strictly
 request/response — the client the ``repro submit`` / ``repro status``
 subcommands (and any external tool) build on.  Server-side errors
-surface as :class:`ServiceError` carrying the structured code; the
-``queue-full`` code additionally carries the server's ``retry_after``
-hint, which :func:`submit_with_retry` turns into a bounded backoff
-loop.
+surface as :class:`ServiceError` carrying the structured code.
+
+Transient failures are retried **by default** (``repro submit
+--no-retry`` opts out): ``queue-full`` backpressure waits out the
+server's ``retry_after`` hint, dropped connections and unreachable
+servers back off exponentially (capped, with seeded jitter so a herd
+of clients does not stampede in lockstep), and the budget is bounded —
+``max_attempts`` tries, after which the client gives up with a
+structured :class:`RetryBudgetExceeded` (or the original ``OSError``
+when the server was never reachable at all, so "cannot reach service"
+handling keeps working).  Permanent errors — bad request, conflict,
+unknown artifact — are never retried.
 
 The client reconnects transparently if the server dropped the
 connection between calls (the protocol is stateless per connection,
@@ -15,11 +23,13 @@ so this is always safe).
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 import uuid
 from typing import Any, Mapping
 
+from repro.obs.metrics import inc_counter
 from repro.service import protocol
 from repro.service.protocol import PROTOCOL_VERSION, Response
 from repro.service.server import DEFAULT_HOST, DEFAULT_PORT
@@ -37,6 +47,39 @@ class ServiceError(Exception):
         self.retry_after = retry_after
 
 
+class ServiceConnectionError(ServiceError):
+    """The connection died mid-request (retryable: no response came)."""
+
+    CODE = "connection-lost"
+
+    def __init__(self, message: str) -> None:
+        super().__init__(self.CODE, message)
+
+
+class RetryBudgetExceeded(ServiceError):
+    """The retry budget ran out; carries the last failure's shape."""
+
+    def __init__(
+        self, attempts: int, elapsed: float, last: ServiceError
+    ) -> None:
+        super().__init__(
+            last.code,
+            f"gave up after {attempts} attempts over {elapsed:.1f}s; "
+            f"last error: {last.message}",
+            last.retry_after,
+        )
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.last = last
+
+
+#: Error codes worth retrying: the request may succeed later without
+#: anything changing on the client's side.
+_RETRYABLE_CODES = frozenset(
+    (protocol.E_QUEUE_FULL, ServiceConnectionError.CODE)
+)
+
+
 class ServiceClient:
     """Blocking line-protocol client (context-manager friendly)."""
 
@@ -46,11 +89,22 @@ class ServiceClient:
         port: int = DEFAULT_PORT,
         timeout: float = 30.0,
         client_id: str | None = None,
+        retry: bool = True,
+        max_attempts: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.client_id = client_id or f"cli-{uuid.uuid4().hex[:8]}"
+        self.retry = retry
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        # Seeded from the client identity: two runs of the same client
+        # jitter identically (replayable), different clients de-sync.
+        self._jitter = random.Random(self.client_id)
         self._sock: socket.socket | None = None
         self._file: Any = None
 
@@ -102,12 +156,12 @@ class ServiceClient:
             answer = self._file.readline()
         if not answer:
             self.close()
-            raise ServiceError(
-                protocol.E_INTERNAL, "server closed the connection mid-request"
+            raise ServiceConnectionError(
+                "server closed the connection mid-request"
             )
         return protocol.parse_response(answer)
 
-    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+    def _call_once(self, op: str, **fields: Any) -> dict[str, Any]:
         """One raw request; returns the success payload or raises."""
         wire: dict[str, Any] = {
             "v": PROTOCOL_VERSION, "op": op, "client": self.client_id,
@@ -122,6 +176,56 @@ class ServiceClient:
                 error.get("retry_after"),
             )
         return dict(response.payload)
+
+    def _backoff_delay(self, attempt: int, retry_after: "float | None") -> float:
+        """How long to sleep before retry ``attempt`` (0-based).
+
+        The server's ``retry_after`` hint is honoured verbatim when it
+        ships one; otherwise capped exponential backoff with jitter in
+        [0.5, 1.0]× so synchronized clients spread out.
+        """
+        if retry_after is not None and retry_after > 0:
+            return retry_after
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return delay * (0.5 + self._jitter.random() / 2)
+
+    def call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """A request with the client's retry policy applied.
+
+        Retryable failures — ``queue-full`` backpressure and lost
+        connections (including an unreachable server) — are retried up
+        to ``max_attempts`` with backoff; anything else raises
+        immediately.  Exhausting the budget raises
+        :class:`RetryBudgetExceeded`, except when every attempt failed
+        to even connect, where the original ``OSError`` propagates so
+        callers keep their "cannot reach service" handling.
+        """
+        if not self.retry:
+            return self._call_once(op, **fields)
+        start = time.monotonic()
+        for attempt in range(self.max_attempts):
+            last_attempt = attempt == self.max_attempts - 1
+            try:
+                return self._call_once(op, **fields)
+            except ServiceError as exc:
+                if exc.code not in _RETRYABLE_CODES:
+                    raise
+                if last_attempt:
+                    raise RetryBudgetExceeded(
+                        self.max_attempts, time.monotonic() - start, exc
+                    ) from exc
+                delay = self._backoff_delay(attempt, exc.retry_after)
+            except OSError:
+                # Could not connect at all (_roundtrip already spent
+                # its one transparent reconnect).  Retry, but let the
+                # original error through on exhaustion.
+                self.close()
+                if last_attempt:
+                    raise
+                delay = self._backoff_delay(attempt, None)
+            inc_counter("repro_client_retries_total")
+            time.sleep(delay)
+        raise AssertionError("unreachable")
 
     # -- operations --------------------------------------------------------
 
@@ -220,7 +324,13 @@ def submit_with_retry(
     attempts: int = 5,
     trace_id: str | None = None,
 ) -> dict[str, Any]:
-    """Submit, honouring ``queue-full`` backpressure up to ``attempts``."""
+    """Submit, honouring ``queue-full`` backpressure up to ``attempts``.
+
+    Kept for API compatibility: since retry became the client default,
+    ``client.submit_artifact`` already does this (with jittered
+    backoff and connection recovery on top).  This wrapper remains the
+    bounded-retry path for clients constructed with ``retry=False``.
+    """
     for attempt in range(attempts):
         try:
             return client.submit_artifact(

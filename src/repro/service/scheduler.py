@@ -40,7 +40,8 @@ from repro.exec.cache import stable_token
 from repro.obs.logging import StructuredLogger, get_logger
 from repro.service import metrics as metrics_mod
 from repro.service.protocol import DEFAULT_PRIORITY
-from repro.service.queue import JobQueue
+from repro.chaos import should_fire as chaos_should_fire
+from repro.service.queue import JobQueue, QueueFull
 
 #: Finished job records kept for status/result polling.
 HISTORY_LIMIT = 1024
@@ -287,6 +288,15 @@ class Scheduler:
             record.trace = submit_span.context
             record.enqueued_us = now
         try:
+            if chaos_should_fire("queue-full"):
+                # Simulated backpressure: reject exactly as a saturated
+                # queue would, retry_after hint and all, so client
+                # backoff can be exercised without actually filling up.
+                raise QueueFull(
+                    self.queue.depth,
+                    self.queue.max_depth,
+                    self.queue.retry_after_hint(),
+                )
             self.queue.push(record, client=client, priority=priority)
         except Exception:
             self._count("repro_queue_rejected_total")

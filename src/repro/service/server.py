@@ -39,6 +39,7 @@ from repro.service.protocol import (
     StatusRequest,
     SubmitRequest,
 )
+from repro.chaos import should_fire as chaos_should_fire
 from repro.service.queue import JobQueue, QueueFull
 from repro.service.scheduler import (
     JobState,
@@ -149,6 +150,11 @@ class MeasurementServer:
                 if not line.strip():
                     continue
                 response = await self._respond(line)
+                if chaos_should_fire("conn-drop"):
+                    # Drop the connection with the response computed
+                    # but unsent — the worst case for a client, which
+                    # cannot know whether the request took effect.
+                    break
                 writer.write(protocol.encode_line(response))
                 try:
                     await writer.drain()

@@ -1,0 +1,161 @@
+"""Per-job deadlines and the slow-job watchdog in the warm backend.
+
+A wedged worker — stalled by chaos, a runaway job, or a kernel hiccup
+— must not hang ``collect()`` forever.  With a slow-job threshold set
+the coordinator warns (log + counter); with a deadline set it revives
+the worker and re-dispatches the batch, and because every job carries
+its complete seed the recomputed results are byte-identical.
+"""
+
+import time
+
+import pytest
+
+from repro.backend import GLOBAL_STATS, make_backend, warm_available
+from repro.backend.knobs import (
+    resolve_deadline,
+    resolve_slow_threshold,
+    set_default_deadline,
+    set_default_slow_threshold,
+)
+from repro.chaos import configure_chaos, reset_chaos
+from repro.errors import ConfigurationError
+from repro.obs.metrics import build_unified_registry
+
+from tests.backend.test_warm_robustness import small_plan
+
+pytestmark = pytest.mark.skipif(
+    not warm_available(), reason="warm backend needs the fork start method"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_watchdog_state():
+    yield
+    set_default_deadline(None)
+    set_default_slow_threshold(None)
+    reset_chaos()
+
+
+class TestKnobs:
+    def test_deadline_chain(self, monkeypatch):
+        assert resolve_deadline() is None
+        set_default_deadline(1.5)
+        assert resolve_deadline() == 1.5
+        assert resolve_deadline(0.5) == 0.5  # explicit beats default
+        set_default_deadline(None)
+        monkeypatch.setenv("REPRO_DEADLINE", "2.5")
+        assert resolve_deadline() == 2.5
+
+    def test_slow_threshold_chain(self, monkeypatch):
+        assert resolve_slow_threshold() is None
+        set_default_slow_threshold(3.0)
+        assert resolve_slow_threshold() == 3.0
+        set_default_slow_threshold(None)
+        monkeypatch.setenv("REPRO_SLOW_JOB", "4.0")
+        assert resolve_slow_threshold() == 4.0
+
+    @pytest.mark.parametrize("value", [0, -1.0])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ConfigurationError, match="> 0"):
+            set_default_deadline(value)
+        with pytest.raises(ConfigurationError, match="> 0"):
+            set_default_slow_threshold(value)
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEADLINE", "soon")
+        with pytest.raises(ConfigurationError, match="REPRO_DEADLINE"):
+            resolve_deadline()
+
+
+class TestDeadlineRevival:
+    def test_stalled_worker_is_revived_and_results_identical(self):
+        # slow-worker chaos wedges the first batch a worker picks up
+        # for far longer than the deadline; the watchdog must revive
+        # the worker, re-dispatch, and the table must not move a byte.
+        plan = small_plan(base_seed=20)
+        jobs = list(plan)
+        baseline = [job.execute() for job in jobs]
+
+        configure_chaos("slow-worker:p=1,times=1,stall=30")
+        set_default_deadline(0.3)
+        backend = make_backend("warm", workers=2)
+        revivals_before = GLOBAL_STATS.stall_revivals
+        try:
+            outcome = backend.execute(jobs, list(range(len(jobs))))
+        finally:
+            backend.shutdown(grace=2.0)
+
+        assert outcome.results == baseline
+        assert backend.stats.stall_revivals >= 1
+        assert GLOBAL_STATS.stall_revivals > revivals_before
+
+    def test_revivals_surface_in_the_metrics_registry(self):
+        registry = build_unified_registry()
+        plan = small_plan(base_seed=21)
+        jobs = list(plan)
+
+        configure_chaos("slow-worker:p=1,times=1,stall=30")
+        set_default_deadline(0.3)
+        backend = make_backend("warm", workers=2)
+        try:
+            backend.execute(jobs, list(range(len(jobs))))
+        finally:
+            backend.shutdown(grace=2.0)
+
+        for line in registry.render().splitlines():
+            if line.startswith("repro_backend_stall_revivals"):
+                assert int(line.split()[-1]) >= 1
+                break
+        else:
+            pytest.fail("repro_backend_stall_revivals gauge not rendered")
+
+    def test_premature_deadline_only_costs_time_never_bytes(self):
+        # A deadline far too tight for honest work forces spurious
+        # revivals; correctness must survive them (the budget scales
+        # with batch size, so forward progress is still made).
+        plan = small_plan(base_seed=22)
+        jobs = list(plan)
+        baseline = [job.execute() for job in jobs]
+
+        set_default_deadline(0.001)
+        backend = make_backend("warm", workers=2)
+        try:
+            outcome = backend.execute(jobs, list(range(len(jobs))))
+        finally:
+            backend.shutdown(grace=2.0)
+        assert outcome.results == baseline
+
+
+class TestSlowJobWarning:
+    def test_slow_batch_warns_once_and_completes(self, caplog):
+        registry = build_unified_registry()
+        counter = registry.get("repro_slow_job_warnings_total")
+        before = counter.value
+
+        plan = small_plan(base_seed=23)
+        jobs = list(plan)
+        baseline = [job.execute() for job in jobs]
+
+        configure_chaos("slow-worker:p=1,times=1,stall=0.5")
+        set_default_slow_threshold(0.1)  # warn only: no deadline set
+        backend = make_backend("warm", workers=2)
+        try:
+            with caplog.at_level("WARNING", logger="repro.backend.warm"):
+                outcome = backend.execute(jobs, list(range(len(jobs))))
+        finally:
+            backend.shutdown(grace=2.0)
+
+        assert outcome.results == baseline
+        assert counter.value > before
+        assert any("slow" in record.message for record in caplog.records)
+        # Warn-only mode never revives anything.
+        assert backend.stats.stall_revivals == 0
+
+
+class _WedgeForever:
+    """Picklable job that outlives any test timeout."""
+
+    def execute(self):
+        time.sleep(600.0)
+        return "never"

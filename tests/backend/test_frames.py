@@ -89,14 +89,35 @@ class TestFrameReader:
     def test_unknown_kind_in_stream_is_frame_error(self):
         reader = FrameReader()
         with pytest.raises(FrameError, match="unknown frame kind"):
-            reader.feed(struct.pack("<IB", 0, 42))
+            reader.feed(struct.pack("<IBI", 0, 42, 0))
 
     def test_oversized_length_prefix_is_frame_error(self):
         # A corrupt length must not look like a 4 GB allocation request.
         reader = FrameReader()
-        header = struct.pack("<IB", frames.MAX_PAYLOAD + 1, frames.BATCH)
+        header = struct.pack(
+            "<IBI", frames.MAX_PAYLOAD + 1, frames.BATCH, 0
+        )
         with pytest.raises(FrameError, match="too large"):
             reader.feed(header)
+
+    def test_payload_bit_flip_is_frame_error(self):
+        frame = bytearray(encode_frame(frames.RESULTS, b"result bytes"))
+        frame[frames.HEADER_SIZE + 3] ^= 0x10
+        reader = FrameReader()
+        with pytest.raises(FrameError, match="checksum"):
+            reader.feed(bytes(frame))
+
+    def test_payload_bit_flip_is_frame_error_on_blocking_read(self):
+        frame = bytearray(encode_frame(frames.BATCH, b"batch bytes"))
+        frame[-1] ^= 0x01
+        read_fd, write_fd = os.pipe()
+        os.write(write_fd, bytes(frame))
+        os.close(write_fd)
+        try:
+            with pytest.raises(FrameError, match="checksum"):
+                read_frame(read_fd)
+        finally:
+            os.close(read_fd)
 
 
 class TestBatchPayload:

@@ -1,0 +1,169 @@
+"""The chaos injector: replayable by construction.
+
+The contract every chaos golden test leans on: the same spec and seed
+produce the same fault pattern, every time, regardless of probability
+tuning order or which other points are configured.
+"""
+
+import pytest
+
+from repro.chaos import (
+    CHAOS_ENV,
+    ChaosInjector,
+    chaos_param,
+    configure_chaos,
+    corrupt_bytes,
+    get_injector,
+    reset_chaos,
+    should_fire,
+)
+from repro.obs.metrics import build_unified_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+def fire_pattern(injector, point, n=200):
+    return [injector.should_fire(point) for _ in range(n)]
+
+
+class TestDeterminism:
+    def test_same_spec_same_pattern(self):
+        # The replay pin: a chaos run is reproducible from its spec.
+        a = ChaosInjector.from_spec("worker-kill:p=0.3,seed=7")
+        b = ChaosInjector.from_spec("worker-kill:p=0.3,seed=7")
+        assert fire_pattern(a, "worker-kill") == fire_pattern(b, "worker-kill")
+
+    def test_different_seed_different_pattern(self):
+        a = ChaosInjector.from_spec("worker-kill:p=0.3,seed=7")
+        b = ChaosInjector.from_spec("worker-kill:p=0.3,seed=8")
+        assert fire_pattern(a, "worker-kill") != fire_pattern(b, "worker-kill")
+
+    def test_points_draw_from_independent_streams(self):
+        # Adding a second fault point must not perturb the first one's
+        # draws — otherwise composing faults would change each fault.
+        alone = ChaosInjector.from_spec("worker-kill:p=0.3,seed=7")
+        paired = ChaosInjector.from_spec(
+            "worker-kill:p=0.3,seed=7;cache-torn:p=0.5,seed=1"
+        )
+        solo = []
+        mixed = []
+        for _ in range(100):
+            solo.append(alone.should_fire("worker-kill"))
+            mixed.append(paired.should_fire("worker-kill"))
+            paired.should_fire("cache-torn")  # interleave the other point
+        assert solo == mixed
+
+    def test_probability_tuning_keeps_stream_position(self):
+        # The draw happens even at p=1 and p=0, so where fires *would*
+        # land is a function of seed alone, not of p.
+        low = ChaosInjector.from_spec("worker-kill:p=0.3,seed=7")
+        high = ChaosInjector.from_spec("worker-kill:p=0.8,seed=7")
+        low_fires = fire_pattern(low, "worker-kill")
+        high_fires = fire_pattern(high, "worker-kill")
+        # Every evaluation that fired at p=0.3 also fires at p=0.8.
+        assert all(h for l, h in zip(low_fires, high_fires) if l)
+
+
+class TestFiringPolicy:
+    def test_p_zero_never_fires(self):
+        injector = ChaosInjector.from_spec("worker-kill:p=0")
+        assert not any(fire_pattern(injector, "worker-kill"))
+
+    def test_p_one_always_fires(self):
+        injector = ChaosInjector.from_spec("worker-kill:p=1")
+        assert all(fire_pattern(injector, "worker-kill"))
+
+    def test_times_budget_caps_fires(self):
+        injector = ChaosInjector.from_spec("worker-kill:p=1,times=3")
+        assert sum(fire_pattern(injector, "worker-kill")) == 3
+
+    def test_unconfigured_point_never_fires(self):
+        injector = ChaosInjector.from_spec("worker-kill:p=1")
+        assert not injector.should_fire("cache-torn")
+
+    def test_counts_track_evaluations_and_fires(self):
+        injector = ChaosInjector.from_spec("worker-kill:p=1,times=2")
+        fire_pattern(injector, "worker-kill", n=5)
+        assert injector.counts() == {"worker-kill": (5, 2)}
+
+    def test_param_reads_the_spec(self):
+        injector = ChaosInjector.from_spec("slow-worker:stall=0.25")
+        assert injector.param("slow-worker", "stall", 5.0) == 0.25
+        assert injector.param("worker-kill", "stall", 5.0) == 5.0
+
+
+class TestCorruptBytes:
+    def test_never_returns_input_unchanged(self):
+        injector = ChaosInjector.from_spec("frame-corrupt:seed=3")
+        data = bytes(range(64))
+        for _ in range(50):
+            assert injector.corrupt_bytes("frame-corrupt", data) != data
+
+    def test_single_byte_truncates(self):
+        injector = ChaosInjector.from_spec("frame-corrupt")
+        assert injector.corrupt_bytes("frame-corrupt", b"x") == b""
+
+    def test_deterministic_per_seed(self):
+        a = ChaosInjector.from_spec("frame-corrupt:seed=3")
+        b = ChaosInjector.from_spec("frame-corrupt:seed=3")
+        data = bytes(range(64))
+        assert [a.corrupt_bytes("frame-corrupt", data) for _ in range(10)] \
+            == [b.corrupt_bytes("frame-corrupt", data) for _ in range(10)]
+
+    def test_unconfigured_point_passes_through(self):
+        injector = ChaosInjector.from_spec("worker-kill")
+        assert injector.corrupt_bytes("frame-corrupt", b"abc") == b"abc"
+
+
+class TestProcessWideConfig:
+    def test_unconfigured_process_is_inert(self):
+        assert not get_injector().active
+        assert not should_fire("worker-kill")
+
+    def test_configure_and_clear(self):
+        installed = configure_chaos("worker-kill:p=1")
+        assert installed is get_injector()
+        assert should_fire("worker-kill")
+        configure_chaos(None)
+        assert not should_fire("worker-kill")
+
+    def test_environment_fallback(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "slow-worker:p=1,stall=0.5")
+        reset_chaos()
+        assert get_injector().configured("slow-worker")
+        assert chaos_param("slow-worker", "stall", 5.0) == 0.5
+
+    def test_explicit_config_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "slow-worker:p=1")
+        configure_chaos("worker-kill:p=1")
+        assert get_injector().configured("worker-kill")
+        assert not get_injector().configured("slow-worker")
+
+    def test_module_corrupt_bytes_uses_installed_injector(self):
+        configure_chaos("frame-corrupt:seed=1")
+        assert corrupt_bytes("frame-corrupt", b"abcdef") != b"abcdef"
+
+
+class TestMetrics:
+    def test_fires_counted_into_unified_registry(self):
+        registry = build_unified_registry()
+        injector = configure_chaos("worker-kill:p=1;cache-torn:p=1")
+        injector.should_fire("worker-kill")
+        injector.should_fire("worker-kill")
+        injector.should_fire("cache-torn")
+        text = registry.render()
+        assert 'repro_chaos_injected_total{point="worker-kill"} 2' in text
+        assert 'repro_chaos_injected_total{point="cache-torn"} 1' in text
+
+    def test_evaluations_that_do_not_fire_are_not_counted(self):
+        registry = build_unified_registry()
+        injector = configure_chaos("worker-kill:p=0")
+        fire_pattern(injector, "worker-kill")
+        assert "repro_chaos_injected_total" not in registry.render().replace(
+            "# HELP repro_chaos_injected_total", ""
+        ).replace("# TYPE repro_chaos_injected_total", "")

@@ -1,0 +1,120 @@
+"""The chaos spec grammar: parse, validate, render.
+
+A typo in ``--chaos`` must fail loudly with a
+:class:`ConfigurationError` — silently injecting nothing would make a
+"passing" chaos run meaningless.
+"""
+
+import pytest
+
+from repro.chaos import FAULT_POINTS, FaultSpec, parse_chaos_spec
+from repro.errors import ConfigurationError
+
+
+class TestParse:
+    def test_bare_point_gets_defaults(self):
+        (spec,) = parse_chaos_spec("worker-kill")
+        assert spec.point == "worker-kill"
+        assert spec.probability == 1.0
+        assert spec.seed == 0
+        assert spec.times is None
+        assert spec.params == ()
+
+    def test_full_clause(self):
+        (spec,) = parse_chaos_spec("worker-kill:p=0.05,seed=7,times=3")
+        assert spec.probability == 0.05
+        assert spec.seed == 7
+        assert spec.times == 3
+
+    def test_multiple_clauses(self):
+        specs = parse_chaos_spec("worker-kill:p=0.5;cache-torn:seed=2")
+        assert [s.point for s in specs] == ["worker-kill", "cache-torn"]
+        assert specs[1].seed == 2
+
+    def test_whitespace_and_case_tolerated(self):
+        (spec,) = parse_chaos_spec("  Worker-Kill : p = 0.5 , seed = 1 ")
+        assert spec.point == "worker-kill"
+        assert spec.probability == 0.5
+        assert spec.seed == 1
+
+    def test_empty_clauses_between_semicolons_skipped(self):
+        specs = parse_chaos_spec("worker-kill;;cache-torn;")
+        assert [s.point for s in specs] == ["worker-kill", "cache-torn"]
+
+    def test_point_specific_stall_parameter(self):
+        (spec,) = parse_chaos_spec("slow-worker:p=1,stall=2.5")
+        assert spec.param("stall", 5.0) == 2.5
+        assert spec.param("unset", 9.0) == 9.0
+
+    def test_every_registered_point_parses_bare(self):
+        for point in FAULT_POINTS:
+            (spec,) = parse_chaos_spec(point)
+            assert spec.point == point
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "bogus-point",
+        "bogus-point:p=1",
+        "worker-kill;bogus-point",
+    ])
+    def test_unknown_point(self, text):
+        with pytest.raises(ConfigurationError, match="unknown chaos fault"):
+            parse_chaos_spec(text)
+
+    def test_stall_only_allowed_on_slow_worker(self):
+        with pytest.raises(ConfigurationError, match="unknown chaos param"):
+            parse_chaos_spec("worker-kill:stall=2")
+
+    @pytest.mark.parametrize("text", [
+        "worker-kill:p",
+        "worker-kill:p=",
+        "worker-kill:=0.5",
+        "worker-kill:0.5",
+    ])
+    def test_malformed_parameter(self, text):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_chaos_spec(text)
+
+    @pytest.mark.parametrize("text", [
+        "worker-kill:p=maybe",
+        "worker-kill:seed=x",
+        "worker-kill:times=1.5",
+    ])
+    def test_non_numeric_value(self, text):
+        with pytest.raises(ConfigurationError, match="not a number"):
+            parse_chaos_spec(text)
+
+    @pytest.mark.parametrize("p", ["-0.1", "1.1"])
+    def test_probability_out_of_range(self, p):
+        with pytest.raises(ConfigurationError, match="must be in"):
+            parse_chaos_spec(f"worker-kill:p={p}")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="times must be >= 1"):
+            parse_chaos_spec("worker-kill:times=0")
+
+    def test_duplicate_point_rejected(self):
+        # Two RNG streams for one point would make replay ambiguous.
+        with pytest.raises(ConfigurationError, match="configured twice"):
+            parse_chaos_spec("worker-kill:p=0.5;worker-kill:p=0.9")
+
+    @pytest.mark.parametrize("text", ["", "   ", ";;"])
+    def test_spec_naming_no_point_rejected(self, text):
+        with pytest.raises(ConfigurationError, match="no fault point"):
+            parse_chaos_spec(text)
+
+
+class TestRender:
+    def test_render_round_trips(self):
+        specs = parse_chaos_spec(
+            "worker-kill:p=0.05,seed=7,times=3;slow-worker:stall=2.5"
+        )
+        rendered = ";".join(spec.render() for spec in specs)
+        assert parse_chaos_spec(rendered) == specs
+
+    def test_direct_construction_validates(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point="nope")
+        with pytest.raises(ConfigurationError):
+            FaultSpec(point="worker-kill", probability=2.0)

@@ -7,7 +7,8 @@ stack.
 
 import pytest
 
-from repro.backend import set_default_backend
+from repro.backend import set_default_backend, set_default_deadline
+from repro.chaos import reset_chaos
 from repro.cli import main
 from repro.exec import set_default_batch, set_default_jobs
 
@@ -17,10 +18,14 @@ def clean_defaults(monkeypatch):
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     monkeypatch.delenv("REPRO_BATCH", raising=False)
     monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_DEADLINE", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
     yield
     set_default_jobs(None)
     set_default_batch(None)
     set_default_backend(None)
+    set_default_deadline(None)
+    reset_chaos()
 
 
 def expect_error(capsys, argv, message):
@@ -104,6 +109,84 @@ class TestBackendValidation:
         expect_error(
             capsys, ["serve", "--backend", "bogus"],
             "error: unknown backend 'bogus'",
+        )
+
+
+class TestChaosValidation:
+    def test_unknown_fault_point_exit_2(self, capsys):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--chaos", "bogus-point"],
+            "error: unknown chaos fault point 'bogus-point'",
+        )
+
+    def test_malformed_parameter_exit_2(self, capsys):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--chaos", "worker-kill:p"],
+            "error: chaos parameter must be key=value",
+        )
+
+    def test_out_of_range_probability_exit_2(self, capsys):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--chaos", "worker-kill:p=2"],
+            "error: chaos probability must be in [0, 1]",
+        )
+
+    def test_bad_env_chaos_exit_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "bogus-point")
+        expect_error(
+            capsys, ["reproduce", "figure4"],
+            "error: unknown chaos fault point 'bogus-point'",
+        )
+
+    def test_explicit_chaos_shadows_bad_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "bogus-point")
+        assert main(
+            ["reproduce", "figure4", "--chaos", "worker-kill:p=0"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_env_chaos_reaches_the_injector(self, capsys, monkeypatch):
+        from repro.chaos import get_injector
+
+        monkeypatch.setenv("REPRO_CHAOS", "worker-kill:p=0,seed=5")
+        assert main(["reproduce", "figure4"]) == 0
+        capsys.readouterr()
+        assert get_injector().configured("worker-kill")
+
+    def test_trace_validates_chaos_too(self, capsys):
+        expect_error(
+            capsys, ["trace", "figure4", "--chaos", "bogus-point"],
+            "error: unknown chaos fault point",
+        )
+
+    def test_serve_validates_chaos_too(self, capsys):
+        expect_error(
+            capsys, ["serve", "--chaos", "bogus-point"],
+            "error: unknown chaos fault point",
+        )
+
+
+class TestDeadlineValidation:
+    @pytest.mark.parametrize("bad", ["0", "-1.5"])
+    def test_non_positive_deadline_exit_2(self, capsys, bad):
+        expect_error(
+            capsys, ["reproduce", "figure4", "--deadline", bad],
+            "error: deadline must be > 0 seconds",
+        )
+
+    def test_bad_env_deadline_exit_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_DEADLINE", "soon")
+        # The env chain is consulted lazily by the backend; the CLI
+        # flag path itself must still validate eagerly.
+        expect_error(
+            capsys, ["reproduce", "figure4", "--deadline", "0"],
+            "error: deadline must be > 0 seconds",
+        )
+
+    def test_serve_validates_deadline_too(self, capsys):
+        expect_error(
+            capsys, ["serve", "--deadline", "0"],
+            "error: deadline must be > 0 seconds",
         )
 
 
