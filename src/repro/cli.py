@@ -347,6 +347,146 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fail fast on transient service errors instead of the "
              "default backoff-and-retry",
     )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run or inspect a sharded measurement fleet "
+             "(consistent-hash router over N serve processes)",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_serve = fleet_sub.add_parser(
+        "serve",
+        help="run a router plus N shard processes on one address "
+             "(drop-in for 'repro serve'; see docs/fleet.md)",
+    )
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument("--port", type=int, default=7471)
+    fleet_serve.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard processes to run (each is an unmodified 'repro serve')",
+    )
+    fleet_serve.add_argument(
+        "--workers", type=int, default=1, metavar="M",
+        help="concurrent job slots per shard",
+    )
+    fleet_serve.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="per-shard queued-job bound",
+    )
+    fleet_serve.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request timeout (router and shards)",
+    )
+    fleet_serve.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="execution backend inside each shard: inline, pool, or warm",
+    )
+    fleet_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared on-disk result cache for all shards (default: a "
+             "fresh temp dir for the fleet's lifetime)",
+    )
+    fleet_serve.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the router's Chrome trace_event JSON on shutdown",
+    )
+    fleet_serve.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic faults; 'shard-kill' and "
+             "'router-conn-drop' fire in the router, the rest are "
+             "forwarded to every shard (see docs/resilience.md)",
+    )
+
+    fleet_status = fleet_sub.add_parser(
+        "status",
+        help="print a running fleet's topology (shards, ring, jobs) "
+             "as JSON",
+    )
+    fleet_status.add_argument("--host", default="127.0.0.1")
+    fleet_status.add_argument("--port", type=int, default=7471)
+
+    fleet_drain = fleet_sub.add_parser(
+        "drain",
+        help="drain one shard (finish its jobs, restart it) with zero "
+             "dropped submissions",
+    )
+    fleet_drain.add_argument("shard", help="shard id from 'fleet status', e.g. s1")
+    fleet_drain.add_argument("--host", default="127.0.0.1")
+    fleet_drain.add_argument("--port", type=int, default=7471)
+    fleet_drain.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="client-side wait for the drain to complete",
+    )
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="measure submit->result latency under concurrent clients "
+             "(single process vs fleet; writes pytest-benchmark JSON)",
+    )
+    loadtest.add_argument(
+        "--topology", default="both", choices=["single", "fleet", "both"],
+        help="what to boot and measure (default: both, for comparison)",
+    )
+    loadtest.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="fleet shards (the single topology gets shards x workers "
+             "workers so capacity matches)",
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=1, metavar="M",
+        help="job slots per shard",
+    )
+    loadtest.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent closed-loop client threads",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=40, metavar="N",
+        help="total submissions per topology",
+    )
+    loadtest.add_argument(
+        "--distinct", type=int, default=8, metavar="N",
+        help="distinct submission seeds (fewer than --requests means "
+             "repeats, exercising the cache and ring locality)",
+    )
+    loadtest.add_argument(
+        "--loop-iters", type=int, default=2000, metavar="N",
+        help="loop-benchmark iterations per submitted job",
+    )
+    loadtest.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write pytest-benchmark-compatible JSON to PATH "
+             "(e.g. BENCH_8.json)",
+    )
+    loadtest.add_argument(
+        "--host", default=None,
+        help="target an already-running service instead of booting one "
+             "(requires --port; ignores --topology/--shards/--workers)",
+    )
+    loadtest.add_argument("--port", type=int, default=None)
+
+    bench = sub.add_parser(
+        "bench", help="benchmark result tooling (see 'bench diff')"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_sub.add_parser(
+        "diff",
+        help="compare two pytest-benchmark JSON files; flag regressions "
+             "beyond a noise threshold",
+    )
+    bench_diff.add_argument("baseline", help="baseline result file (A)")
+    bench_diff.add_argument("candidate", help="candidate result file (B)")
+    bench_diff.add_argument(
+        "--metric", default="mean", metavar="NAME",
+        help="stats field to compare (mean, median, min, ops, p99, ...; "
+             "default: mean)",
+    )
+    bench_diff.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="relative change below which a difference is noise "
+             "(default: 0.10 = 10%%)",
+    )
     return parser
 
 
@@ -630,6 +770,145 @@ def _cmd_status(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_fleet_serve(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+
+    extra_env = {}
+    if args.chaos is not None:
+        # The router evaluates only its own points (shard-kill,
+        # router-conn-drop); the full spec still ships to every shard
+        # so engine/scheduler points fire there with their own seeded
+        # streams.
+        extra_env["REPRO_CHAOS"] = args.chaos
+    return run_fleet(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
+        trace_out=args.trace_out,
+        extra_env=extra_env or None,
+    )
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            print(json.dumps(client.fleet_status(), indent=2, sort_keys=True))
+            return 0
+    except ServiceError as exc:
+        if exc.code == "unknown-op":
+            print(
+                f"error: {args.host}:{args.port} is a plain service, not "
+                "a fleet router (start one with 'repro fleet serve')",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach fleet at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_fleet_drain(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+            out = client.fleet_drain(args.shard)
+            print(
+                f"drained {out['shard']}: {out['drained_jobs']} job(s) "
+                f"finished, shard restarted"
+            )
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"error: cannot reach fleet at {args.host}:{args.port} ({exc})",
+            file=sys.stderr,
+        )
+        return 1
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.fleet.loadtest import (
+        render_entries,
+        run_loadtest,
+        run_topologies,
+        summarize,
+        write_bench_json,
+    )
+
+    load_kwargs = dict(
+        clients=args.clients,
+        requests=args.requests,
+        distinct=args.distinct,
+        loop_iters=args.loop_iters,
+    )
+    try:
+        if args.host is not None:
+            if args.port is None:
+                print("error: --host requires --port", file=sys.stderr)
+                return 2
+            stats = run_loadtest(args.host, args.port, **load_kwargs)
+            entries = [{
+                "group": "loadtest",
+                "name": "loadtest_external",
+                "fullname": "repro loadtest::loadtest_external",
+                "params": None, "param": None,
+                "extra_info": {
+                    "topology": "external",
+                    "target": f"{args.host}:{args.port}",
+                    **{k: stats[k] for k in
+                       ("p50", "p90", "p99", "wall_seconds",
+                        "throughput_rps")},
+                },
+                "options": {},
+                "stats": stats,
+            }]
+        else:
+            entries = run_topologies(
+                shards=args.shards,
+                workers=args.workers,
+                topology=args.topology,
+                **load_kwargs,
+            )
+    except (RuntimeError, OSError) as exc:
+        print(f"error: loadtest failed: {exc}", file=sys.stderr)
+        return 1
+    print(render_entries(entries))
+    if args.out is not None:
+        path = write_bench_json(args.out, entries)
+        print(f"wrote {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.analysis.benchdiff import diff_files
+
+    try:
+        code, text = diff_files(
+            args.baseline, args.candidate,
+            metric=args.metric, threshold=args.threshold,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -698,6 +977,52 @@ def main(argv: Sequence[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.command == "fleet" and args.fleet_command == "serve":
+        for flag, value, floor in (
+            ("shards", args.shards, 1),
+            ("workers", args.workers, 1),
+            ("queue-depth", args.queue_depth, 1),
+        ):
+            if value < floor:
+                print(
+                    f"error: {flag} must be >= {floor}, got {value}",
+                    file=sys.stderr,
+                )
+                return 2
+        if args.request_timeout <= 0:
+            print(
+                "error: request-timeout must be > 0, got "
+                f"{args.request_timeout}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.chaos is not None:
+            try:
+                configure_chaos(args.chaos)  # validates the spec grammar
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+    if args.command == "loadtest":
+        for flag, value, floor in (
+            ("shards", args.shards, 1),
+            ("workers", args.workers, 1),
+            ("clients", args.clients, 1),
+            ("requests", args.requests, 1),
+            ("distinct", args.distinct, 1),
+            ("loop-iters", args.loop_iters, 1),
+        ):
+            if value < floor:
+                print(
+                    f"error: {flag} must be >= {floor}, got {value}",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.command == "bench" and args.threshold < 0:
+        print(
+            f"error: threshold must be >= 0, got {args.threshold}",
+            file=sys.stderr,
+        )
+        return 2
     if args.command == "reproduce":
         if args.no_cache or args.cache_dir:
             configure_default_cache(
@@ -727,4 +1052,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_submit(args)
     if args.command == "status":
         return _cmd_status(args)
+    if args.command == "fleet":
+        if args.fleet_command == "serve":
+            return _cmd_fleet_serve(args)
+        if args.fleet_command == "status":
+            return _cmd_fleet_status(args)
+        return _cmd_fleet_drain(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
+    if args.command == "bench":
+        return _cmd_bench_diff(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,52 @@
+"""``repro.fleet`` — shard the measurement service across processes.
+
+One :class:`~repro.fleet.router.FleetRouter` speaks the ordinary
+service wire protocol on one address; underneath, a
+:class:`~repro.fleet.supervisor.ShardSupervisor` runs N unmodified
+``repro serve`` processes and a consistent-hash
+:class:`~repro.fleet.ring.HashRing` maps every submission's cache
+token onto one of them.  Crashed shards are respawned and their
+in-flight jobs rerouted; ``fleet-drain`` rotates a shard with zero
+dropped submissions.  See ``docs/fleet.md``.
+"""
+
+from repro.fleet.aggregate import (
+    MetricFamily,
+    aggregate_expositions,
+    aggregate_health,
+    parse_exposition,
+)
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing
+from repro.fleet.router import (
+    DEFAULT_FLEET_PORT,
+    FleetInThread,
+    FleetRouter,
+    JobRoute,
+    ShardLink,
+    ShardUnavailable,
+    run_fleet,
+)
+from repro.fleet.supervisor import (
+    ShardHandle,
+    ShardSpawnError,
+    ShardSupervisor,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_PORT",
+    "DEFAULT_REPLICAS",
+    "FleetInThread",
+    "FleetRouter",
+    "HashRing",
+    "JobRoute",
+    "MetricFamily",
+    "ShardHandle",
+    "ShardLink",
+    "ShardSpawnError",
+    "ShardSupervisor",
+    "ShardUnavailable",
+    "aggregate_expositions",
+    "aggregate_health",
+    "parse_exposition",
+    "run_fleet",
+]

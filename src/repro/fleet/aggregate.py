@@ -1,0 +1,229 @@
+"""Fleet-wide metrics aggregation: N Prometheus texts become one.
+
+Each shard renders its own unified registry
+(:func:`repro.obs.metrics.build_unified_registry`); the router fetches
+them all and merges them into a single exposition where **every sample
+carries a ``shard`` label**:
+
+* ``shard="s0"`` … — the per-shard rows, verbatim values;
+* ``shard="fleet"`` — the arithmetic sum of the shard rows with the
+  same name and original labels (counters, gauges, and histogram
+  ``_bucket``/``_sum``/``_count`` samples all sum correctly this way);
+* ``shard="router"`` — the router process's own registry.
+
+Ratio-style gauges (names ending in ``_rate``) are excluded from the
+``fleet`` sum — adding two hit rates is meaningless — but keep their
+per-shard rows.
+
+The parser handles exactly the exposition this repo's
+:class:`~repro.obs.metrics.MetricsRegistry` renders (``# HELP``,
+``# TYPE``, then ``name[{labels}] value`` samples) and tolerates
+unknown lines by passing over them.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+#: Gauges whose fleet-wide sum would be nonsense (ratios).
+_NO_SUM_SUFFIXES = ("_rate",)
+
+
+@dataclass
+class MetricFamily:
+    """One ``# TYPE`` block: metadata plus samples in render order."""
+
+    name: str
+    kind: str = "untyped"
+    help: str = ""
+    #: (sample name, label text without the braces, value) in order.
+    samples: "list[tuple[str, str, float]]" = field(default_factory=list)
+
+
+def parse_exposition(text: str) -> "dict[str, MetricFamily]":
+    """Family name -> :class:`MetricFamily`, in first-seen order."""
+    families: dict[str, MetricFamily] = {}
+    current: MetricFamily | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            current = families.setdefault(name, MetricFamily(name))
+            current.help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            current = families.setdefault(name, MetricFamily(name))
+            current.kind = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        sample = match.group("name")
+        labels = match.group("labels") or ""
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        # Histogram samples (name_bucket/_sum/_count) belong to the
+        # family that announced them via # TYPE; fall back to the
+        # sample's own name for exposition without metadata.
+        family = current if current is not None and _belongs(
+            sample, current.name
+        ) else families.setdefault(sample, MetricFamily(sample))
+        family.samples.append((sample, labels, value))
+    return families
+
+
+def _belongs(sample_name: str, family_name: str) -> bool:
+    return sample_name == family_name or (
+        sample_name.startswith(family_name)
+        and sample_name[len(family_name):] in ("_bucket", "_sum", "_count")
+    )
+
+
+def _with_shard(labels: str, shard: str) -> str:
+    prefix = f'shard="{shard}"'
+    return f"{prefix},{labels}" if labels else prefix
+
+
+def _summable(family: MetricFamily) -> bool:
+    if family.kind not in ("counter", "gauge", "histogram"):
+        return False
+    return not family.name.endswith(_NO_SUM_SUFFIXES)
+
+
+def aggregate_expositions(
+    shard_texts: "dict[str, str]",
+    router_text: str | None = None,
+) -> str:
+    """One fleet-wide exposition from per-shard metric texts.
+
+    ``shard_texts`` maps shard id -> that shard's rendered metrics;
+    ``router_text`` is the router's own registry, labelled
+    ``shard="router"`` and kept out of the fleet sums (the router
+    counts *proxied* traffic — summing it with the shards would double
+    count).
+    """
+    parsed = {
+        shard: parse_exposition(text)
+        for shard, text in sorted(shard_texts.items())
+    }
+    router = parse_exposition(router_text) if router_text else {}
+
+    # Family order: first shard's render order, then any stragglers,
+    # then router-only families.
+    order: list[str] = []
+    for families in list(parsed.values()) + [router]:
+        for name in families:
+            if name not in order:
+                order.append(name)
+
+    lines: list[str] = []
+    for name in order:
+        meta = next(
+            (
+                fams[name]
+                for fams in list(parsed.values()) + [router]
+                if name in fams and fams[name].kind != "untyped"
+            ),
+            None,
+        )
+        kind = meta.kind if meta is not None else "untyped"
+        help_text = meta.help if meta is not None else ""
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+        # Fleet sums, keyed by (sample name, original labels), in the
+        # order the first contributing shard rendered them.
+        sums: dict[tuple[str, str], float] = {}
+        sum_order: list[tuple[str, str]] = []
+        for families in parsed.values():
+            family = families.get(name)
+            if family is None:
+                continue
+            for sample, labels, value in family.samples:
+                key = (sample, labels)
+                if key not in sums:
+                    sums[key] = 0.0
+                    sum_order.append(key)
+                sums[key] += value
+        if meta is not None and _summable(meta):
+            for sample, labels in sum_order:
+                lines.append(
+                    f"{sample}{{{_with_shard(labels, 'fleet')}}} "
+                    f"{_format(sums[(sample, labels)])}"
+                )
+        for shard, families in parsed.items():
+            family = families.get(name)
+            if family is None:
+                continue
+            for sample, labels, value in family.samples:
+                lines.append(
+                    f"{sample}{{{_with_shard(labels, shard)}}} "
+                    f"{_format(value)}"
+                )
+        family = router.get(name)
+        if family is not None:
+            for sample, labels, value in family.samples:
+                lines.append(
+                    f"{sample}{{{_with_shard(labels, 'router')}}} "
+                    f"{_format(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def _format(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def aggregate_health(
+    shard_healths: "dict[str, dict | None]",
+) -> dict:
+    """One fleet health payload from per-shard health payloads.
+
+    ``None`` marks a shard that did not answer; any unreachable or
+    shutting-down shard degrades the fleet status (the fleet still
+    serves — the ring routes around it — but operators should look).
+    """
+    shards: dict[str, dict] = {}
+    totals = {"queue_depth": 0, "running": 0}
+    jobs: dict[str, int] = {}
+    degraded = False
+    for shard_id in sorted(shard_healths):
+        health = shard_healths[shard_id]
+        if health is None:
+            shards[shard_id] = {"status": "unreachable"}
+            degraded = True
+            continue
+        shards[shard_id] = dict(health)
+        if health.get("status") != "ok":
+            degraded = True
+        totals["queue_depth"] += int(health.get("queue_depth", 0))
+        totals["running"] += int(health.get("running", 0))
+        for key, value in (health.get("jobs") or {}).items():
+            jobs[key] = jobs.get(key, 0) + int(value)
+    return {
+        "status": "degraded" if degraded else "ok",
+        "shards": shards,
+        "fleet": {**totals, "jobs": jobs, "shard_count": len(shard_healths)},
+    }

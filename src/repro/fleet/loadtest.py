@@ -1,0 +1,277 @@
+"""``repro loadtest`` — measure the service under concurrent clients.
+
+The harness boots a topology (a single-process service, a fleet, or
+both for comparison — or targets an already-running one via
+``--host/--port``), hammers it with ``clients`` threads each running
+the stock blocking :class:`~repro.service.client.ServiceClient`, and
+records one latency sample per completed submission (submit → result,
+the full protocol round-trip including queueing and execution).
+
+Workload: tiny loop-benchmark plans drawn from a pool of ``distinct``
+seeds.  A pool smaller than the request count means repeats — which is
+the realistic shape (dashboards re-requesting the same artifacts) and
+exercises the content-addressed cache and, on a fleet, the property
+that the hash ring sends every repeat of a key to the same shard.
+
+Results go to a pytest-benchmark-compatible JSON (the same shape CI's
+``bench-smoke`` job writes to BENCH_6.json), so ``repro bench diff``
+can compare any two runs, and p50/p90/p99 land in ``extra_info``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import statistics
+import subprocess
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.service.client import ServiceClient
+
+#: The sweep each request submits: one cheap loop measurement.
+DEFAULT_LOOP_ITERS = 2000
+
+
+def loadtest_plan(seed: int, loop_iters: int = DEFAULT_LOOP_ITERS) -> dict:
+    """The canonical tiny plan, parameterized only by seed."""
+    return {
+        "jobs": [
+            {
+                "config": {
+                    "processor": "K8", "infra": "pm", "pattern": "rr",
+                    "mode": "user", "seed": seed,
+                },
+                "benchmark": {"kind": "loop", "args": [loop_iters]},
+                "tags": {"case": f"loadtest-{seed}"},
+            }
+        ]
+    }
+
+
+def _percentile(ordered: "list[float]", q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, math.ceil(q * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize(latencies: "list[float]", wall_seconds: float) -> dict[str, Any]:
+    """pytest-benchmark ``stats`` (plus percentiles) for one run."""
+    ordered = sorted(latencies)
+    n = len(ordered)
+    mean = statistics.fmean(ordered) if ordered else 0.0
+    q1 = _percentile(ordered, 0.25)
+    q3 = _percentile(ordered, 0.75)
+    return {
+        "min": ordered[0] if ordered else 0.0,
+        "max": ordered[-1] if ordered else 0.0,
+        "mean": mean,
+        "stddev": statistics.stdev(ordered) if n > 1 else 0.0,
+        "rounds": n,
+        "median": statistics.median(ordered) if ordered else 0.0,
+        "iqr": q3 - q1,
+        "q1": q1,
+        "q3": q3,
+        "iqr_outliers": 0,
+        "stddev_outliers": 0,
+        "outliers": "0;0",
+        "ld15iqr": ordered[0] if ordered else 0.0,
+        "hd15iqr": ordered[-1] if ordered else 0.0,
+        "ops": (1.0 / mean) if mean > 0 else 0.0,
+        "total": sum(ordered),
+        "data": ordered,
+        "iterations": 1,
+        "p50": _percentile(ordered, 0.50),
+        "p90": _percentile(ordered, 0.90),
+        "p99": _percentile(ordered, 0.99),
+        "wall_seconds": wall_seconds,
+        "throughput_rps": (n / wall_seconds) if wall_seconds > 0 else 0.0,
+    }
+
+
+def run_loadtest(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests: int = 40,
+    distinct: int = 8,
+    loop_iters: int = DEFAULT_LOOP_ITERS,
+    timeout: float = 120.0,
+) -> dict[str, Any]:
+    """Drive one live service; returns the :func:`summarize` stats.
+
+    ``requests`` submissions are split across ``clients`` threads;
+    every thread owns one connection and submits seeds round-robin
+    from the ``distinct`` pool, waiting each job to completion before
+    the next (closed-loop load, so concurrency == ``clients``).
+    Failures raise — a loadtest that drops requests is not a
+    measurement.
+    """
+    per_client = [requests // clients] * clients
+    for i in range(requests % clients):
+        per_client[i] += 1
+    latencies: "list[float]" = []
+    errors: "list[BaseException]" = []
+    lock = threading.Lock()
+
+    def drive(worker: int, count: int) -> None:
+        try:
+            with ServiceClient(
+                host, port, timeout=timeout,
+                client_id=f"loadtest-{worker}",
+            ) as client:
+                for i in range(count):
+                    seed = (worker + i * clients) % max(1, distinct)
+                    begin = time.monotonic()
+                    job = client.submit_plan(loadtest_plan(seed, loop_iters))
+                    client.wait(job["id"], timeout=timeout)
+                    sample = time.monotonic() - begin
+                    with lock:
+                        latencies.append(sample)
+        except BaseException as exc:
+            with lock:
+                errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drive, args=(w, n), daemon=True)
+        for w, n in enumerate(per_client) if n > 0
+    ]
+    begin = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - begin
+    if errors:
+        raise RuntimeError(
+            f"loadtest lost {len(errors)} request(s); first: {errors[0]!r}"
+        ) from errors[0]
+    return summarize(latencies, wall)
+
+
+# -- topologies ------------------------------------------------------------
+
+def _against_single(workers: int, **load_kwargs: Any) -> dict[str, Any]:
+    from repro.service.server import ServiceInThread
+
+    with ServiceInThread(workers=workers, queue_depth=256) as service:
+        return run_loadtest(service.host, service.port, **load_kwargs)
+
+
+def _against_fleet(
+    shards: int, workers: int, **load_kwargs: Any
+) -> dict[str, Any]:
+    from repro.fleet.router import FleetInThread
+
+    with FleetInThread(
+        shards=shards, workers=workers, queue_depth=256
+    ) as fleet:
+        return run_loadtest(fleet.host, fleet.port, **load_kwargs)
+
+
+def run_topologies(
+    shards: int = 2,
+    workers: int = 1,
+    topology: str = "both",
+    **load_kwargs: Any,
+) -> "list[dict[str, Any]]":
+    """Loadtest the requested topologies; returns benchmark entries.
+
+    ``single`` gets ``shards * workers`` workers so both topologies
+    expose the same number of execution slots — the comparison isolates
+    the routing/sharding overhead, not a capacity difference.
+    """
+    entries: "list[dict[str, Any]]" = []
+    if topology in ("single", "both"):
+        stats = _against_single(shards * workers, **load_kwargs)
+        entries.append(_entry("loadtest_single_process", stats, {
+            "topology": "single", "workers": shards * workers,
+        }))
+    if topology in ("fleet", "both"):
+        stats = _against_fleet(shards, workers, **load_kwargs)
+        entries.append(_entry(f"loadtest_fleet_{shards}shards", stats, {
+            "topology": "fleet", "shards": shards, "workers": workers,
+        }))
+    return entries
+
+
+def _entry(
+    name: str, stats: Mapping[str, Any], extra: Mapping[str, Any]
+) -> dict[str, Any]:
+    stats = dict(stats)
+    extra_info = dict(extra)
+    for key in ("p50", "p90", "p99", "wall_seconds", "throughput_rps"):
+        extra_info[key] = stats[key]
+    return {
+        "group": "loadtest",
+        "name": name,
+        "fullname": f"repro loadtest::{name}",
+        "params": None,
+        "param": None,
+        "extra_info": extra_info,
+        "options": {},
+        "stats": stats,
+    }
+
+
+def _commit_info() -> dict[str, Any]:
+    info: dict[str, Any] = {"id": None, "branch": None, "dirty": None}
+    try:
+        info["id"] = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+        info["branch"] = subprocess.run(
+            ["git", "rev-parse", "--abbrev-ref", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return info
+
+
+def write_bench_json(
+    path: "str | Path", benchmarks: "list[dict[str, Any]]"
+) -> Path:
+    """Write a pytest-benchmark-compatible result file."""
+    from repro import __version__
+
+    path = Path(path)
+    payload = {
+        "machine_info": {
+            "node": platform.node(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python_implementation": platform.python_implementation(),
+            "python_version": platform.python_version(),
+        },
+        "commit_info": _commit_info(),
+        "benchmarks": benchmarks,
+        "datetime": datetime.now(timezone.utc).isoformat(),
+        "version": f"repro-loadtest-{__version__}",
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_entries(entries: "list[dict[str, Any]]") -> str:
+    """The human-readable summary table printed after a run."""
+    lines = [
+        f"{'topology':<28} {'reqs':>5} {'p50 ms':>9} {'p90 ms':>9} "
+        f"{'p99 ms':>9} {'mean ms':>9} {'req/s':>8}"
+    ]
+    for entry in entries:
+        stats = entry["stats"]
+        lines.append(
+            f"{entry['name']:<28} {stats['rounds']:>5} "
+            f"{stats['p50'] * 1e3:>9.1f} {stats['p90'] * 1e3:>9.1f} "
+            f"{stats['p99'] * 1e3:>9.1f} {stats['mean'] * 1e3:>9.1f} "
+            f"{stats['throughput_rps']:>8.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,1076 @@
+"""The fleet router: one address, N shards, the same wire protocol.
+
+A :class:`FleetRouter` listens exactly like ``repro serve`` — newline
+-delimited JSON, one response per request — so ``repro submit`` /
+``status`` / ``loadtest`` clients cannot tell a fleet from a single
+process.  Underneath, every submission is consistent-hashed by its
+cache token (the same :func:`~repro.exec.cache.stable_token` scheme
+the scheduler dedups with) onto one of the supervisor's shard
+processes.  Hashing by *content* rather than round-robin is the whole
+point: identical submissions always land on the same shard, so the
+shard's in-flight coalescing and its snapshot/result caches see every
+duplicate, fleet-wide.
+
+**Job identity.**  The router mints a fleet-wide job id per submission
+and keeps a route record — owning shard, the shard's own job id, and
+the original submit wire.  Status/result/cancel are proxied to the
+owning shard with ids translated both ways, and every returned job
+snapshot gains a ``shard`` field.
+
+**Failure.**  When a shard dies (crash, SIGKILL, chaos ``shard-kill``),
+the router pulls it off the ring, respawns it through the supervisor,
+and *resubmits* the shard's unfinished jobs through the ring — the
+engine is deterministic and the fleet shares one disk cache, so the
+replayed jobs converge to byte-identical results (usually via a cache
+hit).  A client polling a rerouted job just sees it ``queued`` again.
+When the router itself cannot reach a shard it answers with the
+structured ``connection-lost`` error, which the PR 7 client retry
+policy already backs off on.
+
+**Drain.**  ``fleet-drain`` takes one shard out of the ring, waits for
+its queued and running jobs to finish, caches their results router-side
+(zero dropped submissions), restarts the process, and puts it back.
+
+Every proxied result payload is cached (bounded) in the router once
+fetched, so shard restarts never lose an already-computed answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.chaos import should_fire as chaos_should_fire
+from repro.errors import ReproError
+from repro.obs import TraceCollector
+from repro.obs.export import write_chrome_trace
+from repro.obs.logging import StructuredLogger, get_logger
+from repro.obs.metrics import MetricsRegistry, build_unified_registry
+from repro.fleet.aggregate import aggregate_expositions, aggregate_health
+from repro.fleet.supervisor import ShardSpawnError, ShardSupervisor
+from repro.service import protocol
+from repro.service.protocol import (
+    CancelRequest,
+    FleetDrainRequest,
+    FleetStatusRequest,
+    HealthRequest,
+    ListRequest,
+    MetricsRequest,
+    ProtocolError,
+    Request,
+    Response,
+    ResultRequest,
+    StatusRequest,
+    SubmitRequest,
+)
+
+DEFAULT_FLEET_PORT = 7471  # drop-in for a single-process serve
+
+#: Bound on one request line, matching the single-process server.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Finished route records kept for status/result polling.
+ROUTE_HISTORY_LIMIT = 4096
+
+
+class ShardUnavailable(Exception):
+    """The shard did not answer (dead, restarting, or dropping us)."""
+
+
+@dataclass
+class JobRoute:
+    """One fleet job: where it lives and how to replay it."""
+
+    fleet_id: str
+    key: str
+    shard_id: str
+    #: The owning shard's own job id; None while a reroute is pending.
+    shard_job_id: str | None
+    submit_wire: dict[str, Any]
+    client: str
+    created_at: float = field(default_factory=time.monotonic)
+    #: Last job snapshot seen from the owning shard.
+    snapshot: dict[str, Any] | None = None
+    #: Result payload once fetched (survives shard restarts).
+    result: dict[str, Any] | None = None
+    #: Terminal and fully cached (result fetched, or failed/cancelled).
+    done: bool = False
+    reroutes: int = 0
+
+    def public_snapshot(self) -> dict[str, Any]:
+        """The last known snapshot, translated to fleet identity."""
+        if self.snapshot is not None:
+            info = dict(self.snapshot)
+        else:
+            info = {"state": "queued", "coalesced": 0}
+        info["id"] = self.fleet_id
+        info["shard"] = self.shard_id
+        if self.shard_job_id is None:
+            # Mid-reroute: the job is admitted fleet-side but not yet
+            # re-landed on a shard; clients just keep polling.
+            info["state"] = "queued"
+            info["rerouting"] = True
+        info["age_seconds"] = round(time.monotonic() - self.created_at, 6)
+        return info
+
+
+class ShardLink:
+    """A small pool of persistent connections to one shard."""
+
+    def __init__(
+        self, host: str, port: int, size: int = 4, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._slots: asyncio.Queue = asyncio.Queue()
+        for _ in range(max(1, size)):
+            self._slots.put_nowait(None)  # lazily opened
+        self._closed = False
+
+    async def _open(self):
+        return await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port, limit=MAX_LINE_BYTES),
+            timeout=self.timeout,
+        )
+
+    async def _roundtrip_once(self, conn, line: bytes):
+        reader, writer = conn
+        writer.write(line)
+        await writer.drain()
+        answer = await reader.readline()
+        if not answer:
+            raise ConnectionError("shard closed the connection")
+        return answer
+
+    async def call(
+        self, wire: Mapping[str, Any], timeout: float | None = None
+    ) -> Response:
+        """One request/response; retries once on a fresh connection.
+
+        The single retry makes the link robust to a shard that dropped
+        an idle pooled connection (or fired its ``conn-drop`` chaos
+        point): every protocol op is safe to resend — submits coalesce
+        by token on the shard, the rest are read-only or idempotent.
+        """
+        if self._closed:
+            raise ShardUnavailable("link closed")
+        line = protocol.encode_line(wire)
+        budget = timeout if timeout is not None else self.timeout
+        conn = await self._slots.get()
+        try:
+            for attempt in (0, 1):
+                if conn is None:
+                    try:
+                        conn = await self._open()
+                    except (OSError, asyncio.TimeoutError) as exc:
+                        raise ShardUnavailable(f"connect failed: {exc}") from exc
+                try:
+                    answer = await asyncio.wait_for(
+                        self._roundtrip_once(conn, line), timeout=budget
+                    )
+                    return protocol.parse_response(answer)
+                except (OSError, ConnectionError, asyncio.TimeoutError) as exc:
+                    await _close_conn(conn)
+                    conn = None
+                    if attempt == 1:
+                        raise ShardUnavailable(str(exc)) from exc
+            raise AssertionError("unreachable")
+        finally:
+            self._slots.put_nowait(conn)
+
+    async def close(self) -> None:
+        self._closed = True
+        while not self._slots.empty():
+            conn = self._slots.get_nowait()
+            if conn is not None:
+                await _close_conn(conn)
+
+
+async def _close_conn(conn) -> None:
+    _, writer = conn
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+def _submission_key(request: SubmitRequest) -> str:
+    """The routing key: the submission's own cache token.
+
+    Built by the same job builders the shard scheduler admits with, so
+    the key is exactly the token the shard dedups on — identical
+    submissions hash to the same shard and coalesce there.  Raises
+    :class:`ProtocolError` for invalid submissions, so bad requests
+    fail at the router without burning a proxy round-trip.
+    """
+    from repro.service.scheduler import artifact_job, plan_job
+
+    try:
+        if request.kind == "artifact":
+            token, _, _ = artifact_job(
+                request.artifact, request.repeats, request.seed
+            )
+        else:
+            token, _, _ = plan_job(request.plan)
+    except ReproError as exc:
+        code = (
+            protocol.E_UNKNOWN_ARTIFACT
+            if "unknown artifact" in str(exc)
+            else protocol.E_BAD_REQUEST
+        )
+        raise ProtocolError(code, str(exc)) from None
+    return token
+
+
+class FleetRouter:
+    """Routes the service protocol across a supervised shard fleet."""
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        request_timeout: float = 60.0,
+        probe_interval: float = 0.5,
+        drain_timeout: float = 300.0,
+        registry: MetricsRegistry | None = None,
+        collector: TraceCollector | None = None,
+        trace_out: str | None = None,
+        logger: StructuredLogger | None = None,
+        link_pool: int = 4,
+    ) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.probe_interval = probe_interval
+        self.drain_timeout = drain_timeout
+        self.registry = (
+            registry if registry is not None else build_unified_registry()
+        )
+        self.collector = collector if collector is not None else TraceCollector()
+        self.trace_out = trace_out
+        self.logger = logger if logger is not None else get_logger()
+        self.link_pool = link_pool
+        self.started_at = time.monotonic()
+        self._server: asyncio.base_events.Server | None = None
+        self._links: dict[str, ShardLink] = {}
+        self._routes: dict[str, JobRoute] = {}
+        self._orphans: list[JobRoute] = []
+        self._orphan_task: asyncio.Task | None = None
+        self._respawning: dict[str, asyncio.Task] = {}
+        self._probe_task: asyncio.Task | None = None
+        self._drain_lock = asyncio.Lock()
+        self._seq = itertools.count(1)
+        self._closing = False
+
+    # -- metrics ----------------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        metric = self.registry.get(name)
+        if metric is not None:
+            metric.inc()
+
+    def _observe(self, name: str, value: float) -> None:
+        metric = self.registry.get(name)
+        if metric is not None:
+            metric.observe(value)
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def start(self) -> None:
+        """Boot the fleet, then bind the router socket."""
+        await asyncio.to_thread(self.supervisor.spawn_all)
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.monotonic()
+        self._probe_task = asyncio.create_task(
+            self._probe_loop(), name="repro-fleet-probe"
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def shutdown(self, grace: float = 15.0) -> None:
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in [self._probe_task, self._orphan_task] + list(
+            self._respawning.values()
+        ):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        self._probe_task = None
+        self._orphan_task = None
+        self._respawning.clear()
+        for link in self._links.values():
+            await link.close()
+        self._links.clear()
+        await asyncio.to_thread(self.supervisor.stop_all, grace)
+        if self.trace_out is not None:
+            write_chrome_trace(self.trace_out, self.collector)
+
+    # -- shard plumbing ---------------------------------------------------
+
+    def _link(self, shard_id: str) -> ShardLink:
+        handle = self.supervisor.get(shard_id)
+        if handle is None:
+            raise ShardUnavailable(f"unknown shard {shard_id!r}")
+        link = self._links.get(shard_id)
+        if link is None or link.port != handle.port:
+            if link is not None:
+                asyncio.ensure_future(link.close())
+            link = ShardLink(
+                handle.host, handle.port,
+                size=self.link_pool, timeout=self.request_timeout,
+            )
+            self._links[shard_id] = link
+        return link
+
+    async def _call_shard(
+        self,
+        shard_id: str,
+        wire: Mapping[str, Any],
+        timeout: float | None = None,
+    ) -> Response:
+        """Proxy one wire message to a shard; on failure, start recovery."""
+        handle = self.supervisor.get(shard_id)
+        if handle is None or handle.state == "down":
+            raise ShardUnavailable(f"shard {shard_id} is down")
+        start = time.monotonic()
+        try:
+            response = await self._link(shard_id).call(wire, timeout=timeout)
+        except ShardUnavailable:
+            self._count("repro_router_proxy_errors_total")
+            if not handle.alive:
+                self._note_shard_death(shard_id)
+            raise
+        self._observe("repro_router_proxy_seconds", time.monotonic() - start)
+        return response
+
+    # -- failure recovery -------------------------------------------------
+
+    def _note_shard_death(self, shard_id: str) -> None:
+        """A shard's process is gone: reroute its jobs, respawn it."""
+        if self._closing or shard_id in self._respawning:
+            return
+        self.logger.warning("fleet.shard_down", shard=shard_id)
+        self.supervisor.mark_down(shard_id)
+        link = self._links.pop(shard_id, None)
+        if link is not None:
+            asyncio.ensure_future(link.close())
+        orphaned = 0
+        for route in self._routes.values():
+            if route.shard_id == shard_id and not route.done:
+                route.shard_job_id = None
+                self._orphans.append(route)
+                orphaned += 1
+        if orphaned:
+            self.logger.warning(
+                "fleet.orphaned", shard=shard_id, jobs=orphaned
+            )
+        self._kick_orphan_drain()
+        self._respawning[shard_id] = asyncio.create_task(
+            self._respawn(shard_id), name=f"repro-fleet-respawn-{shard_id}"
+        )
+
+    async def _respawn(self, shard_id: str) -> None:
+        try:
+            await asyncio.to_thread(
+                self.supervisor.restart, shard_id, False
+            )
+        except ShardSpawnError as exc:
+            self.logger.error(
+                "fleet.respawn_failed", shard=shard_id, error=str(exc)
+            )
+        else:
+            self._count("repro_fleet_shard_restarts_total")
+            self.logger.info("fleet.respawned", shard=shard_id)
+        finally:
+            self._respawning.pop(shard_id, None)
+            self._kick_orphan_drain()
+
+    def _kick_orphan_drain(self) -> None:
+        if self._orphan_task is None or self._orphan_task.done():
+            self._orphan_task = asyncio.create_task(
+                self._drain_orphans(), name="repro-fleet-reroute"
+            )
+
+    async def _drain_orphans(self) -> None:
+        """Resubmit orphaned jobs through the ring until none remain.
+
+        This is the router-side twin of the PR 7 client retry path:
+        bounded attempts with a short pause, routing through whatever
+        the ring currently holds (the dead shard's keys fall to its
+        ring neighbours until the respawn re-adds it).
+        """
+        while self._orphans and not self._closing:
+            route = self._orphans.pop(0)
+            if route.done or route.shard_job_id is not None:
+                continue
+            shard_id = self.supervisor.route(route.key)
+            if shard_id is None:
+                # Whole fleet is down (e.g. single shard respawning);
+                # wait for the ring to repopulate.
+                self._orphans.append(route)
+                await asyncio.sleep(0.2)
+                continue
+            try:
+                response = await self._call_shard(shard_id, route.submit_wire)
+            except ShardUnavailable:
+                self._orphans.append(route)
+                await asyncio.sleep(0.2)
+                continue
+            if not response.ok:
+                # The original submission was accepted once, so this is
+                # transient (e.g. queue-full on the fallback shard).
+                self._orphans.append(route)
+                await asyncio.sleep(0.2)
+                continue
+            job = dict(response.payload.get("job") or {})
+            route.shard_id = shard_id
+            route.shard_job_id = str(job.get("id"))
+            route.snapshot = job
+            route.reroutes += 1
+            self._count("repro_fleet_reroutes_total")
+            self.logger.info(
+                "fleet.rerouted",
+                job=route.fleet_id, shard=shard_id,
+                shard_job=route.shard_job_id,
+            )
+
+    async def _probe_loop(self) -> None:
+        """Health tick: chaos shard-kill, then crash detection."""
+        while not self._closing:
+            await asyncio.sleep(self.probe_interval)
+            for shard_id in sorted(self.supervisor.handles):
+                handle = self.supervisor.get(shard_id)
+                if handle is None or handle.state != "up":
+                    continue
+                if chaos_should_fire("shard-kill"):
+                    await asyncio.to_thread(
+                        self.supervisor.kill_shard, shard_id
+                    )
+            for shard_id in self.supervisor.dead_shards():
+                self._note_shard_death(shard_id)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._respond(line)
+                if chaos_should_fire("router-conn-drop"):
+                    # The fleet twin of the server's conn-drop point:
+                    # the response is computed but never sent, so the
+                    # client must retry without knowing what happened.
+                    break
+                writer.write(protocol.encode_line(response))
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, line: bytes) -> Response:
+        self._count("repro_requests_total")
+        op = "?"
+        try:
+            request = protocol.parse_request(line)
+            op = request.op
+            # Drains legitimately outlive the per-request budget (they
+            # wait for running jobs); everything else is bounded.
+            if isinstance(request, FleetDrainRequest):
+                return await asyncio.wait_for(
+                    self._dispatch(request), timeout=self.drain_timeout
+                )
+            return await asyncio.wait_for(
+                self._dispatch(request), timeout=self.request_timeout
+            )
+        except ProtocolError as exc:
+            self._count("repro_request_errors_total")
+            return Response.failure(op, exc.code, exc.message, exc.retry_after)
+        except asyncio.TimeoutError:
+            self._count("repro_request_errors_total")
+            return Response.failure(
+                op, protocol.E_TIMEOUT,
+                f"request exceeded the router's {self.request_timeout}s limit",
+            )
+        except Exception as exc:  # a handler bug must not kill the router
+            self._count("repro_request_errors_total")
+            return Response.failure(
+                op, protocol.E_INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+
+    async def _dispatch(self, request: Request) -> Response:
+        if isinstance(request, SubmitRequest):
+            return await self._handle_submit(request)
+        if isinstance(request, StatusRequest):
+            return await self._handle_status(request)
+        if isinstance(request, ResultRequest):
+            return await self._handle_result(request)
+        if isinstance(request, CancelRequest):
+            return await self._handle_cancel(request)
+        if isinstance(request, HealthRequest):
+            return await self._handle_health()
+        if isinstance(request, MetricsRequest):
+            return await self._handle_metrics()
+        if isinstance(request, ListRequest):
+            from repro.experiments import artifact_catalog
+
+            return Response.success("list", artifacts=artifact_catalog())
+        if isinstance(request, FleetStatusRequest):
+            return self._handle_fleet_status()
+        if isinstance(request, FleetDrainRequest):
+            return await self._handle_fleet_drain(request)
+        raise ProtocolError(
+            protocol.E_UNKNOWN_OP, f"unhandled op {request.op!r}"
+        )
+
+    # -- submit / status / result / cancel --------------------------------
+
+    def _unreachable(self, shard_id: str) -> Response:
+        """The retryable answer for 'the shard did not respond'.
+
+        ``connection-lost`` is the code the client's default retry
+        policy backs off on; by the time it retries, the ring has
+        usually routed around the dead shard.
+        """
+        return Response.failure(
+            "submit", "connection-lost",
+            f"shard {shard_id} unreachable; the fleet is rerouting",
+            retry_after=0.2,
+        )
+
+    async def _handle_submit(self, request: SubmitRequest) -> Response:
+        key = _submission_key(request)
+        wire = request.to_wire()
+        attempts = max(2, len(self.supervisor.ring) + 1)
+        for _ in range(attempts):
+            shard_id = self.supervisor.route(key)
+            if shard_id is None:
+                # Every shard is down or restarting: backpressure with
+                # a hint, so retrying clients ride out the respawn.
+                return Response.failure(
+                    "submit", protocol.E_QUEUE_FULL,
+                    "no shard available (fleet restarting); retry shortly",
+                    retry_after=0.5,
+                )
+            try:
+                response = await self._call_shard(shard_id, wire)
+            except ShardUnavailable:
+                continue  # ring has been updated by the failure path
+            if not response.ok:
+                return response  # structured shard error, pass through
+            job = dict(response.payload.get("job") or {})
+            fleet_id = f"f-{next(self._seq)}-{uuid.uuid4().hex[:8]}"
+            route = JobRoute(
+                fleet_id=fleet_id,
+                key=key,
+                shard_id=shard_id,
+                shard_job_id=str(job.get("id")),
+                submit_wire=wire,
+                client=request.client,
+                snapshot=job,
+            )
+            self._routes[fleet_id] = route
+            self._trim_routes()
+            self.logger.info(
+                "fleet.routed",
+                job=fleet_id, shard=shard_id, shard_job=route.shard_job_id,
+            )
+            return Response.success(
+                "submit",
+                job=route.public_snapshot(),
+                coalesced=response.payload.get("coalesced", False),
+            )
+        return self._unreachable(shard_id)
+
+    def _require_route(self, job_id: str) -> JobRoute:
+        route = self._routes.get(job_id)
+        if route is None:
+            raise ProtocolError(
+                protocol.E_UNKNOWN_JOB, f"unknown job {job_id!r}"
+            )
+        return route
+
+    async def _cache_result(self, route: JobRoute) -> bool:
+        """Fetch and pin a finished job's result payload router-side."""
+        if route.result is not None:
+            return True
+        if route.shard_job_id is None:
+            return False
+        wire = {
+            "v": protocol.PROTOCOL_VERSION, "op": "result",
+            "job": route.shard_job_id, "client": "fleet-router",
+        }
+        try:
+            response = await self._call_shard(route.shard_id, wire)
+        except ShardUnavailable:
+            return False
+        if not response.ok:
+            return False
+        route.result = dict(response.payload.get("result") or {})
+        job = response.payload.get("job")
+        if isinstance(job, Mapping):
+            route.snapshot = dict(job)
+        route.done = True
+        return True
+
+    def _orphan_route(self, route: JobRoute) -> None:
+        """Mark one route for resubmission (its shard lost the record)."""
+        if route.done:
+            return
+        route.shard_job_id = None
+        if route not in self._orphans:
+            self._orphans.append(route)
+        self._kick_orphan_drain()
+
+    async def _handle_status(self, request: StatusRequest) -> Response:
+        route = self._require_route(request.job_id)
+        if route.done or route.shard_job_id is None:
+            return Response.success("status", job=route.public_snapshot())
+        wire = {
+            "v": protocol.PROTOCOL_VERSION, "op": "status",
+            "job": route.shard_job_id, "client": request.client,
+        }
+        try:
+            response = await self._call_shard(route.shard_id, wire)
+        except ShardUnavailable:
+            # The failure path has begun rerouting; report queued.
+            return Response.success("status", job=route.public_snapshot())
+        if not response.ok:
+            error = dict(response.error or {})
+            if error.get("code") == protocol.E_UNKNOWN_JOB:
+                # The shard restarted underneath us (lost its records):
+                # resubmit — determinism + shared cache make it cheap.
+                self._orphan_route(route)
+                return Response.success(
+                    "status", job=route.public_snapshot()
+                )
+            return response
+        job = dict(response.payload.get("job") or {})
+        route.snapshot = job
+        state = job.get("state")
+        if state == "done":
+            # Pin the result now: once the client has seen "done"
+            # through the router, the result must survive anything
+            # that happens to the shard.
+            if not await self._cache_result(route):
+                return Response.success("status", job=route.public_snapshot())
+        elif state in ("failed", "cancelled"):
+            route.done = True
+        return Response.success("status", job=route.public_snapshot())
+
+    async def _handle_result(self, request: ResultRequest) -> Response:
+        route = self._require_route(request.job_id)
+        if route.result is not None:
+            return Response.success(
+                "result",
+                job=route.public_snapshot(),
+                result=dict(route.result),
+            )
+        state = (route.snapshot or {}).get("state")
+        if route.done and state in ("failed", "cancelled"):
+            raise ProtocolError(
+                protocol.E_CONFLICT,
+                f"job {route.fleet_id} {state}: "
+                f"{(route.snapshot or {}).get('error', 'no detail')}",
+            )
+        if route.shard_job_id is not None and await self._cache_result(route):
+            return Response.success(
+                "result",
+                job=route.public_snapshot(),
+                result=dict(route.result or {}),
+            )
+        raise ProtocolError(
+            protocol.E_CONFLICT,
+            f"job {route.fleet_id} is still "
+            f"{route.public_snapshot().get('state', 'queued')}; poll status",
+        )
+
+    async def _handle_cancel(self, request: CancelRequest) -> Response:
+        route = self._require_route(request.job_id)
+        if route.done:
+            raise ProtocolError(
+                protocol.E_CONFLICT,
+                f"job {route.fleet_id} is already "
+                f"{(route.snapshot or {}).get('state', 'done')}",
+            )
+        if route.shard_job_id is None:
+            # Mid-reroute: drop it before it re-lands anywhere.
+            route.done = True
+            route.snapshot = {**(route.snapshot or {}), "state": "cancelled"}
+            try:
+                self._orphans.remove(route)
+            except ValueError:
+                pass
+            return Response.success("cancel", job=route.public_snapshot())
+        wire = {
+            "v": protocol.PROTOCOL_VERSION, "op": "cancel",
+            "job": route.shard_job_id, "client": request.client,
+        }
+        try:
+            response = await self._call_shard(route.shard_id, wire)
+        except ShardUnavailable:
+            return self._unreachable(route.shard_id)
+        if not response.ok:
+            return response
+        job = dict(response.payload.get("job") or {})
+        route.snapshot = job
+        route.done = True
+        return Response.success("cancel", job=route.public_snapshot())
+
+    # -- aggregation ------------------------------------------------------
+
+    async def _shard_call_or_none(self, shard_id: str, op: str):
+        wire = {
+            "v": protocol.PROTOCOL_VERSION, "op": op, "client": "fleet-router",
+        }
+        try:
+            response = await self._call_shard(shard_id, wire)
+        except ShardUnavailable:
+            return None
+        return response if response.ok else None
+
+    async def _handle_health(self) -> Response:
+        from repro import __version__
+
+        shard_ids = sorted(self.supervisor.handles)
+        responses = await asyncio.gather(
+            *(self._shard_call_or_none(sid, "health") for sid in shard_ids)
+        )
+        health = aggregate_health({
+            sid: (dict(resp.payload) if resp is not None else None)
+            for sid, resp in zip(shard_ids, responses)
+        })
+        return Response.success(
+            "health",
+            status="shutting-down" if self._closing else health["status"],
+            version=__version__,
+            protocol=protocol.PROTOCOL_VERSION,
+            uptime_seconds=round(time.monotonic() - self.started_at, 3),
+            fleet=health["fleet"],
+            shards=health["shards"],
+            queue_depth=health["fleet"]["queue_depth"],
+            running=health["fleet"]["running"],
+            jobs=health["fleet"]["jobs"],
+        )
+
+    async def _handle_metrics(self) -> Response:
+        shard_ids = sorted(self.supervisor.handles)
+        responses = await asyncio.gather(
+            *(self._shard_call_or_none(sid, "metrics") for sid in shard_ids)
+        )
+        texts = {
+            sid: resp.payload.get("text", "")
+            for sid, resp in zip(shard_ids, responses)
+            if resp is not None
+        }
+        return Response.success(
+            "metrics",
+            text=aggregate_expositions(texts, self.registry.render()),
+        )
+
+    def _handle_fleet_status(self) -> Response:
+        info = self.supervisor.snapshot()
+        rerouting = sum(
+            1 for route in self._routes.values()
+            if not route.done and route.shard_job_id is None
+        )
+        return Response.success(
+            "fleet-status",
+            shards=info["shards"],
+            ring_shards=info["ring_shards"],
+            cache_dir=info["cache_dir"],
+            jobs={
+                "routed": len(self._routes),
+                "rerouting": rerouting,
+                "cached_results": sum(
+                    1 for r in self._routes.values() if r.result is not None
+                ),
+                "reroutes": sum(r.reroutes for r in self._routes.values()),
+            },
+        )
+
+    # -- drain ------------------------------------------------------------
+
+    async def _handle_fleet_drain(self, request: FleetDrainRequest) -> Response:
+        handle = self.supervisor.get(request.shard)
+        if handle is None:
+            known = ", ".join(sorted(self.supervisor.handles))
+            raise ProtocolError(
+                protocol.E_BAD_REQUEST,
+                f"unknown shard {request.shard!r}; known: {known}",
+            )
+        if self._drain_lock.locked():
+            raise ProtocolError(
+                protocol.E_CONFLICT, "another drain is already in progress"
+            )
+        async with self._drain_lock:
+            return await self._drain(request.shard)
+
+    async def _drain(self, shard_id: str) -> Response:
+        handle = self.supervisor.get(shard_id)
+        assert handle is not None
+        if handle.state != "up" or not handle.alive:
+            raise ProtocolError(
+                protocol.E_CONFLICT,
+                f"shard {shard_id} is {handle.state}; only an up shard "
+                "can be drained",
+            )
+        self.logger.info("fleet.drain_started", shard=shard_id)
+        handle.state = "draining"
+        # Off the ring first: no new work lands while we wait.
+        self.supervisor.ring.remove(shard_id)
+        owned = [
+            route for route in self._routes.values()
+            if route.shard_id == shard_id and not route.done
+        ]
+        try:
+            deadline = time.monotonic() + self.drain_timeout - 5.0
+            while True:
+                # Pin every owned job's result as it finishes.
+                for route in owned:
+                    if not route.done and route.shard_job_id is not None:
+                        snapshot_state = (route.snapshot or {}).get("state")
+                        if snapshot_state in ("failed", "cancelled"):
+                            route.done = True
+                            continue
+                        await self._cache_result(route)
+                pending = [r for r in owned if not r.done]
+                health = await self._shard_call_or_none(shard_id, "health")
+                if health is None:
+                    # Died mid-drain: the crash path takes over.
+                    self._note_shard_death(shard_id)
+                    raise ProtocolError(
+                        protocol.E_CONFLICT,
+                        f"shard {shard_id} died while draining; its jobs "
+                        "are being rerouted",
+                    )
+                idle = (
+                    int(health.payload.get("queue_depth", 0)) == 0
+                    and int(health.payload.get("running", 0)) == 0
+                )
+                if idle and not pending:
+                    break
+                if time.monotonic() > deadline:
+                    raise ProtocolError(
+                        protocol.E_TIMEOUT,
+                        f"shard {shard_id} did not go idle within the "
+                        f"{self.drain_timeout}s drain budget",
+                    )
+                await asyncio.sleep(0.1)
+            await asyncio.to_thread(self.supervisor.restart, shard_id, True)
+            self._count("repro_fleet_shard_restarts_total")
+        except ProtocolError:
+            raise
+        except ShardSpawnError as exc:
+            raise ProtocolError(
+                protocol.E_INTERNAL,
+                f"shard {shard_id} drained but failed to respawn: {exc}",
+            ) from None
+        self._count("repro_fleet_drains_total")
+        self.logger.info(
+            "fleet.drain_finished", shard=shard_id, drained=len(owned)
+        )
+        return Response.success(
+            "fleet-drain",
+            shard=shard_id,
+            drained_jobs=len(owned),
+            restarted=True,
+        )
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _trim_routes(self) -> None:
+        if len(self._routes) <= ROUTE_HISTORY_LIMIT:
+            return
+        for fleet_id, route in list(self._routes.items()):
+            if len(self._routes) <= ROUTE_HISTORY_LIMIT:
+                break
+            if route.done:
+                del self._routes[fleet_id]
+
+
+# -- entry points ----------------------------------------------------------
+
+async def _serve(router: FleetRouter, announce: bool) -> None:
+    await router.start()
+    if announce:
+        # CI and wrapper scripts block on this line to know the port.
+        print(
+            f"repro fleet listening on {router.host}:{router.port} "
+            f"({len(router.supervisor.handles)} shards)",
+            flush=True,
+        )
+    try:
+        await router.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await router.shutdown()
+
+
+def run_fleet(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_FLEET_PORT,
+    shards: int = 2,
+    workers: int = 1,
+    queue_depth: int = 256,
+    request_timeout: float = 60.0,
+    backend: str | None = None,
+    cache_dir: str | None = None,
+    announce: bool = True,
+    trace_out: str | None = None,
+    extra_env: "dict[str, str] | None" = None,
+) -> int:
+    """Blocking foreground fleet (the ``repro fleet serve`` subcommand)."""
+    supervisor = ShardSupervisor(
+        shards=shards,
+        workers=workers,
+        queue_depth=queue_depth,
+        backend=backend,
+        cache_dir=cache_dir,
+        request_timeout=request_timeout,
+        extra_env=extra_env,
+    )
+    router = FleetRouter(
+        supervisor,
+        host=host,
+        port=port,
+        request_timeout=request_timeout,
+        trace_out=trace_out,
+    )
+    try:
+        asyncio.run(_serve(router, announce))
+    except KeyboardInterrupt:
+        pass  # _serve's finally already stopped the fleet
+    return 0
+
+
+class FleetInThread:
+    """A live fleet on a daemon thread (tests and the loadtest harness).
+
+    The router (and its shard subprocesses) binds an ephemeral port by
+    default; enter the context and read ``host``/``port``.  ``stop()``
+    drains the router and stops every shard process.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        workers: int = 1,
+        queue_depth: int = 64,
+        cache_dir: str | None = None,
+        backend: str | None = None,
+        extra_env: "dict[str, str] | None" = None,
+        **router_kwargs: Any,
+    ) -> None:
+        self.supervisor = ShardSupervisor(
+            shards=shards,
+            workers=workers,
+            queue_depth=queue_depth,
+            backend=backend,
+            cache_dir=cache_dir,
+            extra_env=extra_env,
+        )
+        self.router = FleetRouter(self.supervisor, port=0, **router_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_requested: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def loop(self) -> "asyncio.AbstractEventLoop | None":
+        return self._loop
+
+    def start(self) -> "FleetInThread":
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop_requested = asyncio.Event()
+            try:
+                await self.router.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            serving = asyncio.create_task(self.router.serve_forever())
+            await self._stop_requested.wait()
+            serving.cancel()
+            try:
+                await serving
+            except asyncio.CancelledError:
+                pass
+            await self.router.shutdown()
+
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(main()),
+            name="repro-fleet",
+            daemon=True,
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=90.0):
+            raise RuntimeError("fleet failed to start within 90s")
+        if self._startup_error is not None:
+            self._thread.join(timeout=10.0)
+            raise RuntimeError(f"fleet failed to start: {self._startup_error}")
+        return self
+
+    def stop(self, grace: float = 30.0) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._stop_requested.set)
+        self._thread.join(timeout=grace + 30.0)
+        self._thread = None
+
+    def __enter__(self) -> "FleetInThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

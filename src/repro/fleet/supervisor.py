@@ -1,0 +1,313 @@
+"""The shard supervisor: spawn, watch, respawn, drain, stop.
+
+A *shard* is one ordinary ``repro serve`` process bound to an
+ephemeral port — the supervisor launches ``python -m repro serve
+--port 0 ...`` and reads the announce line to learn where it landed.
+Shards are deliberately unmodified single-process services: everything
+fleet-specific (routing, aggregation, rerouting) lives in the router,
+so ``repro submit`` against a shard directly still works and a fleet
+is exactly N copies of the code path the single-process tests pin.
+
+All shards share one on-disk result cache (``REPRO_CACHE_DIR`` in the
+child environment): a result computed on any shard is a disk hit on
+every other, which is what makes crash-rerouting cheap — the replacement
+shard usually replays the dead shard's finished work from cache instead
+of recomputing it.
+
+The supervisor's methods are blocking (the router calls them via
+``asyncio.to_thread``); the consistent-hash ring lives here so
+membership changes and process lifecycle stay in one place.  The
+``shard-kill`` chaos point is evaluated here too, once per shard per
+health tick, so a seeded chaos spec kills a deterministic sequence of
+shards.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.fleet.ring import HashRing
+
+_ANNOUNCE_RE = re.compile(
+    r"repro service listening on (?P<host>[\d.]+):(?P<port>\d+)"
+)
+
+#: How long a freshly spawned shard may take to announce its port.
+SPAWN_TIMEOUT = 30.0
+
+
+class ShardSpawnError(RuntimeError):
+    """A shard process failed to come up and announce its port."""
+
+
+@dataclass
+class ShardHandle:
+    """One live (or dying) shard process and where it listens."""
+
+    shard_id: str
+    process: subprocess.Popen
+    host: str
+    port: int
+    state: str = "up"  # up | draining | restarting | down
+    restarts: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def snapshot(self) -> dict:
+        return {
+            "id": self.shard_id,
+            "pid": self.pid,
+            "host": self.host,
+            "port": self.port,
+            "state": self.state if self.alive else "down",
+            "restarts": self.restarts,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+        }
+
+
+class ShardSupervisor:
+    """Owns the shard processes and the consistent-hash ring."""
+
+    def __init__(
+        self,
+        shards: int,
+        workers: int = 1,
+        queue_depth: int = 256,
+        backend: str | None = None,
+        cache_dir: str | None = None,
+        request_timeout: float = 60.0,
+        extra_env: "dict[str, str] | None" = None,
+        spawn_timeout: float = SPAWN_TIMEOUT,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shard_count = shards
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.backend = backend
+        # The shared disk cache is what gives the fleet cross-shard
+        # result reuse; an explicit dir survives restarts, the default
+        # lives for the fleet's lifetime.
+        self.cache_dir = cache_dir or tempfile.mkdtemp(prefix="repro-fleet-")
+        self.request_timeout = request_timeout
+        self.extra_env = dict(extra_env or {})
+        self.spawn_timeout = spawn_timeout
+        self.ring = HashRing()
+        self.handles: dict[str, ShardHandle] = {}
+        self._lock = threading.Lock()
+
+    # -- spawning ---------------------------------------------------------
+
+    def _command(self) -> list[str]:
+        cmd = [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0",
+            "--workers", str(self.workers),
+            "--queue-depth", str(self.queue_depth),
+            "--request-timeout", str(self.request_timeout),
+        ]
+        if self.backend is not None:
+            cmd += ["--backend", self.backend]
+        return cmd
+
+    def _environment(self) -> dict[str, str]:
+        env = dict(os.environ)
+        # The shard must import the same `repro` this process runs.
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))
+        )
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            f"{package_root}{os.pathsep}{existing}" if existing
+            else package_root
+        )
+        env["REPRO_CACHE_DIR"] = self.cache_dir
+        env.update(self.extra_env)
+        return env
+
+    def _spawn_process(self) -> tuple[subprocess.Popen, str, int]:
+        """Start one serve process; blocks until it announces its port."""
+        process = subprocess.Popen(
+            self._command(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            stdin=subprocess.DEVNULL,
+            env=self._environment(),
+            text=True,
+        )
+        # If the announce never comes, kill the child so the blocking
+        # readline returns EOF instead of hanging the spawn forever.
+        timer = threading.Timer(self.spawn_timeout, process.kill)
+        timer.start()
+        try:
+            assert process.stdout is not None
+            line = process.stdout.readline()
+        finally:
+            timer.cancel()
+        match = _ANNOUNCE_RE.search(line or "")
+        if match is None:
+            process.kill()
+            process.wait(timeout=5.0)
+            raise ShardSpawnError(
+                f"shard did not announce a port within {self.spawn_timeout}s "
+                f"(got {line!r})"
+            )
+        return process, match.group("host"), int(match.group("port"))
+
+    def spawn(self, shard_id: str) -> ShardHandle:
+        """Start one shard and add it to the ring."""
+        process, host, port = self._spawn_process()
+        with self._lock:
+            previous = self.handles.get(shard_id)
+            handle = ShardHandle(
+                shard_id=shard_id, process=process, host=host, port=port,
+                restarts=previous.restarts + 1 if previous else 0,
+            )
+            self.handles[shard_id] = handle
+            self.ring.add(shard_id)
+        return handle
+
+    def spawn_all(self) -> "list[ShardHandle]":
+        """Start the whole fleet (s0..sN-1), in parallel."""
+        shard_ids = [f"s{i}" for i in range(self.shard_count)]
+        results: dict[str, ShardHandle | BaseException] = {}
+
+        def boot(shard_id: str) -> None:
+            try:
+                results[shard_id] = self.spawn(shard_id)
+            except BaseException as exc:  # surfaced below
+                results[shard_id] = exc
+
+        threads = [
+            threading.Thread(target=boot, args=(sid,), daemon=True)
+            for sid in shard_ids
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=self.spawn_timeout + 10.0)
+        failures = {
+            sid: res for sid, res in results.items()
+            if isinstance(res, BaseException)
+        }
+        if failures or len(results) != len(shard_ids):
+            self.stop_all(grace=2.0)
+            detail = "; ".join(f"{sid}: {exc}" for sid, exc in failures.items())
+            raise ShardSpawnError(
+                f"fleet failed to boot: {detail or 'spawn timed out'}"
+            )
+        return [results[sid] for sid in shard_ids]  # type: ignore[misc]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def get(self, shard_id: str) -> ShardHandle | None:
+        return self.handles.get(shard_id)
+
+    def route(self, key: str) -> str | None:
+        """Ring lookup, serialized against membership changes.
+
+        Spawns and deaths mutate the ring from supervisor threads; the
+        router must read through this lock rather than touching
+        ``self.ring`` directly.
+        """
+        with self._lock:
+            return self.ring.route(key)
+
+    def dead_shards(self) -> "list[str]":
+        """Shards whose process has exited without the supervisor's help."""
+        with self._lock:
+            return [
+                sid for sid, handle in self.handles.items()
+                if handle.state in ("up", "draining") and not handle.alive
+            ]
+
+    def mark_down(self, shard_id: str) -> None:
+        """Record a death and pull the shard off the ring."""
+        with self._lock:
+            handle = self.handles.get(shard_id)
+            if handle is not None:
+                handle.state = "down"
+            self.ring.remove(shard_id)
+
+    def stop_shard(self, shard_id: str, grace: float = 10.0) -> None:
+        """Gracefully stop one shard (SIGINT, then SIGKILL past grace)."""
+        handle = self.handles.get(shard_id)
+        if handle is None or not handle.alive:
+            return
+        try:
+            handle.process.send_signal(signal.SIGINT)
+            handle.process.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            handle.process.kill()
+            handle.process.wait(timeout=5.0)
+        except ProcessLookupError:
+            pass
+
+    def kill_shard(self, shard_id: str) -> bool:
+        """SIGKILL one shard (the chaos path); True if it was alive."""
+        handle = self.handles.get(shard_id)
+        if handle is None or not handle.alive:
+            return False
+        try:
+            handle.process.kill()
+        except ProcessLookupError:
+            return False
+        handle.process.wait(timeout=5.0)
+        return True
+
+    def restart(
+        self, shard_id: str, graceful: bool = True, grace: float = 10.0
+    ) -> ShardHandle:
+        """Replace one shard's process (same id, fresh port).
+
+        ``graceful`` sends SIGINT first (drain path); a crashed shard
+        skips straight to the respawn.  The new process is added back
+        to the ring by :meth:`spawn`.
+        """
+        handle = self.handles.get(shard_id)
+        if handle is not None:
+            handle.state = "restarting"
+            if graceful:
+                self.stop_shard(shard_id, grace=grace)
+            elif handle.alive:
+                self.kill_shard(shard_id)
+        return self.spawn(shard_id)
+
+    def stop_all(self, grace: float = 10.0) -> None:
+        """Stop the whole fleet; leaves processes reaped."""
+        with self._lock:
+            shard_ids = list(self.handles)
+        for shard_id in shard_ids:
+            self.stop_shard(shard_id, grace=grace)
+            self.ring.remove(shard_id)
+            handle = self.handles.get(shard_id)
+            if handle is not None:
+                handle.state = "down"
+
+    # -- inspection -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "cache_dir": self.cache_dir,
+                "ring_shards": list(self.ring.shards),
+                "shards": [
+                    self.handles[sid].snapshot()
+                    for sid in sorted(self.handles)
+                ],
+            }

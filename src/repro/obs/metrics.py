@@ -404,6 +404,28 @@ def build_unified_registry(
         "repro_client_retries_total",
         "Service-client calls retried after a retryable failure.",
     )
+    registry.counter(
+        "repro_fleet_reroutes_total",
+        "In-flight submissions resubmitted to another shard after their "
+        "owning shard died.",
+    )
+    registry.counter(
+        "repro_fleet_drains_total",
+        "Shard drain cycles completed (stop routing, finish queued "
+        "jobs, restart).",
+    )
+    registry.counter(
+        "repro_fleet_shard_restarts_total",
+        "Shard processes respawned after a crash or drain.",
+    )
+    registry.counter(
+        "repro_router_proxy_errors_total",
+        "Router-to-shard proxy calls that failed after link retries.",
+    )
+    registry.histogram(
+        "repro_router_proxy_seconds",
+        "Router-to-shard proxy round-trip latency.",
+    )
     registry.gauge(
         "repro_queue_depth", "Jobs currently waiting in the queue.",
         fn=queue_depth,

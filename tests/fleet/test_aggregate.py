@@ -1,0 +1,149 @@
+"""Merging shard metric expositions and health payloads fleet-wide."""
+
+from __future__ import annotations
+
+from repro.fleet.aggregate import (
+    aggregate_expositions,
+    aggregate_health,
+    parse_exposition,
+)
+
+SHARD_A = """\
+# HELP repro_requests_total Requests received.
+# TYPE repro_requests_total counter
+repro_requests_total 7
+# HELP repro_cache_hit_rate Cache hit ratio.
+# TYPE repro_cache_hit_rate gauge
+repro_cache_hit_rate 0.5
+# HELP repro_job_seconds Job latency.
+# TYPE repro_job_seconds histogram
+repro_job_seconds_bucket{le="0.1"} 2
+repro_job_seconds_bucket{le="+Inf"} 3
+repro_job_seconds_sum 0.4
+repro_job_seconds_count 3
+"""
+
+SHARD_B = """\
+# HELP repro_requests_total Requests received.
+# TYPE repro_requests_total counter
+repro_requests_total 5
+# HELP repro_cache_hit_rate Cache hit ratio.
+# TYPE repro_cache_hit_rate gauge
+repro_cache_hit_rate 0.25
+# HELP repro_job_seconds Job latency.
+# TYPE repro_job_seconds histogram
+repro_job_seconds_bucket{le="0.1"} 1
+repro_job_seconds_bucket{le="+Inf"} 1
+repro_job_seconds_sum 0.05
+repro_job_seconds_count 1
+"""
+
+ROUTER = """\
+# HELP repro_requests_total Requests received.
+# TYPE repro_requests_total counter
+repro_requests_total 12
+# HELP repro_fleet_reroutes_total Jobs rerouted.
+# TYPE repro_fleet_reroutes_total counter
+repro_fleet_reroutes_total 1
+"""
+
+
+class TestParse:
+    def test_families_and_samples(self):
+        families = parse_exposition(SHARD_A)
+        assert families["repro_requests_total"].kind == "counter"
+        assert families["repro_requests_total"].samples == [
+            ("repro_requests_total", "", 7.0)
+        ]
+
+    def test_histogram_samples_join_their_family(self):
+        families = parse_exposition(SHARD_A)
+        hist = families["repro_job_seconds"]
+        assert hist.kind == "histogram"
+        names = [sample for sample, _, _ in hist.samples]
+        assert names == [
+            "repro_job_seconds_bucket", "repro_job_seconds_bucket",
+            "repro_job_seconds_sum", "repro_job_seconds_count",
+        ]
+        assert hist.samples[0][1] == 'le="0.1"'
+
+    def test_garbage_lines_are_skipped(self):
+        families = parse_exposition("not a metric\n# weird comment\nx 1\n")
+        assert families["x"].samples == [("x", "", 1.0)]
+
+
+class TestAggregateExpositions:
+    def test_counters_sum_into_the_fleet_row(self):
+        text = aggregate_expositions({"s0": SHARD_A, "s1": SHARD_B})
+        assert 'repro_requests_total{shard="fleet"} 12' in text
+        assert 'repro_requests_total{shard="s0"} 7' in text
+        assert 'repro_requests_total{shard="s1"} 5' in text
+
+    def test_every_sample_line_carries_a_shard_label(self):
+        text = aggregate_expositions(
+            {"s0": SHARD_A, "s1": SHARD_B}, ROUTER
+        )
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            assert 'shard="' in line, line
+
+    def test_histograms_sum_sample_wise(self):
+        text = aggregate_expositions({"s0": SHARD_A, "s1": SHARD_B})
+        assert (
+            'repro_job_seconds_bucket{shard="fleet",le="0.1"} 3' in text
+        )
+        assert 'repro_job_seconds_count{shard="fleet"} 4' in text
+        assert 'repro_job_seconds_sum{shard="fleet"} 0.45' in text
+
+    def test_rate_gauges_keep_per_shard_rows_but_never_sum(self):
+        # 0.5 + 0.25 would be a nonsense "fleet hit rate".
+        text = aggregate_expositions({"s0": SHARD_A, "s1": SHARD_B})
+        assert 'repro_cache_hit_rate{shard="s0"} 0.5' in text
+        assert 'repro_cache_hit_rate{shard="s1"} 0.25' in text
+        assert 'repro_cache_hit_rate{shard="fleet"}' not in text
+
+    def test_router_rows_are_labelled_and_excluded_from_sums(self):
+        # The router counts proxied traffic; summing it with the shards
+        # would double count every request.
+        text = aggregate_expositions(
+            {"s0": SHARD_A, "s1": SHARD_B}, ROUTER
+        )
+        assert 'repro_requests_total{shard="router"} 12' in text
+        assert 'repro_requests_total{shard="fleet"} 12' in text  # 7 + 5
+        assert 'repro_fleet_reroutes_total{shard="router"} 1' in text
+
+    def test_help_and_type_emitted_once_per_family(self):
+        text = aggregate_expositions({"s0": SHARD_A, "s1": SHARD_B})
+        assert text.count("# TYPE repro_requests_total counter") == 1
+
+
+class TestAggregateHealth:
+    def test_all_ok(self):
+        health = aggregate_health({
+            "s0": {"status": "ok", "queue_depth": 1, "running": 2,
+                   "jobs": {"done": 3}},
+            "s1": {"status": "ok", "queue_depth": 0, "running": 1,
+                   "jobs": {"done": 4, "failed": 1}},
+        })
+        assert health["status"] == "ok"
+        assert health["fleet"]["queue_depth"] == 1
+        assert health["fleet"]["running"] == 3
+        assert health["fleet"]["jobs"] == {"done": 7, "failed": 1}
+        assert health["fleet"]["shard_count"] == 2
+
+    def test_unreachable_shard_degrades(self):
+        health = aggregate_health({
+            "s0": {"status": "ok", "queue_depth": 0, "running": 0},
+            "s1": None,
+        })
+        assert health["status"] == "degraded"
+        assert health["shards"]["s1"] == {"status": "unreachable"}
+        assert health["fleet"]["shard_count"] == 2
+
+    def test_shutting_down_shard_degrades(self):
+        health = aggregate_health({
+            "s0": {"status": "shutting-down", "queue_depth": 0,
+                   "running": 0},
+        })
+        assert health["status"] == "degraded"

@@ -1,0 +1,94 @@
+"""The fleet's chaos points: ``shard-kill`` and ``router-conn-drop``.
+
+Both ride the PR 7 seeded-stream grammar — same spec syntax, same
+per-point RNG streams, same audit counter — and both are evaluated in
+the *router* process (the full spec is forwarded to shard children via
+``REPRO_CHAOS`` only when ``fleet serve --chaos`` asks for it, which
+these in-process tests do not).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.chaos import configure_chaos, parse_chaos_spec, reset_chaos
+from repro.fleet import FleetInThread
+from repro.service import ServiceClient
+
+
+@pytest.fixture(autouse=True)
+def clean_chaos():
+    reset_chaos()
+    yield
+    reset_chaos()
+
+
+class TestSpecGrammar:
+    def test_shard_kill_parses(self):
+        [spec] = parse_chaos_spec("shard-kill:p=0.5,seed=7,times=2")
+        assert spec.point == "shard-kill"
+        assert spec.probability == 0.5
+        assert spec.times == 2
+
+    def test_router_conn_drop_parses(self):
+        [spec] = parse_chaos_spec("router-conn-drop:p=1,times=1")
+        assert spec.point == "router-conn-drop"
+
+    def test_round_trips_through_render(self):
+        [spec] = parse_chaos_spec("shard-kill:p=0.25,seed=3")
+        assert parse_chaos_spec(spec.render()) == (spec,)
+
+
+class TestRouterConnDrop:
+    def test_client_retry_rides_a_dropped_response(self):
+        # One response is computed and then dropped on the floor; the
+        # stock client's connection-lost retry makes the call succeed
+        # anyway, and the injector's audit trail shows the fire.
+        injector = configure_chaos("router-conn-drop:p=1,times=1")
+        with FleetInThread(shards=1, workers=1, queue_depth=8) as fleet:
+            with ServiceClient(fleet.host, fleet.port, timeout=60) as client:
+                assert client.health()["status"] in ("ok", "degraded")
+        evaluated, fired = injector.counts()["router-conn-drop"]
+        assert fired == 1
+        assert evaluated >= 1
+
+    def test_no_retry_client_sees_the_drop(self):
+        configure_chaos("router-conn-drop:p=1,times=1")
+        with FleetInThread(shards=1, workers=1, queue_depth=8) as fleet:
+            with ServiceClient(
+                fleet.host, fleet.port, timeout=60, retry=False
+            ) as client:
+                with pytest.raises(Exception):
+                    client.health()
+                # The budget is spent; the next call goes through.
+                assert client.health()["status"] in ("ok", "degraded")
+
+
+class TestShardKillChaos:
+    def test_probe_loop_kills_and_recovers_a_shard(self):
+        injector = configure_chaos("shard-kill:p=1,times=1,seed=5")
+        with FleetInThread(
+            shards=2, workers=1, queue_depth=8, probe_interval=0.2
+        ) as fleet:
+            with ServiceClient(fleet.host, fleet.port, timeout=60) as client:
+                deadline = time.monotonic() + 60
+                restarted = False
+                while time.monotonic() < deadline:
+                    status = client.fleet_status()
+                    restarts = sum(
+                        s["restarts"] for s in status["shards"]
+                    )
+                    if restarts >= 1 and client.health()["status"] == "ok":
+                        restarted = True
+                        break
+                    time.sleep(0.25)
+                assert restarted, "chaos kill did not lead to a respawn"
+                # The ring healed: both shards route again.
+                assert sorted(
+                    client.fleet_status()["ring_shards"]
+                ) == ["s0", "s1"]
+        evaluated, fired = injector.counts()["shard-kill"]
+        assert fired == 1
+        assert evaluated >= 1

@@ -1,0 +1,194 @@
+"""End-to-end: a live 2-shard fleet behind the stock client and CLI.
+
+The acceptance bar: a fleet is a drop-in for a single-process service.
+``repro submit`` against the router prints byte-identically to
+``repro reproduce``, status/health/metrics aggregate across shards,
+and a drain rotates a shard with zero dropped submissions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import FleetInThread
+from repro.service import ServiceClient, ServiceError, ServiceInThread
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with FleetInThread(shards=2, workers=1, queue_depth=16) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(fleet):
+    with ServiceClient(fleet.host, fleet.port, timeout=60) as c:
+        yield c
+
+
+def tiny_plan(seed: int, case: str = "e2e") -> dict:
+    return {
+        "jobs": [
+            {
+                "config": {"processor": "K8", "infra": "pm",
+                           "pattern": "rr", "mode": "user", "seed": seed},
+                "benchmark": {"kind": "loop", "args": [1000]},
+                "tags": {"case": case},
+            }
+        ]
+    }
+
+
+class TestRouting:
+    def test_submit_round_trip_with_shard_attribution(self, client):
+        job = client.submit_plan(tiny_plan(11))
+        assert job["id"].startswith("f-")
+        assert job["shard"] in ("s0", "s1")
+        result = client.wait(job["id"], timeout=120)
+        [row] = result["rows"]
+        assert row["case"] == "e2e"
+        assert row["expected"] == 3001
+
+    def test_identical_submissions_land_on_the_same_shard(self, client):
+        # Content hashing, not round-robin: repeats of a key always hit
+        # the shard whose caches already hold it.
+        first = client.submit_plan(tiny_plan(12))
+        second = client.submit_plan(tiny_plan(12))
+        assert first["shard"] == second["shard"]
+
+    def test_result_survives_repolling_after_done(self, client):
+        job = client.submit_plan(tiny_plan(13))
+        first = client.wait(job["id"], timeout=120)
+        # The router pinned the result; a second fetch is served from
+        # its cache and must be identical.
+        assert client.result(job["id"]) == first
+
+    def test_unknown_job_is_a_structured_error(self, client):
+        with pytest.raises(ServiceError) as err:
+            client.status("f-999-deadbeef")
+        assert err.value.code == "unknown-job"
+
+    def test_unknown_artifact_rejected_at_the_router(self, client):
+        # Admission validation runs router-side: no shard round-trip,
+        # same structured code as a plain server.
+        with pytest.raises(ServiceError) as err:
+            client.submit_artifact("figure99")
+        assert err.value.code == "unknown-artifact"
+
+    def test_result_before_done_is_a_conflict(self, client):
+        job = client.submit_plan(tiny_plan(14, case="conflict"))
+        try:
+            client.result(job["id"])
+        except ServiceError as exc:
+            assert exc.code == "conflict"
+        # (If the tiny job already finished, result legitimately
+        # succeeds — both outcomes are protocol-correct.)
+
+
+class TestByteIdentity:
+    def test_submit_cli_prints_identically_to_reproduce(
+        self, fleet, capsys
+    ):
+        args = ["--host", fleet.host, "--port", str(fleet.port)]
+        assert main(
+            ["submit", "figure4", "--repeats", "1", "--wait", *args]
+        ) == 0
+        served = capsys.readouterr().out
+        assert main(["reproduce", "figure4", "--repeats", "1"]) == 0
+        local = capsys.readouterr().out
+        assert served == local
+
+
+class TestAggregation:
+    def test_health_aggregates_all_shards(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert set(health["shards"]) == {"s0", "s1"}
+        assert health["fleet"]["shard_count"] == 2
+        for shard_health in health["shards"].values():
+            assert shard_health["status"] == "ok"
+
+    def test_metrics_carry_shard_labels_and_fleet_sums(self, client):
+        client.submit_plan(tiny_plan(15))
+        text = client.metrics()
+        assert 'repro_requests_total{shard="fleet"}' in text
+        assert 'repro_requests_total{shard="s0"}' in text
+        assert 'repro_requests_total{shard="s1"}' in text
+        assert 'repro_requests_total{shard="router"}' in text
+
+    def test_fleet_status_reports_topology(self, client):
+        status = client.fleet_status()
+        assert sorted(status["ring_shards"]) == ["s0", "s1"]
+        by_id = {s["id"]: s for s in status["shards"]}
+        assert set(by_id) == {"s0", "s1"}
+        for shard in by_id.values():
+            assert shard["state"] == "up"
+            assert shard["pid"] > 0
+        assert status["jobs"]["routed"] >= 0
+
+    def test_fleet_status_cli(self, fleet, capsys):
+        assert main([
+            "fleet", "status",
+            "--host", fleet.host, "--port", str(fleet.port),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload["ring_shards"]) == ["s0", "s1"]
+
+    def test_status_cli_health_works_against_a_router(self, fleet, capsys):
+        assert main([
+            "status", "--health",
+            "--host", fleet.host, "--port", str(fleet.port),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "ok"
+
+
+class TestDrain:
+    def test_drain_finishes_jobs_and_restarts_the_shard(self, client):
+        # Queue work, then drain whichever shard owns it: nothing may
+        # be dropped, and the shard must come back restarted.
+        jobs = [client.submit_plan(tiny_plan(20 + i, "drain"))
+                for i in range(4)]
+        target = jobs[0]["shard"]
+        before = {
+            s["id"]: s["restarts"]
+            for s in client.fleet_status()["shards"]
+        }
+        out = client.fleet_drain(target)
+        assert out["shard"] == target
+        assert out["restarted"] is True
+        for job in jobs:
+            result = client.wait(job["id"], timeout=120)
+            assert result["rows"]
+        after = {
+            s["id"]: s["restarts"]
+            for s in client.fleet_status()["shards"]
+        }
+        assert after[target] == before[target] + 1
+
+    def test_drain_cli_unknown_shard_fails_cleanly(self, fleet, capsys):
+        assert main([
+            "fleet", "drain", "s9",
+            "--host", fleet.host, "--port", str(fleet.port),
+        ]) == 1
+        assert "unknown shard" in capsys.readouterr().err
+
+
+class TestPlainServerInterop:
+    def test_fleet_status_against_a_plain_server_is_unknown_op(self):
+        with ServiceInThread(workers=1, queue_depth=8) as service:
+            with ServiceClient(service.host, service.port) as c:
+                with pytest.raises(ServiceError) as err:
+                    c.fleet_status()
+            assert err.value.code == "unknown-op"
+
+    def test_fleet_status_cli_explains_plain_servers(self, capsys):
+        with ServiceInThread(workers=1, queue_depth=8) as service:
+            assert main([
+                "fleet", "status",
+                "--host", service.host, "--port", str(service.port),
+            ]) == 1
+        assert "plain service" in capsys.readouterr().err

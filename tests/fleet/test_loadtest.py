@@ -1,0 +1,119 @@
+"""The loadtest harness's statistics and result-file format.
+
+The live-service path is exercised by ``test_fleet_e2e.py``; these
+tests pin the math and the pytest-benchmark compatibility of the
+output file, which ``repro bench diff`` and CI depend on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.benchdiff import load_benchmarks
+from repro.fleet.loadtest import (
+    _percentile,
+    loadtest_plan,
+    render_entries,
+    summarize,
+    write_bench_json,
+)
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([3.0], 0.5) == 3.0
+        assert _percentile([3.0], 0.99) == 3.0
+
+    def test_nearest_rank(self):
+        ordered = [float(i) for i in range(1, 101)]  # 1..100
+        assert _percentile(ordered, 0.50) == 50.0
+        assert _percentile(ordered, 0.90) == 90.0
+        assert _percentile(ordered, 0.99) == 99.0
+        assert _percentile(ordered, 1.0) == 100.0
+
+
+class TestSummarize:
+    def test_stats_shape(self):
+        stats = summarize([0.1, 0.2, 0.3, 0.4], wall_seconds=2.0)
+        assert stats["rounds"] == 4
+        assert stats["min"] == 0.1
+        assert stats["max"] == 0.4
+        assert stats["mean"] == pytest.approx(0.25)
+        assert stats["median"] == pytest.approx(0.25)
+        assert stats["total"] == pytest.approx(1.0)
+        assert stats["ops"] == pytest.approx(4.0)
+        assert stats["throughput_rps"] == pytest.approx(2.0)
+        assert stats["data"] == [0.1, 0.2, 0.3, 0.4]
+
+    def test_percentiles_present(self):
+        stats = summarize([0.1] * 98 + [5.0, 6.0], wall_seconds=1.0)
+        assert stats["p50"] == 0.1
+        assert stats["p99"] == 5.0  # nearest rank: the 99th of 100
+        assert stats["max"] == 6.0
+
+    def test_empty_run(self):
+        stats = summarize([], wall_seconds=1.0)
+        assert stats["rounds"] == 0
+        assert stats["ops"] == 0.0
+
+    def test_single_sample_has_zero_stddev(self):
+        assert summarize([0.5], wall_seconds=1.0)["stddev"] == 0.0
+
+
+class TestPlan:
+    def test_plan_varies_only_by_seed(self):
+        a = loadtest_plan(0)
+        b = loadtest_plan(1)
+        assert a != b
+        [job_a], [job_b] = a["jobs"], b["jobs"]
+        assert job_a["config"]["seed"] == 0
+        assert job_b["config"]["seed"] == 1
+        assert job_a["benchmark"] == job_b["benchmark"]
+
+    def test_same_seed_is_identical(self):
+        # Identical plans produce identical cache tokens, which is what
+        # routes repeats to the same shard.
+        assert loadtest_plan(3) == loadtest_plan(3)
+
+
+class TestBenchJson:
+    def entry(self):
+        stats = summarize([0.1, 0.2], wall_seconds=0.5)
+        return {
+            "group": "loadtest",
+            "name": "loadtest_fleet_2shards",
+            "fullname": "repro loadtest::loadtest_fleet_2shards",
+            "params": None, "param": None,
+            "extra_info": {"topology": "fleet", "p99": stats["p99"]},
+            "options": {},
+            "stats": stats,
+        }
+
+    def test_file_shape(self, tmp_path):
+        path = write_bench_json(tmp_path / "BENCH.json", [self.entry()])
+        payload = json.loads(path.read_text())
+        assert set(payload) == {
+            "machine_info", "commit_info", "benchmarks", "datetime",
+            "version",
+        }
+        [bench] = payload["benchmarks"]
+        assert bench["name"] == "loadtest_fleet_2shards"
+        assert bench["stats"]["rounds"] == 2
+
+    def test_output_is_diffable(self, tmp_path):
+        # The contract that matters: bench diff can read what the
+        # loadtest writes, including the percentile metrics.
+        path = write_bench_json(tmp_path / "BENCH.json", [self.entry()])
+        loaded = load_benchmarks(path)
+        assert "loadtest_fleet_2shards" in loaded
+        assert "p99" in loaded["loadtest_fleet_2shards"]
+
+    def test_render_entries_is_one_row_per_topology(self):
+        text = render_entries([self.entry()])
+        assert "loadtest_fleet_2shards" in text
+        assert len(text.splitlines()) == 2  # header + row

