@@ -13,6 +13,10 @@ Usage::
     python -m repro status job-1-abcdef01 / --metrics / --health
     python -m repro trace figure4 --repeats 1 --trace-out trace.json
     python -m repro metrics
+    python -m repro report BENCH_8.json -o report.html
+    python -m repro report base.json new.json --history .repro-bench-history
+    python -m repro bench record BENCH_8.json --meta ci_run=123
+    python -m repro bench diff base.json new.json --history .repro-bench-history
 
 ``reproduce`` accepts ``--jobs N`` to spread measurements over N worker
 processes (results are bit-identical to a serial run), ``--backend``
@@ -36,10 +40,17 @@ errors by default (``--no-retry`` opts out).
 Observability (:mod:`repro.obs`): ``trace`` runs an artifact with
 tracing on and prints the per-layer time/retirement breakdown;
 ``--trace-out`` (on ``trace``, ``reproduce`` and ``serve``) writes a
-Chrome ``trace_event`` JSON loadable in Perfetto; ``metrics`` dumps
-the process-wide unified registry; the top-level ``--log-json`` flag
+Chrome ``trace_event`` JSON loadable in Perfetto; ``trace --json``
+emits the same breakdown machine-readably; ``metrics`` dumps the
+process-wide unified registry; the top-level ``--log-json`` flag
 (or ``REPRO_LOG``) turns on line-delimited JSON logs on stderr —
 stdout stays machine-readable throughout.
+
+Reporting (see ``docs/reports.md``): ``report`` renders one or two
+benchmark result files into a single self-contained HTML file (inline
+CSS/SVG, no network); ``bench record`` appends a run to the perf
+history store; ``bench diff --history`` replaces the global noise
+threshold with per-benchmark variance-derived thresholds.
 """
 
 from __future__ import annotations
@@ -209,6 +220,11 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-job deadline for the hung-worker watchdog",
+    )
+    trace.add_argument(
+        "--json", action="store_true",
+        help="emit the per-layer breakdown as JSON on stdout (same "
+             "numbers as the table; feeds 'repro report --trace')",
     )
 
     sub.add_parser(
@@ -465,9 +481,15 @@ def _build_parser() -> argparse.ArgumentParser:
              "(requires --port; ignores --topology/--shards/--workers)",
     )
     loadtest.add_argument("--port", type=int, default=None)
+    loadtest.add_argument(
+        "--meta", action="append", default=None, metavar="KEY=VALUE",
+        help="extra run metadata stamped into every entry's extra_info "
+             "(repeatable; e.g. --meta ci_run=123)",
+    )
 
     bench = sub.add_parser(
-        "bench", help="benchmark result tooling (see 'bench diff')"
+        "bench",
+        help="benchmark result tooling (see 'bench diff', 'bench record')",
     )
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
     bench_diff = bench_sub.add_parser(
@@ -485,9 +507,85 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_diff.add_argument(
         "--threshold", type=float, default=0.10, metavar="FRACTION",
         help="relative change below which a difference is noise "
-             "(default: 0.10 = 10%%)",
+             "(default: 0.10 = 10%%; benchmarks with history use their "
+             "own variance-derived threshold instead)",
     )
+    _add_history_args(bench_diff)
+
+    bench_record = bench_sub.add_parser(
+        "record",
+        help="append a result file's per-benchmark summaries to the "
+             "perf-history store (JSONL; feeds 'bench diff --history')",
+    )
+    bench_record.add_argument("result", help="pytest-benchmark JSON file")
+    bench_record.add_argument(
+        "--history", default=".repro-bench-history", metavar="DIR",
+        help="history store directory (default: .repro-bench-history)",
+    )
+    bench_record.add_argument(
+        "--meta", action="append", default=None, metavar="KEY=VALUE",
+        help="extra run metadata for the record (repeatable; overrides "
+             "what the result file carries)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render one or two benchmark result files into a single "
+             "self-contained HTML report (see docs/reports.md)",
+    )
+    report.add_argument(
+        "runs", nargs="+", metavar="RESULT",
+        help="one result file, or two for a side-by-side A/B report",
+    )
+    report.add_argument(
+        "-o", "--out", default="report.html", metavar="PATH",
+        help="output HTML file (default: report.html)",
+    )
+    report.add_argument(
+        "--title", default=None, help="report title (default: from files)"
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="a 'repro trace --json' payload: adds the per-layer "
+             "self-time panel",
+    )
+    report.add_argument(
+        "--metric", default="mean", metavar="NAME",
+        help="stats field for the A/B delta table (default: mean)",
+    )
+    report.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRACTION",
+        help="fallback noise threshold for the delta table "
+             "(default: 0.10)",
+    )
+    _add_history_args(report)
     return parser
+
+
+def _add_history_args(parser: argparse.ArgumentParser) -> None:
+    """The perf-history gating knobs, shared by 'bench diff' and 'report'."""
+    from repro.perfdb import DEFAULT_FLOOR, DEFAULT_K, DEFAULT_WINDOW
+
+    parser.add_argument(
+        "--history", default=None, metavar="DIR",
+        help="perf-history store ('repro bench record'): derive "
+             "per-benchmark noise thresholds from recorded variance "
+             "instead of the global --threshold",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW, metavar="M",
+        help=f"history runs considered per benchmark "
+             f"(default: {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--k", type=float, default=DEFAULT_K, metavar="K",
+        help=f"threshold = max(floor, K x stddev/mean) over the window "
+             f"(default: {DEFAULT_K})",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=DEFAULT_FLOOR, metavar="FRACTION",
+        help=f"minimum per-benchmark threshold (default: {DEFAULT_FLOOR})",
+    )
 
 
 def _cmd_list(as_json: bool = False) -> int:
@@ -607,7 +705,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """
     from repro import obs
     from repro.obs.export import write_chrome_trace
-    from repro.obs.report import render_layer_table
+    from repro.obs.report import layer_breakdown_payload, render_layer_payload
 
     if args.artifact not in ALL_EXPERIMENTS:
         known = ", ".join(ALL_EXPERIMENTS)
@@ -624,8 +722,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 args.artifact, repeats=args.repeats, seed=args.seed
             )
             sp.set(notes=len(result.notes))
-    print(f"trace of {args.artifact} (seed {args.seed}):")
-    print(render_layer_table(collector.spans))
+    # Table and JSON render the SAME payload — one code path, so the
+    # two views cannot drift (pinned by tests/obs/test_report.py).
+    payload = layer_breakdown_payload(collector.spans)
+    if getattr(args, "json", False):
+        print(json.dumps({
+            "artifact": args.artifact,
+            "seed": args.seed,
+            "repeats": args.repeats,
+            **payload,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"trace of {args.artifact} (seed {args.seed}):")
+        print(render_layer_payload(payload))
     if args.trace_out is not None:
         write_chrome_trace(args.trace_out, collector)
         print(
@@ -843,13 +952,20 @@ def _cmd_fleet_drain(args: argparse.Namespace) -> int:
 
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     from repro.fleet.loadtest import (
+        _entry,
         render_entries,
         run_loadtest,
+        run_metadata,
         run_topologies,
-        summarize,
         write_bench_json,
     )
+    from repro.perfdb import parse_meta_pairs
 
+    try:
+        meta = parse_meta_pairs(args.meta) if args.meta else None
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     load_kwargs = dict(
         clients=args.clients,
         requests=args.requests,
@@ -861,27 +977,23 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             if args.port is None:
                 print("error: --host requires --port", file=sys.stderr)
                 return 2
-            stats = run_loadtest(args.host, args.port, **load_kwargs)
-            entries = [{
-                "group": "loadtest",
-                "name": "loadtest_external",
-                "fullname": "repro loadtest::loadtest_external",
-                "params": None, "param": None,
-                "extra_info": {
-                    "topology": "external",
-                    "target": f"{args.host}:{args.port}",
-                    **{k: stats[k] for k in
-                       ("p50", "p90", "p99", "wall_seconds",
-                        "throughput_rps")},
-                },
-                "options": {},
-                "stats": stats,
-            }]
+            sink: "list[dict]" = []
+            stats = run_loadtest(
+                args.host, args.port, metrics_sink=sink, **load_kwargs
+            )
+            entries = [_entry(
+                "loadtest_external", stats,
+                {"topology": "external",
+                 "target": f"{args.host}:{args.port}"},
+                metadata=run_metadata(meta),
+                metrics=sink[0] if sink else None,
+            )]
         else:
             entries = run_topologies(
                 shards=args.shards,
                 workers=args.workers,
                 topology=args.topology,
+                meta=meta,
                 **load_kwargs,
             )
     except (RuntimeError, OSError) as exc:
@@ -901,12 +1013,71 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         code, text = diff_files(
             args.baseline, args.candidate,
             metric=args.metric, threshold=args.threshold,
+            history_dir=args.history, window=args.window,
+            k=args.k, floor=args.floor,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(text)
     return code
+
+
+def _cmd_bench_record(args: argparse.Namespace) -> int:
+    from repro.perfdb import parse_meta_pairs, record_run
+
+    try:
+        meta = parse_meta_pairs(args.meta) if args.meta else None
+        run = record_run(args.result, args.history, meta=meta)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"recorded {len(run.benchmarks)} benchmark(s) from {args.result} "
+        f"into {args.history} "
+        f"(sha {str(run.meta.get('git_sha', 'unknown'))[:12]})"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.htmlreport import validate_report_text, write_report
+    from repro.perfdb import history_thresholds, load_history
+
+    if len(args.runs) > 2:
+        print(
+            f"error: a report covers one or two runs, got {len(args.runs)}",
+            file=sys.stderr,
+        )
+        return 2
+    thresholds = None
+    try:
+        if args.history is not None:
+            history = load_history(args.history, window=args.window)
+            thresholds = history_thresholds(
+                history, args.metric, k=args.k, floor=args.floor
+            )
+        out, families = write_report(
+            args.out, args.runs, trace_path=args.trace, title=args.title,
+            metric=args.metric, threshold=args.threshold,
+            thresholds=thresholds,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Self-check what we just wrote — a report that fails its own
+    # validator should never reach an artifact store silently.
+    problems = validate_report_text(out.read_text(), expect_svgs=families)
+    if problems:
+        for problem in problems:
+            print(f"error: generated report invalid: {problem}",
+                  file=sys.stderr)
+        return 1
+    print(
+        f"wrote {out} ({families} plot(s), "
+        f"{len(args.runs)} run(s), self-contained)"
+    )
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -1017,12 +1188,22 @@ def main(argv: Sequence[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 2
-    if args.command == "bench" and args.threshold < 0:
-        print(
-            f"error: threshold must be >= 0, got {args.threshold}",
-            file=sys.stderr,
-        )
-        return 2
+    if (
+        args.command == "report"
+        or (args.command == "bench" and args.bench_command == "diff")
+    ):
+        if args.threshold < 0:
+            print(
+                f"error: threshold must be >= 0, got {args.threshold}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.window < 2:
+            print(
+                f"error: window must be >= 2, got {args.window}",
+                file=sys.stderr,
+            )
+            return 2
     if args.command == "reproduce":
         if args.no_cache or args.cache_dir:
             configure_default_cache(
@@ -1061,5 +1242,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "loadtest":
         return _cmd_loadtest(args)
     if args.command == "bench":
+        if args.bench_command == "record":
+            return _cmd_bench_record(args)
         return _cmd_bench_diff(args)
+    if args.command == "report":
+        return _cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -103,6 +103,7 @@ def run_loadtest(
     distinct: int = 8,
     loop_iters: int = DEFAULT_LOOP_ITERS,
     timeout: float = 120.0,
+    metrics_sink: "list[dict[str, float]] | None" = None,
 ) -> dict[str, Any]:
     """Drive one live service; returns the :func:`summarize` stats.
 
@@ -112,6 +113,13 @@ def run_loadtest(
     the next (closed-loop load, so concurrency == ``clients``).
     Failures raise — a loadtest that drops requests is not a
     measurement.
+
+    With ``metrics_sink``, the target's metrics exposition is scraped
+    once after the load completes and appended (parsed into a
+    ``sample name -> value`` dict) — cache/backend hit rates and, on a
+    fleet, ``shard=``-labelled counters land in the result file for
+    the HTML report's panels.  Scrape failures are swallowed: the
+    latency measurement is the product, the snapshot is garnish.
     """
     per_client = [requests // clients] * clients
     for i in range(requests % clients):
@@ -152,33 +160,83 @@ def run_loadtest(
         raise RuntimeError(
             f"loadtest lost {len(errors)} request(s); first: {errors[0]!r}"
         ) from errors[0]
+    if metrics_sink is not None:
+        snapshot = scrape_metrics(host, port, timeout=timeout)
+        if snapshot is not None:
+            metrics_sink.append(snapshot)
     return summarize(latencies, wall)
+
+
+def scrape_metrics(
+    host: str, port: int, timeout: float = 30.0
+) -> "dict[str, float] | None":
+    """One parsed metrics snapshot from a live service, or ``None``."""
+    from repro.obs.metrics import parse_prometheus_text
+    from repro.service.client import ServiceError
+
+    try:
+        with ServiceClient(
+            host, port, timeout=timeout, client_id="loadtest-metrics",
+        ) as client:
+            return parse_prometheus_text(client.metrics())
+    except (OSError, ServiceError, TimeoutError):
+        return None
+
+
+def run_metadata(
+    meta: "Mapping[str, str] | None" = None,
+) -> dict[str, Any]:
+    """Run-identifying labels stamped into every entry's ``extra_info``.
+
+    Git SHA and hostname, so history records and report headers can
+    say *which* build on *which* box produced the numbers; arbitrary
+    ``--meta key=value`` pairs (CI run ids, topology notes) override
+    or extend them.
+    """
+    info = _commit_info()
+    out: dict[str, Any] = {
+        "git_sha": info.get("id") or "unknown",
+        "hostname": platform.node() or "unknown",
+    }
+    out.update(meta or {})
+    return out
 
 
 # -- topologies ------------------------------------------------------------
 
-def _against_single(workers: int, **load_kwargs: Any) -> dict[str, Any]:
+def _against_single(
+    workers: int, **load_kwargs: Any
+) -> "tuple[dict[str, Any], dict[str, float] | None]":
     from repro.service.server import ServiceInThread
 
+    sink: "list[dict[str, float]]" = []
     with ServiceInThread(workers=workers, queue_depth=256) as service:
-        return run_loadtest(service.host, service.port, **load_kwargs)
+        stats = run_loadtest(
+            service.host, service.port, metrics_sink=sink, **load_kwargs
+        )
+    return stats, (sink[0] if sink else None)
 
 
 def _against_fleet(
     shards: int, workers: int, **load_kwargs: Any
-) -> dict[str, Any]:
+) -> "tuple[dict[str, Any], dict[str, float] | None]":
     from repro.fleet.router import FleetInThread
 
+    sink: "list[dict[str, float]]" = []
     with FleetInThread(
         shards=shards, workers=workers, queue_depth=256
     ) as fleet:
-        return run_loadtest(fleet.host, fleet.port, **load_kwargs)
+        stats = run_loadtest(
+            fleet.host, fleet.port, metrics_sink=sink, **load_kwargs
+        )
+    return stats, (sink[0] if sink else None)
 
 
 def run_topologies(
     shards: int = 2,
     workers: int = 1,
     topology: str = "both",
+    meta: "Mapping[str, str] | None" = None,
     **load_kwargs: Any,
 ) -> "list[dict[str, Any]]":
     """Loadtest the requested topologies; returns benchmark entries.
@@ -187,28 +245,35 @@ def run_topologies(
     expose the same number of execution slots — the comparison isolates
     the routing/sharding overhead, not a capacity difference.
     """
+    metadata = run_metadata(meta)
     entries: "list[dict[str, Any]]" = []
     if topology in ("single", "both"):
-        stats = _against_single(shards * workers, **load_kwargs)
+        stats, metrics = _against_single(shards * workers, **load_kwargs)
         entries.append(_entry("loadtest_single_process", stats, {
             "topology": "single", "workers": shards * workers,
-        }))
+        }, metadata=metadata, metrics=metrics))
     if topology in ("fleet", "both"):
-        stats = _against_fleet(shards, workers, **load_kwargs)
+        stats, metrics = _against_fleet(shards, workers, **load_kwargs)
         entries.append(_entry(f"loadtest_fleet_{shards}shards", stats, {
             "topology": "fleet", "shards": shards, "workers": workers,
-        }))
+        }, metadata=metadata, metrics=metrics))
     return entries
 
 
 def _entry(
-    name: str, stats: Mapping[str, Any], extra: Mapping[str, Any]
+    name: str,
+    stats: Mapping[str, Any],
+    extra: Mapping[str, Any],
+    metadata: "Mapping[str, Any] | None" = None,
+    metrics: "Mapping[str, float] | None" = None,
 ) -> dict[str, Any]:
     stats = dict(stats)
     extra_info = dict(extra)
     for key in ("p50", "p90", "p99", "wall_seconds", "throughput_rps"):
         extra_info[key] = stats[key]
-    return {
+    if metadata:
+        extra_info.update(metadata)
+    entry = {
         "group": "loadtest",
         "name": name,
         "fullname": f"repro loadtest::{name}",
@@ -218,6 +283,11 @@ def _entry(
         "options": {},
         "stats": stats,
     }
+    if metrics:
+        # Non-standard but harmless to pytest-benchmark readers; the
+        # HTML report renders these as hit-rate / shard panels.
+        entry["observability"] = {"metrics": dict(metrics)}
+    return entry
 
 
 def _commit_info() -> dict[str, Any]:

@@ -22,7 +22,13 @@ path through all of them observable, stdlib-only:
   rendered identically by the service ``metrics`` request and the
   ``repro metrics`` CLI dump;
 * **report** (:mod:`repro.obs.report`) — the per-layer
-  time/retirement breakdown behind ``repro trace <artifact>``.
+  time/retirement breakdown behind ``repro trace <artifact>`` (and,
+  via ``--json``, its machine-readable twin);
+* **htmlreport** (:mod:`repro.obs.htmlreport`) — ``repro report``:
+  one or two benchmark result files rendered into a single
+  self-contained HTML file (inline CSS/SVG, zero external
+  references), with its own offline validator
+  (``python -m repro.obs.htmlreport report.html bench.json``).
 
 Tracing is strictly an observer: artifact outputs are byte-identical
 with and without a collector active.
@@ -45,6 +51,8 @@ from repro.obs.metrics import (
     build_service_registry,
     build_unified_registry,
     default_registry,
+    parse_prometheus_text,
+    registry_snapshot,
     reset_default_registry,
 )
 from repro.obs.spans import (
@@ -90,6 +98,8 @@ __all__ = [
     "get_logger",
     "new_span_id",
     "new_trace_id",
+    "parse_prometheus_text",
+    "registry_snapshot",
     "reset_default_registry",
     "reset_logging",
     "retirements_enabled",

@@ -302,6 +302,43 @@ def inc_family(name: str, label_value: str, amount: float = 1.0) -> None:
             instrument.inc(label_value, amount)
 
 
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Samples of a Prometheus text exposition, keyed by sample name.
+
+    The inverse of :meth:`MetricsRegistry.render` (and of what a
+    service's ``metrics`` request returns): comment/``# TYPE`` lines
+    are skipped and each remaining line becomes one
+    ``name{labels} -> value`` entry — label text (including
+    ``shard="s0"`` from fleet aggregation) stays inside the key, which
+    is how the HTML report finds per-shard breakdowns.  Unparseable
+    lines are ignored: this feeds dashboards, not a validator.
+    """
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            continue
+        name, raw = parts
+        try:
+            out[name] = float(raw)
+        except ValueError:
+            continue
+    return out
+
+
+def registry_snapshot(registry: "MetricsRegistry") -> dict[str, float]:
+    """Every sample of every instrument, as a plain JSON-safe dict.
+
+    The snapshot the loadtest harness embeds into benchmark result
+    files (and the HTML report renders as hit-rate panels) — fn-gauges
+    are evaluated at snapshot time, exactly as ``render`` would.
+    """
+    return parse_prometheus_text(registry.render())
+
+
 class MetricsRegistry:
     """A named set of instruments with a text exposition."""
 

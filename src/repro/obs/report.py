@@ -71,28 +71,65 @@ def layer_breakdown(spans: Iterable[Span]) -> list[LayerRow]:
     )
 
 
-def render_layer_table(spans: Iterable[Span]) -> str:
-    """The printable per-layer time/retirement breakdown."""
+def layer_breakdown_payload(spans: Iterable[Span]) -> dict:
+    """The breakdown as a JSON-safe payload (``repro trace --json``).
+
+    One code path feeds both the printable table and machine-readable
+    consumers (the HTML report, external tooling):
+    :func:`render_layer_table` formats *this* payload, so the JSON and
+    the table can never disagree — a property pinned by
+    ``tests/obs/test_report.py``.
+    """
     spans = list(spans)
     rows = layer_breakdown(spans)
     wall_us = total_us(spans)
     accounted = sum(row.self_us for row in rows)
+    return {
+        "layers": [
+            {
+                "layer": row.layer,
+                "spans": row.spans,
+                "self_us": row.self_us,
+                "share": (row.self_us / wall_us) if wall_us else 0.0,
+                "instructions": row.instructions,
+            }
+            for row in rows
+        ],
+        "total": {
+            "spans": len(spans),
+            "self_us": accounted,
+            "share": (accounted / wall_us) if wall_us else 0.0,
+            "instructions": sum(row.instructions for row in rows),
+        },
+        "wall_us": wall_us,
+    }
+
+
+def render_layer_payload(payload: dict) -> str:
+    """Format an (already computed) breakdown payload as the table."""
     lines = [
         f"{'layer':<13} {'spans':>6} {'time (s)':>10} {'share':>7} "
         f"{'instructions':>13}"
     ]
-    for row in rows:
-        share = (row.self_us / wall_us * 100.0) if wall_us else 0.0
-        instructions = f"{row.instructions:,}" if row.instructions else "-"
-        lines.append(
-            f"{row.layer:<13} {row.spans:>6} {row.self_us / 1e6:>10.4f} "
-            f"{share:>6.1f}% {instructions:>13}"
+    for row in payload["layers"]:
+        instructions = (
+            f"{row['instructions']:,}" if row["instructions"] else "-"
         )
-    total_instr = sum(row.instructions for row in rows)
-    share = (accounted / wall_us * 100.0) if wall_us else 0.0
+        lines.append(
+            f"{row['layer']:<13} {row['spans']:>6} "
+            f"{row['self_us'] / 1e6:>10.4f} "
+            f"{row['share'] * 100.0:>6.1f}% {instructions:>13}"
+        )
+    total = payload["total"]
+    total_instr = f"{total['instructions']:,}" if total["instructions"] else "-"
     lines.append(
-        f"{'total':<13} {len(spans):>6} {accounted / 1e6:>10.4f} "
-        f"{share:>6.1f}% {(f'{total_instr:,}' if total_instr else '-'):>13}"
+        f"{'total':<13} {total['spans']:>6} {total['self_us'] / 1e6:>10.4f} "
+        f"{total['share'] * 100.0:>6.1f}% {total_instr:>13}"
     )
-    lines.append(f"traced wall time: {wall_us / 1e6:.4f} s")
+    lines.append(f"traced wall time: {payload['wall_us'] / 1e6:.4f} s")
     return "\n".join(lines)
+
+
+def render_layer_table(spans: Iterable[Span]) -> str:
+    """The printable per-layer time/retirement breakdown."""
+    return render_layer_payload(layer_breakdown_payload(spans))

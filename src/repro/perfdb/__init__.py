@@ -1,0 +1,46 @@
+"""`repro.perfdb`: the append-only benchmark-history store.
+
+``repro bench record`` appends per-benchmark summaries (mean, stddev,
+percentiles, throughput) plus run metadata (git SHA, host, timestamp,
+``--meta`` pairs) into ``history.jsonl`` under a history directory;
+``repro bench diff --history`` and ``repro report`` read it back to
+derive *variance-aware, per-benchmark* noise thresholds — k·stddev
+over the last M recorded runs — instead of one global guess.  See
+``docs/reports.md`` for the format and the gating math.
+"""
+
+from repro.perfdb.store import (
+    DEFAULT_FLOOR,
+    DEFAULT_K,
+    DEFAULT_WINDOW,
+    HISTORY_FILE,
+    SUMMARY_FIELDS,
+    History,
+    HistoryRun,
+    Threshold,
+    history_path,
+    history_thresholds,
+    load_history,
+    parse_meta_pairs,
+    record_run,
+    run_meta,
+    summarize_benchmarks,
+)
+
+__all__ = [
+    "DEFAULT_FLOOR",
+    "DEFAULT_K",
+    "DEFAULT_WINDOW",
+    "HISTORY_FILE",
+    "History",
+    "HistoryRun",
+    "SUMMARY_FIELDS",
+    "Threshold",
+    "history_path",
+    "history_thresholds",
+    "load_history",
+    "parse_meta_pairs",
+    "record_run",
+    "run_meta",
+    "summarize_benchmarks",
+]

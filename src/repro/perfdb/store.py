@@ -1,0 +1,314 @@
+"""Append-only per-benchmark performance history (``repro bench record``).
+
+``repro bench diff`` started life with one global noise threshold (10%)
+because a single pair of result files carries no variance information:
+you cannot tell a 7% slip on a rock-steady benchmark from a 7% wobble
+on one whose run-to-run stddev is 20%.  The fix is the one nanoBench
+and BayesPerf both point at — report (and gate on) *per-benchmark
+dispersion*, not point estimates.
+
+This module is the storage half of that fix.  ``record_run`` folds one
+pytest-benchmark result file into an append-only JSONL history: one
+line per recorded run, carrying run metadata (git SHA, host, timestamp,
+arbitrary ``--meta key=value`` pairs) plus a compact per-benchmark
+summary (mean/stddev/median/percentiles/throughput).  From the last
+``window`` runs, ``history_thresholds`` derives a per-benchmark noise
+threshold::
+
+    threshold(b) = max(floor, k * stddev(metric_b) / |mean(metric_b)|)
+
+i.e. a change smaller than ``k`` historical standard deviations
+(relative to the historical mean) is noise; anything larger is signal.
+Degenerate histories fall back to ``floor``: a single recorded run has
+no dispersion, and a zero-stddev history would make *every* change
+significant.  Direction stays the diff's job — thresholds are
+magnitudes, and :mod:`repro.analysis.benchdiff` already knows that for
+``ops``/``throughput_rps`` bigger is better.
+
+The file format is deliberately dumb: ``history.jsonl`` under the
+history directory, one JSON object per line, written with
+``O_APPEND``-style appends so concurrent recorders from parallel CI
+jobs interleave whole lines rather than corrupt each other.  Unknown
+or malformed lines are skipped on read (with a count surfaced to the
+caller), so a truncated line from a killed run never poisons the
+store.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.benchdiff import benchmarks_from_payload, load_payload
+from repro.errors import ConfigurationError
+
+#: The one file inside a history directory.
+HISTORY_FILE = "history.jsonl"
+
+#: Per-benchmark stats kept in a history record (when present).
+SUMMARY_FIELDS = (
+    "mean", "stddev", "median", "min", "max", "q1", "q3",
+    "p50", "p90", "p99", "ops", "rounds", "throughput_rps",
+)
+
+DEFAULT_WINDOW = 10
+DEFAULT_K = 3.0
+DEFAULT_FLOOR = 0.02
+
+
+def parse_meta_pairs(pairs: "Iterable[str] | None") -> dict[str, str]:
+    """``key=value`` strings -> dict; malformed pairs are config errors."""
+    out: dict[str, str] = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise ConfigurationError(
+                f"bad --meta {pair!r}: expected key=value"
+            )
+        out[key] = value.strip()
+    return out
+
+
+def run_meta(
+    payload: Mapping[str, Any],
+    extra: "Mapping[str, str] | None" = None,
+) -> dict[str, Any]:
+    """Run metadata for a history record, backfill-tolerant.
+
+    Prefers what the result file itself recorded (``commit_info``,
+    ``machine_info``, ``datetime`` — present in everything
+    pytest-benchmark or ``repro loadtest`` writes), falls back to
+    neutral values for hand-rolled or pre-metadata files (the committed
+    BENCH_5/6/8.json predate ``extra_info`` stamping), and lets
+    explicit ``--meta`` pairs override either.
+    """
+    commit = payload.get("commit_info")
+    machine = payload.get("machine_info")
+    meta: dict[str, Any] = {
+        "git_sha": (commit or {}).get("id") if isinstance(commit, Mapping)
+        else None,
+        "host": (machine or {}).get("node") if isinstance(machine, Mapping)
+        else None,
+        "recorded": payload.get("datetime"),
+    }
+    if not meta["git_sha"]:
+        meta["git_sha"] = "unknown"
+    if not meta["host"]:
+        meta["host"] = platform.node() or "unknown"
+    if not isinstance(meta["recorded"], str):
+        meta["recorded"] = None
+    meta.update(extra or {})
+    return meta
+
+
+@dataclass(frozen=True)
+class HistoryRun:
+    """One recorded run: metadata plus per-benchmark summaries."""
+
+    meta: dict[str, Any]
+    benchmarks: dict[str, dict[str, float]]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"meta": self.meta, "benchmarks": self.benchmarks},
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
+class History:
+    """The parsed history: runs oldest-first, plus read diagnostics."""
+
+    runs: "tuple[HistoryRun, ...]"
+    skipped: int = 0
+    path: "Path | None" = None
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def window(self, size: "int | None") -> "History":
+        """The most recent ``size`` runs (all of them when ``None``)."""
+        if size is None or size >= len(self.runs):
+            return self
+        return History(self.runs[-size:], skipped=self.skipped,
+                       path=self.path)
+
+    def values(self, name: str, metric: str) -> "list[float]":
+        """The metric's recorded values for one benchmark, oldest-first."""
+        out: "list[float]" = []
+        for run in self.runs:
+            stats = run.benchmarks.get(name)
+            if stats is None:
+                continue
+            value = stats.get(metric)
+            if isinstance(value, (int, float)):
+                out.append(float(value))
+        return out
+
+    def names(self) -> "list[str]":
+        seen: dict[str, None] = {}
+        for run in self.runs:
+            for name in run.benchmarks:
+                seen.setdefault(name)
+        return list(seen)
+
+
+def history_path(history_dir: "str | Path") -> Path:
+    return Path(history_dir) / HISTORY_FILE
+
+
+def summarize_benchmarks(
+    benchmarks: Mapping[str, Mapping[str, Any]],
+) -> dict[str, dict[str, float]]:
+    """Keep only the compact numeric summary fields per benchmark."""
+    out: dict[str, dict[str, float]] = {}
+    for name, stats in benchmarks.items():
+        summary = {
+            key: float(stats[key])
+            for key in SUMMARY_FIELDS
+            if isinstance(stats.get(key), (int, float))
+        }
+        out[name] = summary
+    return out
+
+
+def record_run(
+    bench_path: "str | Path",
+    history_dir: "str | Path",
+    meta: "Mapping[str, str] | None" = None,
+) -> HistoryRun:
+    """Append one result file to the history; returns the new record."""
+    payload = load_payload(bench_path)
+    benchmarks = benchmarks_from_payload(payload, bench_path)
+    run = HistoryRun(
+        meta=run_meta(payload, meta),
+        benchmarks=summarize_benchmarks(benchmarks),
+    )
+    path = history_path(history_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as handle:
+        handle.write(run.to_json() + "\n")
+    return run
+
+
+def load_history(
+    history_dir: "str | Path",
+    window: "int | None" = None,
+) -> History:
+    """Parse the history, oldest-first; malformed lines are skipped.
+
+    A missing directory or file is a :class:`ConfigurationError` — when
+    the caller asked for history-driven behaviour, silently acting as
+    if nothing was recorded would re-enable exactly the global-guess
+    thresholds the history exists to replace.
+    """
+    path = history_path(history_dir)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"no benchmark history at {path} "
+            "(record runs with 'repro bench record')"
+        ) from None
+    runs: "list[HistoryRun]" = []
+    skipped = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(record, Mapping):
+            skipped += 1
+            continue
+        benchmarks = record.get("benchmarks")
+        if not isinstance(benchmarks, Mapping):
+            skipped += 1
+            continue
+        meta = record.get("meta")
+        runs.append(HistoryRun(
+            meta=dict(meta) if isinstance(meta, Mapping) else {},
+            benchmarks={
+                str(name): {
+                    str(k): float(v) for k, v in stats.items()
+                    if isinstance(v, (int, float))
+                }
+                for name, stats in benchmarks.items()
+                if isinstance(stats, Mapping)
+            },
+        ))
+    history = History(tuple(runs), skipped=skipped, path=path)
+    if not history.runs:
+        raise ConfigurationError(
+            f"benchmark history at {path} holds no readable runs "
+            "(record some with 'repro bench record')"
+        )
+    return history.window(window)
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One benchmark's derived noise threshold and its provenance."""
+
+    threshold: float
+    runs: int
+    mean: float = 0.0
+    stddev: float = 0.0
+    #: ``history`` when k·stddev/|mean| cleared the floor, else ``floor``.
+    source: str = "floor"
+
+    def describe(self) -> str:
+        if self.source == "history":
+            return f"{self.threshold:.1%} (k·stddev over {self.runs} runs)"
+        return f"{self.threshold:.1%} (floor; {self.runs} usable run(s))"
+
+
+def history_thresholds(
+    history: History,
+    metric: str,
+    k: float = DEFAULT_K,
+    floor: float = DEFAULT_FLOOR,
+) -> dict[str, Threshold]:
+    """Per-benchmark relative noise thresholds from recorded dispersion.
+
+    ``max(floor, k * stddev / |mean|)`` over the history's values of
+    ``metric``; benchmarks with fewer than two recorded values, zero
+    dispersion, or a zero mean get the floor (their history cannot
+    distinguish noise from signal yet).  Benchmarks absent from the
+    history entirely get no entry — the diff falls back to its global
+    threshold for those.
+    """
+    if k <= 0:
+        raise ConfigurationError(f"k must be > 0, got {k}")
+    if floor < 0:
+        raise ConfigurationError(f"floor must be >= 0, got {floor}")
+    out: dict[str, Threshold] = {}
+    for name in history.names():
+        values = history.values(name, metric)
+        if not values:
+            continue
+        mean = statistics.fmean(values)
+        stddev = statistics.stdev(values) if len(values) > 1 else 0.0
+        if len(values) >= 2 and stddev > 0 and mean != 0:
+            relative = k * stddev / abs(mean)
+            out[name] = Threshold(
+                threshold=max(floor, relative),
+                runs=len(values),
+                mean=mean,
+                stddev=stddev,
+                source="history" if relative >= floor else "floor",
+            )
+        else:
+            out[name] = Threshold(
+                threshold=floor, runs=len(values),
+                mean=mean, stddev=stddev, source="floor",
+            )
+    return out

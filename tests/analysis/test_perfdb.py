@@ -1,0 +1,200 @@
+"""The perf-history store: recording, windows, derived thresholds."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfdb import (
+    DEFAULT_FLOOR,
+    History,
+    HistoryRun,
+    history_path,
+    history_thresholds,
+    load_history,
+    parse_meta_pairs,
+    record_run,
+    run_meta,
+)
+
+
+def bench_file(tmp_path, name, benchmarks, **payload_extra):
+    path = tmp_path / name
+    path.write_text(json.dumps({"benchmarks": benchmarks, **payload_extra}))
+    return path
+
+
+def entry(name, mean, stddev=0.0, **extra):
+    return {
+        "name": name,
+        "stats": {"mean": mean, "stddev": stddev, "rounds": 3},
+        "extra_info": extra,
+    }
+
+
+def history_of(values, name="b"):
+    """A History whose runs carry the given means for one benchmark."""
+    return History(tuple(
+        HistoryRun(meta={}, benchmarks={name: {"mean": v}})
+        for v in values
+    ))
+
+
+class TestMetaPairs:
+    def test_parses_pairs(self):
+        assert parse_meta_pairs(["a=1", "b = two "]) == {
+            "a": "1", "b": "two",
+        }
+
+    def test_none_is_empty(self):
+        assert parse_meta_pairs(None) == {}
+
+    def test_missing_equals_is_a_config_error(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_meta_pairs(["nope"])
+
+    def test_empty_key_is_a_config_error(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            parse_meta_pairs(["=value"])
+
+
+class TestRunMeta:
+    def test_prefers_what_the_file_recorded(self):
+        meta = run_meta({
+            "commit_info": {"id": "abc123"},
+            "machine_info": {"node": "ci-box"},
+            "datetime": "2026-08-08T00:00:00+00:00",
+        })
+        assert meta["git_sha"] == "abc123"
+        assert meta["host"] == "ci-box"
+        assert meta["recorded"] == "2026-08-08T00:00:00+00:00"
+
+    def test_backfill_tolerant_for_bare_files(self):
+        # The committed BENCH files predate metadata stamping; recording
+        # them must still work.
+        meta = run_meta({})
+        assert meta["git_sha"] == "unknown"
+        assert meta["host"]  # platform fallback, never empty
+        assert meta["recorded"] is None
+
+    def test_explicit_meta_overrides(self):
+        meta = run_meta(
+            {"commit_info": {"id": "abc"}}, {"git_sha": "forced", "ci": "7"}
+        )
+        assert meta["git_sha"] == "forced"
+        assert meta["ci"] == "7"
+
+
+class TestRecord:
+    def test_appends_one_line_per_run(self, tmp_path):
+        bench = bench_file(tmp_path, "b.json", [entry("b1", 0.5)])
+        record_run(bench, tmp_path / "hist")
+        record_run(bench, tmp_path / "hist")
+        lines = history_path(tmp_path / "hist").read_text().splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["benchmarks"]["b1"]["mean"] == 0.5
+        assert "meta" in record
+
+    def test_keeps_only_summary_numbers(self, tmp_path):
+        bench = bench_file(
+            tmp_path, "b.json",
+            [entry("b1", 0.5, p99=0.9, topology="fleet")],
+        )
+        run = record_run(bench, tmp_path / "hist")
+        assert run.benchmarks["b1"]["p99"] == 0.9
+        # String labels live in meta, not in per-benchmark summaries.
+        assert "topology" not in run.benchmarks["b1"]
+
+    def test_malformed_result_file_is_a_config_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{{{")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            record_run(bad, tmp_path / "hist")
+
+
+class TestLoad:
+    def test_round_trips(self, tmp_path):
+        bench = bench_file(tmp_path, "b.json", [entry("b1", 0.5)])
+        record_run(bench, tmp_path / "hist")
+        history = load_history(tmp_path / "hist")
+        assert len(history) == 1
+        assert history.values("b1", "mean") == [0.5]
+
+    def test_missing_history_is_a_config_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="bench record"):
+            load_history(tmp_path / "nowhere")
+
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        bench = bench_file(tmp_path, "b.json", [entry("b1", 0.5)])
+        record_run(bench, tmp_path / "hist")
+        with history_path(tmp_path / "hist").open("a") as handle:
+            handle.write('{"truncated": \n')  # killed mid-append
+            handle.write("[1, 2]\n")  # not a record object
+        record_run(bench, tmp_path / "hist")
+        history = load_history(tmp_path / "hist")
+        assert len(history) == 2
+        assert history.skipped == 2
+
+    def test_only_corrupt_lines_is_a_config_error(self, tmp_path):
+        path = history_path(tmp_path / "hist")
+        path.parent.mkdir()
+        path.write_text("not json\n")
+        with pytest.raises(ConfigurationError, match="no readable runs"):
+            load_history(tmp_path / "hist")
+
+    def test_window_keeps_the_most_recent_runs(self, tmp_path):
+        for mean in (0.1, 0.2, 0.3, 0.4):
+            record_run(
+                bench_file(tmp_path, f"b{mean}.json", [entry("b1", mean)]),
+                tmp_path / "hist",
+            )
+        history = load_history(tmp_path / "hist", window=2)
+        assert history.values("b1", "mean") == [0.3, 0.4]
+
+
+class TestThresholds:
+    def test_derived_from_relative_dispersion(self):
+        history = history_of([1.0, 1.1, 0.9])
+        [threshold] = history_thresholds(history, "mean", k=3.0).values()
+        assert threshold.source == "history"
+        assert threshold.threshold == pytest.approx(0.3, rel=0.01)
+        assert threshold.runs == 3
+
+    def test_zero_stddev_falls_back_to_floor(self):
+        history = history_of([1.0, 1.0, 1.0])
+        [threshold] = history_thresholds(history, "mean").values()
+        assert threshold.source == "floor"
+        assert threshold.threshold == DEFAULT_FLOOR
+
+    def test_single_run_falls_back_to_floor(self):
+        history = history_of([1.0])
+        [threshold] = history_thresholds(history, "mean").values()
+        assert threshold.source == "floor"
+        assert threshold.runs == 1
+
+    def test_tiny_dispersion_clamps_to_floor(self):
+        history = history_of([1.0, 1.0001, 0.9999])
+        [threshold] = history_thresholds(
+            history, "mean", floor=0.05
+        ).values()
+        assert threshold.threshold == 0.05
+        assert threshold.source == "floor"
+
+    def test_benchmark_missing_the_metric_gets_no_entry(self):
+        history = history_of([1.0, 1.1])
+        assert history_thresholds(history, "p99") == {}
+
+    def test_bad_k_and_floor_are_config_errors(self):
+        history = history_of([1.0, 1.1])
+        with pytest.raises(ConfigurationError, match="k must be"):
+            history_thresholds(history, "mean", k=0)
+        with pytest.raises(ConfigurationError, match="floor must be"):
+            history_thresholds(history, "mean", floor=-0.1)
+
+    def test_describe_names_the_provenance(self):
+        history = history_of([1.0, 2.0])
+        [threshold] = history_thresholds(history, "mean").values()
+        assert "runs" in threshold.describe()

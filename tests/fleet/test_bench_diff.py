@@ -164,3 +164,162 @@ class TestCli:
             ["bench", "diff", str(a), str(a), "--threshold", "-0.1"]
         ) == 2
         assert "threshold" in capsys.readouterr().err
+
+
+class TestMalformedFiles:
+    """Every malformed-input shape must exit 2 with a clear message,
+    never a traceback — CI treats exit 1 as 'real regression'."""
+
+    @pytest.mark.parametrize("content, match", [
+        ("", "empty"),                          # zero-byte file
+        ("[1, 2, 3]", "expected an object"),  # top-level list
+        ('{"benchmarks": []}', "contains no benchmarks"),
+        ('{"benchmarks": {"not": "a list"}}', "no 'benchmarks' list"),
+        ('{"machine_info": {}}', "no 'benchmarks'"),  # non-pytest JSON
+        ('{"benchmarks": [{"name": "b", "stats"', "not valid JSON"),
+    ])
+    def test_loader_raises_config_error(self, tmp_path, content, match):
+        path = tmp_path / "bad.json"
+        path.write_text(content)
+        with pytest.raises(ConfigurationError, match=match):
+            load_benchmarks(path)
+
+    @pytest.mark.parametrize("content", [
+        "", "[1]", '{"benchmarks": []}',
+        '{"benchmarks": [{"name": "b", "stats"',  # truncated mid-write
+    ])
+    def test_cli_exit_two_with_message(self, tmp_path, capsys, content):
+        bad = tmp_path / "bad.json"
+        bad.write_text(content)
+        good = bench_file(tmp_path, "good.json", [entry("b", 1.0)])
+        assert main(["bench", "diff", str(bad), str(good)]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["bench", "diff", str(good), str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestHistoryGating:
+    """``bench diff --history``: per-benchmark variance thresholds."""
+
+    def record(self, tmp_path, means, name="b"):
+        hist = tmp_path / "hist"
+        for i, mean in enumerate(means):
+            path = bench_file(
+                tmp_path, f"run{i}.json", [entry(name, mean)]
+            )
+            assert main(
+                ["bench", "record", str(path), "--history", str(hist)]
+            ) == 0
+        return hist
+
+    def test_noisy_history_widens_the_gate(self, tmp_path, capsys):
+        # 20% historical CoV: a 12% slip is inside 3 sigma -> clean,
+        # even though it would trip the global 10% default.
+        hist = self.record(tmp_path, [1.0, 1.2, 0.8, 1.1, 0.9])
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        b = bench_file(tmp_path, "b.json", [entry("b", 1.12)])
+        assert main(["bench", "diff", str(a), str(b)]) == 1
+        capsys.readouterr()
+        assert main(
+            ["bench", "diff", str(a), str(b), "--history", str(hist)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-benchmark noise thresholds" in out
+        assert "thr" in out
+
+    def test_steady_history_tightens_the_gate(self, tmp_path, capsys):
+        # Near-zero historical variance: a 8% slip clears the floor ->
+        # regression, even though the global 10% would call it noise.
+        hist = self.record(tmp_path, [1.0, 1.0, 1.0])
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        b = bench_file(tmp_path, "b.json", [entry("b", 1.08)])
+        assert main(["bench", "diff", str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main(
+            ["bench", "diff", str(a), str(b), "--history", str(hist)]
+        ) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_benchmark_missing_from_history_uses_global(
+        self, tmp_path, capsys
+    ):
+        hist = self.record(tmp_path, [1.0, 1.0, 1.0], name="other")
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        b = bench_file(tmp_path, "b.json", [entry("b", 1.08)])
+        # 'b' has no history: the global 10% applies and 8% is noise.
+        assert main(
+            ["bench", "diff", str(a), str(b), "--history", str(hist)]
+        ) == 0
+        capsys.readouterr()
+
+    def test_direction_aware_throughput_with_history(
+        self, tmp_path, capsys
+    ):
+        hist = tmp_path / "hist"
+        for i, rps in enumerate([100.0, 101.0, 99.0]):
+            path = bench_file(
+                tmp_path, f"run{i}.json",
+                [entry("b", 1.0, throughput_rps=rps)],
+            )
+            assert main(
+                ["bench", "record", str(path), "--history", str(hist)]
+            ) == 0
+        a = bench_file(
+            tmp_path, "a.json", [entry("b", 1.0, throughput_rps=100.0)]
+        )
+        up = bench_file(
+            tmp_path, "up.json", [entry("b", 1.0, throughput_rps=140.0)]
+        )
+        down = bench_file(
+            tmp_path, "down.json", [entry("b", 1.0, throughput_rps=60.0)]
+        )
+        base_args = ["--metric", "throughput_rps", "--history", str(hist)]
+        # More requests per second is an improvement, never a regression.
+        assert main(["bench", "diff", str(a), str(up)] + base_args) == 0
+        capsys.readouterr()
+        assert main(["bench", "diff", str(a), str(down)] + base_args) == 1
+        capsys.readouterr()
+
+    def test_missing_history_dir_exit_two(self, tmp_path, capsys):
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        assert main([
+            "bench", "diff", str(a), str(a),
+            "--history", str(tmp_path / "nowhere"),
+        ]) == 2
+        assert "bench record" in capsys.readouterr().err
+
+    def test_window_floor_of_two(self, tmp_path, capsys):
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        assert main(
+            ["bench", "diff", str(a), str(a), "--window", "1"]
+        ) == 2
+        assert "window" in capsys.readouterr().err
+
+
+class TestRecordCli:
+    def test_record_reports_what_it_stored(self, tmp_path, capsys):
+        path = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        assert main([
+            "bench", "record", str(path),
+            "--history", str(tmp_path / "hist"),
+            "--meta", "ci_run=42",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded 1 benchmark(s)" in out
+
+    def test_record_malformed_meta_exit_two(self, tmp_path, capsys):
+        path = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        assert main([
+            "bench", "record", str(path),
+            "--history", str(tmp_path / "hist"), "--meta", "nope",
+        ]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_record_malformed_result_exit_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{{{")
+        assert main([
+            "bench", "record", str(bad),
+            "--history", str(tmp_path / "hist"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -13,9 +13,11 @@ import pytest
 
 from repro.analysis.benchdiff import load_benchmarks
 from repro.fleet.loadtest import (
+    _entry,
     _percentile,
     loadtest_plan,
     render_entries,
+    run_metadata,
     summarize,
     write_bench_json,
 )
@@ -117,3 +119,56 @@ class TestBenchJson:
         text = render_entries([self.entry()])
         assert "loadtest_fleet_2shards" in text
         assert len(text.splitlines()) == 2  # header + row
+
+
+class TestRunMetadata:
+    def test_always_carries_sha_and_host(self):
+        metadata = run_metadata()
+        assert metadata["git_sha"]  # a sha in-repo, 'unknown' outside
+        assert metadata["hostname"]
+
+    def test_meta_pairs_override(self):
+        metadata = run_metadata({"git_sha": "forced", "ci_run": "9"})
+        assert metadata["git_sha"] == "forced"
+        assert metadata["ci_run"] == "9"
+
+
+class TestEntry:
+    def stats(self):
+        return summarize([0.1, 0.2], wall_seconds=0.5)
+
+    def test_metadata_lands_in_extra_info(self):
+        entry = _entry(
+            "loadtest_single_process", self.stats(), {"topology": "single"},
+            metadata={"git_sha": "abc", "hostname": "box"},
+        )
+        assert entry["extra_info"]["git_sha"] == "abc"
+        assert entry["extra_info"]["hostname"] == "box"
+        assert entry["extra_info"]["topology"] == "single"
+        assert "p99" in entry["extra_info"]
+
+    def test_metrics_snapshot_is_optional(self):
+        bare = _entry("x", self.stats(), {})
+        assert "observability" not in bare
+        with_metrics = _entry(
+            "x", self.stats(), {},
+            metrics={"repro_cache_hits": 3.0},
+        )
+        assert with_metrics["observability"]["metrics"] == {
+            "repro_cache_hits": 3.0,
+        }
+
+    def test_stamped_file_survives_the_whole_toolchain(self, tmp_path):
+        # loadtest entry -> bench JSON -> diffable + reportable.
+        from repro.obs.htmlreport import load_run, render_report
+
+        entry = _entry(
+            "loadtest_single_process", self.stats(), {"topology": "single"},
+            metadata=run_metadata({"ci_run": "7"}),
+            metrics={"repro_cache_hits": 2.0, "repro_cache_misses": 2.0},
+        )
+        path = write_bench_json(tmp_path / "BENCH.json", [entry])
+        assert "p99" in load_benchmarks(path)["loadtest_single_process"]
+        text = render_report([load_run(path)])
+        assert "hit rates" in text
+        assert "ci_run=7" in text

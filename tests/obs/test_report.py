@@ -1,7 +1,13 @@
 """Per-layer breakdown: self-time decomposition and the table."""
 
+import json
+
+import pytest
+
 from repro.obs.report import (
     layer_breakdown,
+    layer_breakdown_payload,
+    render_layer_payload,
     render_layer_table,
     self_times_us,
     total_us,
@@ -77,3 +83,28 @@ class TestBreakdown:
     def test_render_handles_empty_trace(self):
         table = render_layer_table([])
         assert "traced wall time: 0.0000 s" in table
+
+
+class TestPayload:
+    """The JSON payload behind ``repro trace --json``."""
+
+    def test_table_formats_exactly_the_payload(self):
+        # The equality 'repro trace' vs 'repro trace --json' rests on:
+        # the table is a pure rendering of the payload.
+        spans = nested_spans()
+        payload = layer_breakdown_payload(spans)
+        assert render_layer_payload(payload) == render_layer_table(spans)
+
+    def test_payload_shape_and_shares(self):
+        payload = layer_breakdown_payload(nested_spans())
+        assert payload["wall_us"] == 100
+        layers = {row["layer"]: row for row in payload["layers"]}
+        assert layers["cli"]["self_us"] == 20
+        assert layers["cli"]["share"] == pytest.approx(0.2)
+        assert layers["measurement"]["instructions"] == 1234
+        assert payload["total"]["self_us"] == 100
+        assert payload["total"]["share"] == pytest.approx(1.0)
+
+    def test_payload_is_json_safe(self):
+        payload = layer_breakdown_payload(nested_spans())
+        assert json.loads(json.dumps(payload)) == payload
