@@ -58,6 +58,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -175,6 +176,21 @@ def _build_parser() -> argparse.ArgumentParser:
              "deadline x jobs and re-dispatch its work (REPRO_DEADLINE)",
     )
     reproduce.add_argument(
+        "--fast-forward", default=None, metavar="MODE",
+        help=(
+            "symbolic fast-forward for steady-state loops: auto, on, or "
+            "off (default: REPRO_FF or auto; results are byte-identical "
+            "for any choice)"
+        ),
+    )
+    reproduce.add_argument(
+        "--ff-warmup", type=int, default=None, metavar="K",
+        help=(
+            "loop iterations observed before fast-forward may engage "
+            "(default: REPRO_FF_WARMUP or 64)"
+        ),
+    )
+    reproduce.add_argument(
         "--resume", action="store_true",
         help="journal completed jobs to a crash-safe sidecar and, when "
              "one exists from a killed run, restart from it "
@@ -220,6 +236,15 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-job deadline for the hung-worker watchdog",
+    )
+    trace.add_argument(
+        "--fast-forward", default=None, metavar="MODE",
+        help="symbolic loop fast-forward: auto, on, or off (REPRO_FF)",
+    )
+    trace.add_argument(
+        "--ff-warmup", type=int, default=None, metavar="K",
+        help="iterations observed before fast-forward engages "
+             "(REPRO_FF_WARMUP)",
     )
     trace.add_argument(
         "--json", action="store_true",
@@ -314,6 +339,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="per-job deadline for the hung-worker watchdog "
              "(REPRO_DEADLINE)",
+    )
+    serve.add_argument(
+        "--fast-forward", default=None, metavar="MODE",
+        help="symbolic loop fast-forward: auto, on, or off (REPRO_FF)",
+    )
+    serve.add_argument(
+        "--ff-warmup", type=int, default=None, metavar="K",
+        help="iterations observed before fast-forward engages "
+             "(REPRO_FF_WARMUP)",
     )
 
     submit = sub.add_parser(
@@ -1006,9 +1040,52 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _apply_fastforward_args(args: argparse.Namespace) -> None:
+    """Install the fast-forward knobs; flags shadow ``REPRO_FF*``.
+
+    With neither flag given this still resolves the shared engine once,
+    so a malformed ``REPRO_FF``/``REPRO_FF_WARMUP`` surfaces here as a
+    structured exit-2 error rather than a traceback mid-run.  With a
+    flag given, the resolved values are stamped back into the
+    environment so spawned worker processes inherit the same engine.
+    """
+    from repro.cpu import fastforward
+
+    mode, warmup = args.fast_forward, args.ff_warmup
+    if mode is None and warmup is None:
+        fastforward.default_engine()
+        return
+    if mode is None:
+        mode = os.environ.get("REPRO_FF") or "auto"
+    mode = fastforward.parse_ff_mode(mode)
+    if warmup is None:
+        raw = os.environ.get("REPRO_FF_WARMUP")
+        warmup = raw if raw else fastforward.DEFAULT_WARMUP
+    warmup = fastforward.parse_ff_warmup(warmup)
+    fastforward.configure_fastforward(mode, warmup)
+    os.environ["REPRO_FF"] = mode
+    os.environ["REPRO_FF_WARMUP"] = str(warmup)
+
+
+def _bench_gate() -> "str | None":
+    """The ``REPRO_BENCH_GATE`` policy, or None when malformed."""
+    raw = os.environ.get("REPRO_BENCH_GATE")
+    gate = (raw or "advisory").strip().lower()
+    if gate not in ("advisory", "hard"):
+        print(
+            f"error: REPRO_BENCH_GATE must be advisory or hard, got {raw!r}",
+            file=sys.stderr,
+        )
+        return None
+    return gate
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     from repro.analysis.benchdiff import diff_files
 
+    gate = _bench_gate()
+    if gate is None:
+        return 2
     try:
         code, text = diff_files(
             args.baseline, args.candidate,
@@ -1020,6 +1097,15 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(text)
+    if code != 0 and args.history is not None and gate == "advisory":
+        # History-based gating defaults to advisory: report loudly,
+        # fail only when the caller opted into REPRO_BENCH_GATE=hard.
+        print(
+            "advisory: regression beyond the history gate "
+            "(set REPRO_BENCH_GATE=hard to fail the build)",
+            file=sys.stderr,
+        )
+        return 0
     return code
 
 
@@ -1051,6 +1137,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
         return 2
     thresholds = None
+    history = None
     try:
         if args.history is not None:
             history = load_history(args.history, window=args.window)
@@ -1060,7 +1147,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         out, families = write_report(
             args.out, args.runs, trace_path=args.trace, title=args.title,
             metric=args.metric, threshold=args.threshold,
-            thresholds=thresholds,
+            thresholds=thresholds, history=history,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -1108,6 +1195,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 configure_chaos(args.chaos)  # validates the spec grammar
             else:
                 get_injector()  # ...and surface a bad REPRO_CHAOS
+            _apply_fastforward_args(args)  # ...and a bad REPRO_FF*
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -1145,6 +1233,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 configure_chaos(args.chaos)  # validates the spec grammar
             else:
                 get_injector()  # ...and surface a bad REPRO_CHAOS
+            _apply_fastforward_args(args)  # ...and a bad REPRO_FF*
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2

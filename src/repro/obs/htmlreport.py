@@ -524,6 +524,102 @@ def _plots_section(
     )
 
 
+# -- cross-run trend sparklines --------------------------------------------
+
+_SPARK_W = 260
+_SPARK_H = 44
+_SPARK_PAD = 5
+
+
+def trend_series(
+    families: "dict[str, list[str]]",
+    history: Any,
+    metric: str,
+) -> "dict[str, list[tuple[str, list[float]]]]":
+    """family -> (benchmark, metric values oldest-first, >= 2 points).
+
+    Families whose benchmarks have fewer than two recorded values are
+    dropped — a single point has no trend to draw.
+    """
+    out: "dict[str, list[tuple[str, list[float]]]]" = {}
+    for family, names in families.items():
+        series = []
+        for name in names:
+            values = history.values(name, metric)
+            if len(values) >= 2:
+                series.append((name, values))
+        if series:
+            out[family] = series
+    return out
+
+
+def _spark_svg(family: str, series: "list[tuple[str, list[float]]]") -> str:
+    """One family's sparkline: a polyline per benchmark, shared scale."""
+    lo = min(min(v) for _, v in series)
+    hi = max(max(v) for _, v in series)
+    span = hi - lo
+    if span <= 0.0:
+        span = hi if hi > 0 else 1.0
+    plot_w = _SPARK_W - 2 * _SPARK_PAD
+    plot_h = _SPARK_H - 2 * _SPARK_PAD
+    parts = [
+        f'<svg viewBox="0 0 {_SPARK_W} {_SPARK_H}" role="img" '
+        f'aria-label="{_esc(family)}: recorded values across runs, '
+        f'oldest to newest" class="spark">'
+    ]
+    for i, (_name, values) in enumerate(series):
+        step = plot_w / max(len(values) - 1, 1)
+        points = " ".join(
+            f"{_SPARK_PAD + j * step:.1f},"
+            f"{_SPARK_PAD + plot_h * (1.0 - (v - lo) / span):.1f}"
+            for j, v in enumerate(values)
+        )
+        stroke = f"s{(i % 2) + 1}"
+        parts.append(f'<polyline class="trend {stroke}" points="{points}"/>')
+        last_x = _SPARK_PAD + (len(values) - 1) * step
+        last_y = _SPARK_PAD + plot_h * (1.0 - (values[-1] - lo) / span)
+        parts.append(
+            f'<circle class="dot {stroke}" cx="{last_x:.1f}" '
+            f'cy="{last_y:.1f}" r="2.5"/>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _trend_section(
+    families: "dict[str, list[str]]",
+    history: Any,
+    metric: str,
+) -> str:
+    """Per-family cross-run sparklines from the recorded history."""
+    if history is None:
+        return ""
+    by_family = trend_series(families, history, metric)
+    if not by_family:
+        return ""
+    cells = []
+    for family, series in by_family.items():
+        runs = max(len(values) for _, values in series)
+        latest = series[0][1][-1]
+        lo = min(min(v) for _, v in series)
+        hi = max(max(v) for _, v in series)
+        cells.append(
+            '<div class="trend-cell">'
+            f"<h3>{_esc(family)}</h3>"
+            + _spark_svg(family, series)
+            + '<p class="trend-meta">'
+            f"{runs} run(s) · latest {_esc(_fmt_seconds(latest))} · "
+            f"range {_esc(_fmt_seconds(lo))}–{_esc(_fmt_seconds(hi))}"
+            "</p></div>"
+        )
+    return (
+        "<section><h2>Cross-run trends</h2>"
+        f'<p class="trend-meta">recorded {_esc(metric)} per benchmark '
+        "family, oldest to newest, from the benchmark history</p>"
+        f'<div class="trend-grid">{"".join(cells)}</div></section>'
+    )
+
+
 def _summary_section(runs: Sequence[RunData]) -> str:
     head = (
         "<tr><th>benchmark</th><th>run</th><th>mean</th><th>stddev</th>"
@@ -864,6 +960,17 @@ svg.chart {
   background: var(--surface); border: 1px solid var(--border);
   border-radius: 6px;
 }
+svg.spark {
+  display: block; width: 260px; height: 44px; margin-top: 4px;
+  background: var(--surface); border: 1px solid var(--border);
+  border-radius: 6px;
+}
+svg .trend { fill: none; stroke-width: 1.5; }
+svg .trend.s1 { stroke: var(--s1); }
+svg .trend.s2 { stroke: var(--s2); }
+.trend-grid { display: flex; gap: 16px; flex-wrap: wrap; }
+.trend-cell h3 { margin: 8px 0 2px; }
+.trend-meta { color: var(--muted); font-size: 12px; margin: 2px 0 0; }
 svg .grid { stroke: var(--grid); stroke-width: 1; }
 svg .axis { stroke: var(--axis); stroke-width: 1; }
 svg .tick, svg .xlabel, svg .ylabel {
@@ -942,6 +1049,7 @@ def render_report(
     metric: str = DEFAULT_METRIC,
     threshold: float = DEFAULT_THRESHOLD,
     thresholds: "Mapping[str, Any] | None" = None,
+    history: Any = None,
 ) -> str:
     """The complete self-contained HTML document for 1 or 2 runs."""
     if not 1 <= len(runs) <= 2:
@@ -958,6 +1066,7 @@ def render_report(
         _tiles_section(runs, families),
         _delta_section(runs, metric, threshold, thresholds),
         _plots_section(runs, families),
+        _trend_section(families, history, metric),
         _summary_section(runs),
         _selftime_section(trace),
         _metrics_panels(runs),
@@ -987,8 +1096,14 @@ def write_report(
     metric: str = DEFAULT_METRIC,
     threshold: float = DEFAULT_THRESHOLD,
     thresholds: "Mapping[str, Any] | None" = None,
+    history: Any = None,
 ) -> "tuple[Path, int]":
-    """Load, render and write; returns (path, svg/family count)."""
+    """Load, render and write; returns (path, svg count).
+
+    The count covers one family plot per benchmark family plus, when a
+    history is given, one trend sparkline per family with at least two
+    recorded values — feed it to :func:`validate_report_text`.
+    """
     runs = [
         load_run(path, label=RUN_LABELS[i])
         for i, path in enumerate(run_paths)
@@ -996,11 +1111,15 @@ def write_report(
     trace = load_trace(trace_path) if trace_path is not None else None
     text = render_report(
         runs, trace=trace, title=title, metric=metric,
-        threshold=threshold, thresholds=thresholds,
+        threshold=threshold, thresholds=thresholds, history=history,
     )
     out_path = Path(out_path)
     out_path.write_text(text)
-    return out_path, len(report_families(runs))
+    families = report_families(runs)
+    svgs = len(families)
+    if history is not None:
+        svgs += len(trend_series(families, history, metric))
+    return out_path, svgs
 
 
 # -- validation ------------------------------------------------------------

@@ -1,0 +1,531 @@
+"""The symbolic fast-forward engine: bit-exact or bailed out.
+
+Every test here enforces the engine's one contract: an engaged replay
+produces *exactly* the machine state the slow path would have — clocks,
+counters, interrupt bookkeeping, and the RNG stream position — and any
+observation it cannot replay symbolically bails to the slow path with
+an accounted reason, never with drift.
+"""
+
+import random
+
+import pytest
+
+from repro.cpu import fastforward
+from repro.cpu.events import Event, PrivFilter
+from repro.cpu.frequency import Governor
+from repro.cpu.pmu import CounterConfig
+from repro.errors import ConfigurationError
+from repro.isa.block import Chunk, Loop
+from repro.isa.work import WorkVector
+from repro.kernel import snapshot
+from repro.kernel.system import Machine
+
+
+@pytest.fixture(autouse=True)
+def clean_engine():
+    fastforward.reset_fastforward()
+    yield
+    fastforward.reset_fastforward()
+
+
+def make_loop(trips: int, instructions: int = 3, label: str = "ff-loop"):
+    body = Chunk(
+        work=WorkVector(instructions=instructions, branches=1,
+                        taken_branches=1, loads=1),
+        label="body",
+    )
+    header = Chunk(work=WorkVector(instructions=2), label="header")
+    return Loop(body=body, trips=trips, header=header, label=label)
+
+
+def boot(
+    mode: str,
+    seed: int = 0,
+    warmup: int = 64,
+    processor: str = "CD",
+    kernel: str = "perfctr",
+    **kwargs,
+) -> Machine:
+    fastforward.configure_fastforward(mode, warmup=warmup)
+    machine = Machine(
+        processor=processor, kernel=kernel, seed=seed, **kwargs
+    )
+    pmu = machine.core.pmu
+    pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR,
+                                 enabled=True))
+    pmu.program(1, CounterConfig(Event.CYCLES, PrivFilter.ALL,
+                                 enabled=True))
+    if pmu.fixed:
+        pmu.configure_fixed(0, PrivFilter.ALL)
+    return machine
+
+
+def state(machine: Machine) -> dict:
+    """Everything an engagement touches, hex-exact."""
+    core = machine.core
+    ctl = machine.controller
+    return {
+        "cycle": core.cycle.hex(),
+        "wall": core.wall_s.hex(),
+        "tsc": core.pmu._tsc.hex(),
+        "pc": [c._value.hex() for c in core.pmu.counters],
+        "fx": [f._value.hex() for f in core.pmu.fixed],
+        "next_t": ctl.next_timer_s.hex(),
+        "ticks": ctl.ticks_delivered,
+        "io": ctl.io_delivered,
+        "nio": None if ctl.next_io_s is None else ctl.next_io_s.hex(),
+        "tiq": machine.scheduler._ticks_in_quantum,
+        "rng": str(machine.rng.bit_generator.state),
+    }
+
+
+# -- knob parsing ------------------------------------------------------------
+
+
+class TestKnobParsing:
+    @pytest.mark.parametrize("raw,expected", [
+        ("auto", "auto"), ("ON", "on"), (" off ", "off"),
+    ])
+    def test_valid_modes_normalize(self, raw, expected):
+        assert fastforward.parse_ff_mode(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["bogus", "", "1", "o n"])
+    def test_bad_mode_is_configuration_error(self, raw):
+        with pytest.raises(ConfigurationError, match="fast-forward mode"):
+            fastforward.parse_ff_mode(raw)
+
+    @pytest.mark.parametrize("raw,expected", [("1", 1), (64, 64), ("500", 500)])
+    def test_valid_warmups(self, raw, expected):
+        assert fastforward.parse_ff_warmup(raw) == expected
+
+    @pytest.mark.parametrize("raw", ["0", "-3", "many", "", None, "1.5"])
+    def test_bad_warmup_is_configuration_error(self, raw):
+        with pytest.raises(ConfigurationError, match="fast-forward warmup"):
+            fastforward.parse_ff_warmup(raw)
+
+    def test_off_builds_no_engine(self):
+        assert fastforward.configure_fastforward("off") is None
+
+    def test_on_lowers_the_trip_floor(self):
+        engine = fastforward.configure_fastforward("on")
+        assert engine.min_trips == 1
+        engine = fastforward.configure_fastforward("auto")
+        assert engine.min_trips == fastforward.AUTO_MIN_TRIPS
+
+    def test_default_engine_reads_env_once(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FF", "off")
+        fastforward.reset_fastforward()
+        assert fastforward.default_engine() is None
+        # Read-once: flipping the env after first use changes nothing.
+        monkeypatch.setenv("REPRO_FF", "on")
+        assert fastforward.default_engine() is None
+
+    def test_default_engine_env_warmup(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FF", "on")
+        monkeypatch.setenv("REPRO_FF_WARMUP", "7")
+        fastforward.reset_fastforward()
+        engine = fastforward.default_engine()
+        assert engine.warmup == 7
+
+    def test_default_engine_rejects_malformed_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FF", "warp9")
+        fastforward.reset_fastforward()
+        with pytest.raises(ConfigurationError, match="fast-forward mode"):
+            fastforward.default_engine()
+
+
+# -- bit-exactness -----------------------------------------------------------
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("processor,kernel", [
+        ("CD", "perfctr"), ("PD", "perfmon"), ("K8", "vanilla"),
+    ])
+    def test_single_call_matches_slow_path(self, processor, kernel):
+        loop = make_loop(50_000)
+        slow = boot("off", seed=3, processor=processor, kernel=kernel)
+        for _ in range(3):
+            slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=3, processor=processor, kernel=kernel)
+        for _ in range(3):
+            fast.core.execute_loop(loop, 4096)
+        assert state(slow) == state(fast)
+        assert fastforward.GLOBAL_STATS.engagements > 0
+
+    def test_no_io_machine_matches(self):
+        loop = make_loop(80_000)
+        slow = boot("off", seed=5, io_interrupts=False)
+        slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=5, io_interrupts=False)
+        fast.core.execute_loop(loop, 4096)
+        assert state(slow) == state(fast)
+
+    def test_sweep_matches_repeated_calls(self):
+        loop = make_loop(20_000)
+        slow = boot("off", seed=1)
+        for _ in range(25):
+            slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=1)
+        fast.core.execute_loop_sweep(loop, 4096, 25)
+        assert state(slow) == state(fast)
+
+    def test_sweep_with_engine_off_matches_repeated_calls(self):
+        loop = make_loop(5_000)
+        serial = boot("off", seed=9)
+        for _ in range(10):
+            serial.core.execute_loop(loop, 4096)
+        swept = boot("off", seed=9)
+        swept.core.execute_loop_sweep(loop, 4096, 10)
+        assert state(serial) == state(swept)
+
+    def test_randomized_differential_200_seeds(self):
+        """200 randomized placements: the engine never moves a bit."""
+        rng = random.Random(0xF0F0)
+        flavors = [("CD", "perfctr"), ("PD", "perfmon"), ("K8", "vanilla")]
+        mismatches = []
+        for seed in range(200):
+            processor, kernel = flavors[seed % len(flavors)]
+            trips = rng.randrange(1_000, 4_000)
+            instructions = rng.randrange(1, 6)
+            io = rng.random() < 0.7
+            repeats = rng.randrange(1, 4)
+            loop = make_loop(trips, instructions=instructions)
+            slow = boot("off", seed=seed, processor=processor,
+                        kernel=kernel, io_interrupts=io)
+            for _ in range(repeats):
+                slow.core.execute_loop(loop, 4096)
+            fast = boot("on", seed=seed, warmup=1, processor=processor,
+                        kernel=kernel, io_interrupts=io)
+            for _ in range(repeats):
+                fast.core.execute_loop(loop, 4096)
+            if state(slow) != state(fast):
+                mismatches.append((seed, processor, kernel, trips))
+        assert not mismatches, f"state drift at {mismatches[:5]}"
+
+
+# -- engagement gating -------------------------------------------------------
+
+
+class TestEngagementGating:
+    def test_auto_skips_short_loops(self):
+        loop = make_loop(fastforward.AUTO_MIN_TRIPS - 1)
+        machine = boot("auto", warmup=1)
+        for _ in range(5):
+            machine.core.execute_loop(loop, 4096)
+        assert fastforward.GLOBAL_STATS.engagements == 0
+
+    def test_on_engages_short_loops(self):
+        loop = make_loop(200)
+        machine = boot("on", warmup=1)
+        machine.core.execute_loop(loop, 4096)
+        machine.core.execute_loop(loop, 4096)
+        assert fastforward.GLOBAL_STATS.engagements > 0
+
+    def test_warmup_counts_observed_iterations(self):
+        loop = make_loop(2_000)
+        machine = boot("on", warmup=10_000)
+        for _ in range(5):  # 5 x 2000 observed == warmup, all slow
+            machine.core.execute_loop(loop, 4096)
+        assert fastforward.GLOBAL_STATS.engagements == 0
+        machine.core.execute_loop(loop, 4096)  # now warmed
+        assert fastforward.GLOBAL_STATS.engagements == 1
+
+    def test_warmed_model_is_shared_across_boots(self):
+        loop = make_loop(2_000)
+        first = boot("on", seed=2, warmup=1_500)
+        first.core.execute_loop(loop, 4096)  # warms the shared model
+        assert fastforward.GLOBAL_STATS.engagements == 0
+        # A second boot attaches to the same configured engine; its
+        # counters are programmed identically, so the warmed model and
+        # compiled template are reused as-is.
+        second = Machine(processor="CD", kernel="perfctr", seed=2)
+        pmu = second.core.pmu
+        pmu.program(0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR,
+                                     enabled=True))
+        pmu.program(1, CounterConfig(Event.CYCLES, PrivFilter.ALL,
+                                     enabled=True))
+        pmu.configure_fixed(0, PrivFilter.ALL)
+        second.core.execute_loop(loop, 4096)
+        assert fastforward.GLOBAL_STATS.engagements == 1
+
+    def test_reprogramming_counters_stays_exact(self):
+        """A PMU epoch bump invalidates the plan, not the output."""
+        loop = make_loop(30_000)
+
+        def drive(machine):
+            machine.core.execute_loop(loop, 4096)  # warms the model
+            machine.core.execute_loop(loop, 4096)  # first engagement
+            machine.core.pmu.program(
+                1, CounterConfig(Event.DCACHE_MISSES, PrivFilter.ALL,
+                                 enabled=True)
+            )
+            machine.core.execute_loop(loop, 4096)  # replanned engagement
+
+        slow = boot("off", seed=4)
+        drive(slow)
+        fast = boot("on", seed=4)
+        drive(fast)
+        assert state(slow) == state(fast)
+        assert fastforward.GLOBAL_STATS.engagements >= 2
+
+
+# -- bailouts ----------------------------------------------------------------
+
+
+def engaged_then(reason: str) -> int:
+    return fastforward.GLOBAL_STATS.bailouts.get(reason, 0)
+
+
+class TestBailouts:
+    """Each unplayable observation bails with its accounted reason —
+    and the run that bailed still matches the slow path exactly."""
+
+    def check_bail(self, reason, mutate, *, expect_engagements=0, **boot_kw):
+        loop = make_loop(40_000)
+        slow = boot("off", seed=6, **boot_kw)
+        mutate(slow)
+        slow.core.execute_loop(loop, 4096)  # (warmup mirror)
+        slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=6, warmup=1, **boot_kw)
+        mutate(fast)
+        fast.core.execute_loop(loop, 4096)  # warms the model, runs slow
+        fast.core.execute_loop(loop, 4096)  # would engage; must bail
+        assert state(slow) == state(fast)
+        assert engaged_then(reason) >= 1
+        assert fastforward.GLOBAL_STATS.engagements == expect_engagements
+        assert fastforward.GLOBAL_STATS.bailouts_total >= 1
+
+    def test_governor_bails(self):
+        self.check_bail("governor", lambda m: None,
+                        governor=Governor.ONDEMAND)
+
+    def test_masked_interrupts_bail(self):
+        def mask(machine):
+            machine.core.interrupts_masked = True
+        self.check_bail("masked", mask)
+
+    def test_tracer_bails(self):
+        from repro.trace import Tracer
+
+        self.check_bail(
+            "tracer", lambda m: setattr(m.core, "tracer", Tracer())
+        )
+
+    def test_sampling_counter_bails(self):
+        def sample(machine):
+            machine.core.pmu.program(
+                0, CounterConfig(Event.INSTR_RETIRED, PrivFilter.USR,
+                                 enabled=True, interrupt_on_overflow=True)
+            )
+        self.check_bail("sampling", sample)
+
+    def test_multithread_bails(self):
+        def threads(machine):
+            machine.scheduler.spawn("a")
+            machine.scheduler.spawn("b")
+        self.check_bail("multithread", threads)
+
+    def test_nonstock_controller_bails(self):
+        def subclass(machine):
+            ctl = machine.controller
+            ctl.__class__ = type("TweakedCtl", (type(ctl),), {})
+        self.check_bail("nonstock", subclass)
+
+    def test_tsc_skew_bails(self):
+        def skew(machine):
+            machine.core.pmu._tsc = machine.core.pmu._tsc + 1.0
+        self.check_bail("tsc-skew", skew)
+
+    def test_aperiodic_cpi_rewarm(self):
+        """A poisoned CPI memo restarts the warmup, bit-exactly."""
+        loop = make_loop(40_000)
+        body_address = 4096 + loop.header.size_bytes
+
+        def drive(machine):
+            machine.core.execute_loop(loop, 4096)
+            memo = machine.core._loop_cpi_memo
+            key = (loop.body, body_address)
+            if key in memo:
+                memo[key] = memo[key] + 1.0
+            machine.core.execute_loop(loop, 4096)
+
+        slow = boot("off", seed=8)
+        drive(slow)
+        fast = boot("on", seed=8, warmup=1)
+        drive(fast)
+        assert state(slow) == state(fast)
+        assert engaged_then("aperiodic") >= 1
+
+    def test_wrap_risk_bails_single_call(self):
+        loop = make_loop(40_000)
+
+        def park_near_wrap(machine):
+            counter = machine.core.pmu.counters[0]
+            counter._value = float(counter.limit - 16)
+
+        slow = boot("off", seed=7)
+        slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=7, warmup=1)
+        fast.core.execute_loop(loop, 4096)  # warms the model
+        # Park AFTER warming, so the engaging call sees the hot counter.
+        park_near_wrap(slow)
+        park_near_wrap(fast)
+        slow.core.execute_loop(loop, 4096)
+        fast.core.execute_loop(loop, 4096)
+        assert state(slow) == state(fast)
+        assert engaged_then("wrap-risk") >= 1
+
+    def test_sweep_wrap_prefix_is_exact(self):
+        """A sweep near a wrap boundary replays a safe prefix and
+        finishes slowly — byte-identical to the all-slow run."""
+        loop = make_loop(10_000)
+
+        def park(machine):
+            counter = machine.core.pmu.counters[0]
+            # Room for only a few executions before the wrap.
+            counter._value = float(counter.limit - 45_000)
+
+        slow = boot("off", seed=2)
+        park(slow)
+        for _ in range(12):
+            slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=2, warmup=1)
+        park(fast)
+        fast.core.execute_loop_sweep(loop, 4096, 12)
+        assert state(slow) == state(fast)
+
+    def test_io_burst_limit_bails_and_stays_exact(self):
+        # Pull the next I/O deadline right up to the wall clock on both
+        # machines, so the engagement crosses it immediately; with the
+        # burst limit forced to zero, the first excursion bails.
+        loop = make_loop(1_000_000)
+
+        def imminent_io(machine):
+            machine.controller.next_io_s = machine.core.wall_s + 1e-4
+
+        slow = boot("off", seed=3)
+        imminent_io(slow)
+        for _ in range(8):
+            slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=3, warmup=1)
+        imminent_io(fast)
+        engine = fast.core._ff_engine
+        engine.io_burst_limit = 0
+        fast.core.execute_loop_sweep(loop, 4096, 8)
+        assert state(slow) == state(fast)
+        assert engaged_then("io-burst") >= 1
+        # A bailed engagement still skips the symbolic prefix it ran.
+        assert fastforward.GLOBAL_STATS.iterations_skipped > 0
+
+
+# -- snapshot-store interplay ------------------------------------------------
+
+
+class TestSnapshotInterplay:
+    @pytest.fixture()
+    def no_snapshots(self):
+        previous = snapshot._default
+        snapshot.configure_default_store(enabled=False)
+        yield
+        snapshot._default = previous
+
+    def test_snapshots_off_ff_on_is_byte_identical(self, no_snapshots):
+        loop = make_loop(30_000)
+        slow = boot("off", seed=12)
+        slow.core.execute_loop(loop, 4096)
+        slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=12, warmup=1)
+        fast.core.execute_loop(loop, 4096)  # warms the model
+        fast.core.execute_loop(loop, 4096)  # engages
+        assert state(slow) == state(fast)
+        assert fastforward.GLOBAL_STATS.engagements > 0
+
+    def test_cold_and_snapshot_boots_share_ff_results(self, no_snapshots):
+        loop = make_loop(30_000)
+        cold = boot("on", seed=12, warmup=1)
+        cold.core.execute_loop(loop, 4096)
+        cold.core.execute_loop(loop, 4096)
+        cold_state = state(cold)
+        snapshot.configure_default_store(enabled=True)
+        fastforward.reset_fastforward()
+        warm = boot("on", seed=12, warmup=1)
+        warm.core.execute_loop(loop, 4096)
+        warm.core.execute_loop(loop, 4096)
+        assert cold_state == state(warm)
+
+
+# -- worker lifecycle --------------------------------------------------------
+
+
+class TestWorkerState:
+    def test_reset_worker_state_drops_models_and_stats(self):
+        loop = make_loop(20_000)
+        machine = boot("on", warmup=1)
+        machine.core.execute_loop(loop, 4096)
+        machine.core.execute_loop(loop, 4096)
+        engine = machine.core._ff_engine
+        assert engine._models and fastforward.GLOBAL_STATS.engagements > 0
+        fastforward.reset_worker_state()
+        assert not engine._models
+        assert fastforward.GLOBAL_STATS.engagements == 0
+        assert fastforward.GLOBAL_STATS.bailouts == {}
+
+    def test_revived_worker_rederives_identical_state(self):
+        """A mid-sweep revival (reset_worker_state) re-warms from its
+        own observations and lands on the same bytes."""
+        loop = make_loop(15_000)
+        slow = boot("off", seed=14)
+        for _ in range(8):
+            slow.core.execute_loop(loop, 4096)
+        fast = boot("on", seed=14, warmup=1)
+        fast.core.execute_loop_sweep(loop, 4096, 4)
+        fastforward.reset_worker_state()  # the revival
+        fast.core._ff_plan = None
+        fast.core.execute_loop_sweep(loop, 4096, 4)
+        assert state(slow) == state(fast)
+        # The post-revival sweep re-warmed, then engaged again.
+        assert fastforward.GLOBAL_STATS.engagements >= 1
+
+
+# -- observability -----------------------------------------------------------
+
+
+class TestObservability:
+    def test_metrics_registry_exports_ff_counters(self):
+        from repro.obs.metrics import build_unified_registry
+
+        loop = make_loop(20_000)
+        machine = boot("on", warmup=1)
+        machine.core.execute_loop(loop, 4096)
+        machine.core.execute_loop(loop, 4096)
+        machine.core.interrupts_masked = True
+        machine.core.execute_loop(loop, 4096)
+        stats = fastforward.GLOBAL_STATS
+        text = build_unified_registry().render()
+        assert (
+            f"repro_ff_iterations_skipped_total {stats.iterations_skipped}"
+            in text
+        )
+        assert f"repro_ff_engagements_total {stats.engagements}" in text
+        assert (
+            'repro_ff_bailouts_total{reason="masked"} '
+            f"{stats.bailouts['masked']}" in text
+        )
+
+    def test_engagement_emits_span(self):
+        from repro import obs
+        from repro.obs.spans import TraceCollector
+
+        loop = make_loop(20_000)
+        machine = boot("on", warmup=1)
+        machine.core.execute_loop(loop, 4096)  # warm outside the trace
+        collector = TraceCollector()
+        with obs.activate(collector):
+            machine.core.execute_loop(loop, 4096)
+        spans = [s for s in collector.spans if s.name == "engine.fastforward"]
+        assert spans, "engaged run emitted no engine.fastforward span"
+        attrs = spans[0].attributes
+        assert attrs["iterations"] == loop.trips
+        assert attrs["skipped"] == loop.trips
+        assert attrs["io_burst"] is False

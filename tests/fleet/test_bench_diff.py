@@ -227,9 +227,13 @@ class TestHistoryGating:
         assert "per-benchmark noise thresholds" in out
         assert "thr" in out
 
-    def test_steady_history_tightens_the_gate(self, tmp_path, capsys):
+    def test_steady_history_tightens_the_gate(
+        self, tmp_path, capsys, monkeypatch
+    ):
         # Near-zero historical variance: a 8% slip clears the floor ->
         # regression, even though the global 10% would call it noise.
+        # The history gate only fails the build when hardened.
+        monkeypatch.setenv("REPRO_BENCH_GATE", "hard")
         hist = self.record(tmp_path, [1.0, 1.0, 1.0])
         a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
         b = bench_file(tmp_path, "b.json", [entry("b", 1.08)])
@@ -253,8 +257,9 @@ class TestHistoryGating:
         capsys.readouterr()
 
     def test_direction_aware_throughput_with_history(
-        self, tmp_path, capsys
+        self, tmp_path, capsys, monkeypatch
     ):
+        monkeypatch.setenv("REPRO_BENCH_GATE", "hard")
         hist = tmp_path / "hist"
         for i, rps in enumerate([100.0, 101.0, 99.0]):
             path = bench_file(
@@ -294,6 +299,79 @@ class TestHistoryGating:
             ["bench", "diff", str(a), str(a), "--window", "1"]
         ) == 2
         assert "window" in capsys.readouterr().err
+
+
+class TestGatePolicy:
+    """``REPRO_BENCH_GATE``: the history gate defaults to advisory so
+    a noisy CI runner can't fail the build; ``hard`` restores exit 1."""
+
+    def regression_pair(self, tmp_path):
+        hist = tmp_path / "hist"
+        for i in range(3):
+            path = bench_file(tmp_path, f"run{i}.json", [entry("b", 1.0)])
+            assert main(
+                ["bench", "record", str(path), "--history", str(hist)]
+            ) == 0
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        b = bench_file(tmp_path, "b.json", [entry("b", 1.08)])
+        return hist, a, b
+
+    def test_advisory_default_downgrades_history_regression(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_BENCH_GATE", raising=False)
+        hist, a, b = self.regression_pair(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["bench", "diff", str(a), str(b), "--history", str(hist)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out  # the report still says so
+        assert "advisory:" in captured.err
+        assert "REPRO_BENCH_GATE=hard" in captured.err
+
+    def test_hard_gate_fails_the_build(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_GATE", "hard")
+        hist, a, b = self.regression_pair(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["bench", "diff", str(a), str(b), "--history", str(hist)]
+        ) == 1
+        assert "advisory:" not in capsys.readouterr().err
+
+    def test_advisory_leaves_plain_diffs_hard(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # Without --history the variance gate isn't in play: a plain
+        # threshold regression still fails regardless of the knob.
+        monkeypatch.setenv("REPRO_BENCH_GATE", "advisory")
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        b = bench_file(tmp_path, "b.json", [entry("b", 5.0)])
+        assert main(["bench", "diff", str(a), str(b)]) == 1
+        capsys.readouterr()
+
+    def test_clean_history_diff_stays_silent(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_BENCH_GATE", raising=False)
+        hist, a, _ = self.regression_pair(tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["bench", "diff", str(a), str(a), "--history", str(hist)]
+        ) == 0
+        assert "advisory:" not in capsys.readouterr().err
+
+    def test_garbage_gate_value_exit_two(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_BENCH_GATE", "mushy")
+        a = bench_file(tmp_path, "a.json", [entry("b", 1.0)])
+        assert main(["bench", "diff", str(a), str(a)]) == 2
+        err = capsys.readouterr().err
+        assert "REPRO_BENCH_GATE" in err
+        assert "mushy" in err
 
 
 class TestRecordCli:

@@ -16,6 +16,7 @@ from repro.obs.htmlreport import (
     render_report,
     report_families,
     shard_breakdown,
+    trend_series,
     validate_report_text,
     main as validator_main,
 )
@@ -178,6 +179,71 @@ class TestShardBreakdown:
             'repro_latency_bucket{shard="s0",le="1"}': 2.0,
         })
         assert shards == {}
+
+
+class FakeHistory:
+    """Duck-typed stand-in for perfdb History: name -> metric values."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def values(self, name, metric):
+        return self.table.get(name, {}).get(metric, [])
+
+
+class TestTrends:
+    def test_single_point_has_no_trend(self):
+        history = FakeHistory({"x": {"mean": [1.0]}})
+        assert trend_series({"x": ["x"]}, history, "mean") == {}
+
+    def test_two_points_make_a_family_sparkline(self):
+        history = FakeHistory({
+            "x": {"mean": [1.0, 1.1]},
+            "y": {"mean": [2.0]},  # too short: dropped from the family
+        })
+        series = trend_series({"g": ["x", "y"]}, history, "mean")
+        assert series == {"g": [("x", [1.0, 1.1])]}
+
+    def test_rendered_trends_stay_self_contained(self, tmp_path):
+        run = load_run(bench_file(tmp_path, "a.json", [
+            entry("x", 1.0, group="g"), entry("z", 1.0),
+        ]))
+        history = FakeHistory({
+            "x": {"mean": [1.0, 1.2, 1.1]},
+            "z": {"mean": [0.5, 0.6]},
+        })
+        text = render_report([run], history=history)
+        assert "Cross-run trends" in text
+        # 2 family plots + 2 sparklines, still validator-clean.
+        assert validate_report_text(text, expect_svgs=4) == []
+        assert text.count('class="spark"') == 2
+
+    def test_no_history_means_no_trend_section(self, tmp_path):
+        run = load_run(bench_file(tmp_path, "a.json", [entry("x", 1.0)]))
+        assert "Cross-run trends" not in render_report([run])
+
+    def test_flat_series_does_not_divide_by_zero(self, tmp_path):
+        run = load_run(bench_file(tmp_path, "a.json", [entry("x", 1.0)]))
+        history = FakeHistory({"x": {"mean": [1.0, 1.0, 1.0]}})
+        text = render_report([run], history=history)
+        assert validate_report_text(text, expect_svgs=2) == []
+
+    def test_cli_report_with_recorded_history(self, tmp_path, capsys):
+        hist = tmp_path / "hist"
+        for i, mean in enumerate([1.0, 1.05]):
+            path = bench_file(tmp_path, f"run{i}.json", [entry("x", mean)])
+            assert main(
+                ["bench", "record", str(path), "--history", str(hist)]
+            ) == 0
+        bench = bench_file(tmp_path, "a.json", [entry("x", 1.0)])
+        out = tmp_path / "r.html"
+        assert main([
+            "report", str(bench), "-o", str(out), "--history", str(hist),
+        ]) == 0
+        text = out.read_text()
+        assert "Cross-run trends" in text
+        assert validate_report_text(text, expect_svgs=2) == []
+        capsys.readouterr()
 
 
 class TestValidator:
